@@ -1,0 +1,127 @@
+//! Criterion performance benches: quantization throughput per format, the
+//! bit-accurate dot-product engine, the QSNR harness, one sweep step, and
+//! a quantized training step — the hot paths of every experiment binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mx_core::bdr::{BdrFormat, BdrQuantizer};
+use mx_core::fp_scaled::FpScaledQuantizer;
+use mx_core::int_quant::IntQuantizer;
+use mx_core::mx::MxTensor;
+use mx_core::qsnr::{measure_qsnr, Distribution, QsnrConfig};
+use mx_core::scalar::ScalarFormat;
+use mx_core::scaling::ScaleStrategy;
+use mx_core::vsq::VsqQuantizer;
+use mx_core::VectorQuantizer;
+use mx_hw::cost::{CostModel, FormatConfig};
+use mx_hw::pipeline::{DotProductPipeline, PipelineConfig};
+use std::hint::black_box;
+
+fn test_vector(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 2654435761usize) % 10_007) as f32 / 10_007.0 - 0.5).collect()
+}
+
+fn quant_throughput(c: &mut Criterion) {
+    let x = test_vector(4096);
+    let mut group = c.benchmark_group("quantize_dequantize_4k");
+    group.throughput(Throughput::Elements(4096));
+    let mut cases: Vec<(&str, Box<dyn VectorQuantizer>)> = vec![
+        ("MX9", Box::new(BdrQuantizer::new(BdrFormat::MX9))),
+        ("MX6", Box::new(BdrQuantizer::new(BdrFormat::MX6))),
+        ("MX4", Box::new(BdrQuantizer::new(BdrFormat::MX4))),
+        ("MSFP12", Box::new(BdrQuantizer::new(BdrFormat::MSFP12))),
+        ("FP8-E4M3", Box::new(FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Amax))),
+        ("INT8", Box::new(IntQuantizer::new(8, 1024, ScaleStrategy::Amax))),
+        ("VSQ4", Box::new(VsqQuantizer::new(4, 4, 1024, ScaleStrategy::Amax))),
+    ];
+    for (name, q) in cases.iter_mut() {
+        group.bench_function(*name, |b| b.iter(|| black_box(q.quantize_dequantize(&x))));
+    }
+    group.finish();
+}
+
+fn packed_encode(c: &mut Criterion) {
+    let x = test_vector(4096);
+    let mut group = c.benchmark_group("mx_packed_encode_4k");
+    group.throughput(Throughput::Elements(4096));
+    for fmt in [BdrFormat::MX4, BdrFormat::MX9] {
+        group.bench_with_input(BenchmarkId::from_parameter(fmt), &fmt, |b, fmt| {
+            b.iter(|| black_box(MxTensor::encode(*fmt, &x)))
+        });
+    }
+    group.finish();
+}
+
+fn dot_product_engine(c: &mut Criterion) {
+    let a = test_vector(1024);
+    let bb = test_vector(1024);
+    let mut group = c.benchmark_group("pipeline_dot_1k");
+    group.throughput(Throughput::Elements(1024));
+    for (name, cfg) in [
+        ("MX9", PipelineConfig::Bdr(BdrFormat::MX9)),
+        ("MX4", PipelineConfig::Bdr(BdrFormat::MX4)),
+        ("FP8-E4M3", PipelineConfig::Scalar(ScalarFormat::E4M3)),
+    ] {
+        let engine = DotProductPipeline::new(cfg, 64);
+        group.bench_function(name, |b| b.iter(|| black_box(engine.dot(&a, &bb))));
+    }
+    group.finish();
+}
+
+fn qsnr_harness(c: &mut Criterion) {
+    let cfg = QsnrConfig { vectors: 16, vector_len: 1024, seed: 3 };
+    c.bench_function("qsnr_mx6_16x1k", |b| {
+        b.iter(|| {
+            let mut q = BdrQuantizer::new(BdrFormat::MX6);
+            black_box(measure_qsnr(&mut q, Distribution::NormalVariableVariance, cfg))
+        })
+    });
+}
+
+fn cost_model(c: &mut Criterion) {
+    let model = CostModel::new();
+    c.bench_function("cost_model_mx9", |b| {
+        b.iter(|| black_box(model.evaluate(&FormatConfig::Bdr(BdrFormat::MX9))))
+    });
+}
+
+fn train_step(c: &mut Criterion) {
+    use mx_models::data::{lm_batch, markov_corpus};
+    use mx_models::gpt::{Gpt, GptConfig};
+    use mx_nn::optim::Adam;
+    use mx_nn::qflow::QuantConfig;
+    use mx_nn::TensorFormat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let corpus = markov_corpus(1, 5000, 0.4);
+    let mut group = c.benchmark_group("gpt_tiny_train_step");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("fp32", QuantConfig::fp32()),
+        ("mx9", QuantConfig::uniform(TensorFormat::MX9)),
+        ("mx6", QuantConfig::uniform(TensorFormat::MX6)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut model = Gpt::new(&mut rng, GptConfig::tiny(), cfg);
+            let mut opt = Adam::new(1e-3);
+            let mut data_rng = StdRng::seed_from_u64(8);
+            b.iter(|| {
+                let (x, y) = lm_batch(&mut data_rng, &corpus, 2, 16);
+                black_box(model.train_step(&x, &y, 2, &mut opt))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    quant_throughput,
+    packed_encode,
+    dot_product_engine,
+    qsnr_harness,
+    cost_model,
+    train_step
+);
+criterion_main!(benches);

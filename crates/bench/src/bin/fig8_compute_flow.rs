@@ -1,0 +1,53 @@
+//! Fig. 8 — a trace of one quantized training iteration, showing which
+//! tensors get quantized, along which axis, in which format, and the
+//! transpose-before-quantize rule for the backward weight copy.
+
+use mx_nn::format::{quantize_along, Axis, TensorFormat};
+use mx_nn::tensor::Tensor;
+
+fn main() {
+    let fmt = TensorFormat::MX9;
+    let (m, k, n) = (4usize, 16usize, 8usize);
+    let a = Tensor::from_vec((0..m * k).map(|i| (i as f32 * 0.37).sin()).collect(), &[m, k]);
+    let w = Tensor::from_vec((0..k * n).map(|i| (i as f32 * 0.21).cos()).collect(), &[k, n]);
+    let e = Tensor::from_vec((0..m * n).map(|i| (i as f32 * 0.13).sin() * 0.1).collect(), &[m, n]);
+
+    println!("== Fig. 8: compute flow of one training iteration (format {fmt}) ==\n");
+    println!("Forward:");
+    println!("  A[{m},{k}]  --Q along K (rows)-->  MX[{m},{k}Q]");
+    let aq = quantize_along(&a, fmt, Axis::Row);
+    println!("  W[{k},{n}]  --Q along K (cols)-->  MX[{k}Q,{n}]");
+    let wq = quantize_along(&w, fmt, Axis::Col);
+    let y = aq.matmul(&wq);
+    println!("  MatMul -> A_out[{},{}] (BF16/FP32 vector ops follow)\n", y.rows(), y.cols());
+
+    println!("Backward (dA = E * W^T):");
+    println!("  E[{m},{n}]   --Q along N (rows)-->  MX[{m},{n}Q]");
+    let eq_n = quantize_along(&e, fmt, Axis::Row);
+    println!("  W^T[{n},{k}] --transpose FIRST, then Q along N-->  MX[{n}Q,{k}]");
+    let wt_q = quantize_along(&w.transpose2d(), fmt, Axis::Col);
+    let da = eq_n.matmul(&wt_q);
+    println!("  MatMul -> E_out[{},{}]\n", da.rows(), da.cols());
+
+    println!("Backward (dW = A^T * E):");
+    println!("  A^T[{k},{m}] --transpose FIRST, then Q along M-->  MX[{k},{m}Q]");
+    let at_q = quantize_along(&a.transpose2d(), fmt, Axis::Row);
+    println!("  E[{m},{n}]   --Q along M (cols)-->  MX[{m}Q,{n}]");
+    let eq_m = quantize_along(&e, fmt, Axis::Col);
+    let dw = at_q.matmul(&eq_m);
+    println!("  MatMul -> W_grad[{},{}] -> FP32 optimizer\n", dw.rows(), dw.cols());
+
+    // Demonstrate the non-commutativity that forces two weight copies.
+    let q_then_t = quantize_along(&w, fmt, Axis::Col).transpose2d();
+    let t_then_q = quantize_along(&w.transpose2d(), fmt, Axis::Col);
+    let diff: f32 = q_then_t
+        .data()
+        .iter()
+        .zip(t_then_q.data().iter())
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    println!("Transpose/quantize non-commutativity check:");
+    println!("  sum |transpose(Q(W)) - Q(transpose(W))| = {diff:.6}  (nonzero -> two");
+    println!("  quantized weight copies are required, exactly as Fig. 8 shows; note");
+    println!("  E is also quantized twice: along N for dA, along M for dW)");
+}

@@ -1,0 +1,32 @@
+//! Table I — classification of quantization approaches under the two-level
+//! scaling framework (and Fig. 4's scale/sub-scale encodings).
+
+use mx_bench::{print_table, write_csv};
+use mx_core::taxonomy::table_i;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table_i()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                r.scale.to_string(),
+                r.sub_scale.to_string(),
+                r.s_type.to_string(),
+                r.ss_type.to_string(),
+                format!("~{}", r.k1),
+                if r.k2 == 0 { "-".into() } else { format!("~{}", r.k2) },
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I: two-level scaling classification",
+        &["scheme", "scale", "sub-scale", "s type", "ss type", "k1", "k2"],
+        &rows,
+    );
+    write_csv(
+        "table1_taxonomy",
+        &["scheme", "scale", "sub_scale", "s_type", "ss_type", "k1", "k2"],
+        &rows,
+    );
+}

@@ -1,0 +1,69 @@
+//! Table IV — zero/few-shot multiple-choice accuracy of an FP32-pretrained
+//! generative model under direct cast to every (weights, activations)
+//! format combination. The reproduction target: accuracy stays near the
+//! FP32 baseline for MX9/MX6 combinations and falls off a cliff at
+//! (MX4, MX4).
+
+use mx_bench::{fmt, full_scale, print_table, write_csv};
+use mx_models::data::markov_corpus;
+use mx_models::fewshot::{build_items, evaluate, Task};
+use mx_models::gpt::{train_lm, GptConfig};
+use mx_nn::qflow::QuantConfig;
+use mx_nn::TensorFormat;
+
+fn main() {
+    // A less predictable corpus (temperature 0.9) keeps decision margins
+    // slim enough that format noise can flip borderline items — the regime
+    // the paper's real benchmarks live in.
+    let corpus = markov_corpus(5, 30_000, 0.9);
+    let iters = if full_scale() { 600 } else { 250 };
+    eprintln!("pretraining FP32 GPT ({iters} iters)...");
+    let (mut model, run) =
+        train_lm(GptConfig::ladder(2), QuantConfig::fp32(), &corpus, iters, 8, 3e-3, 71);
+    eprintln!("pretrained: eval loss {:.3}", run.eval_loss);
+
+    let grid: [(&str, Option<(TensorFormat, TensorFormat)>); 7] = [
+        ("Baseline FP32", None),
+        ("(MX9, MX9)", Some((TensorFormat::MX9, TensorFormat::MX9))),
+        ("(MX6, MX9)", Some((TensorFormat::MX6, TensorFormat::MX9))),
+        ("(MX6, MX6)", Some((TensorFormat::MX6, TensorFormat::MX6))),
+        ("(MX4, MX9)", Some((TensorFormat::MX4, TensorFormat::MX9))),
+        ("(MX4, MX6)", Some((TensorFormat::MX4, TensorFormat::MX6))),
+        ("(MX4, MX4)", Some((TensorFormat::MX4, TensorFormat::MX4))),
+    ];
+    let n_items = if full_scale() { 60 } else { 30 };
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for task in Task::all() {
+        let items = build_items(task, &corpus, n_items, 97);
+        for shots in [0usize, 1, 2] {
+            let mut row = vec![task.name().to_string(), shots.to_string()];
+            for (label, formats) in &grid {
+                match formats {
+                    None => model.set_quant(QuantConfig::fp32()),
+                    Some((w, a)) => model.set_quant(QuantConfig::weights_activations(*w, *a)),
+                }
+                let acc = 100.0 * evaluate(&mut model, &items, shots);
+                row.push(fmt(acc, 1));
+                csv.push(vec![
+                    task.name().to_string(),
+                    shots.to_string(),
+                    label.to_string(),
+                    acc.to_string(),
+                ]);
+            }
+            rows.push(row);
+        }
+    }
+    model.set_quant(QuantConfig::fp32());
+    print_table(
+        "Table IV: zero/few-shot direct-cast accuracy (%), (weights, activations)",
+        &[
+            "task", "shots", "FP32", "(9,9)", "(6,9)", "(6,6)", "(4,9)", "(4,6)", "(4,4)",
+        ],
+        &rows,
+    );
+    println!("\nShape check vs paper: accuracies near-flat for >=MX6 combos; the");
+    println!("(MX4, MX4) column should show a visible drop on the high-signal tasks.");
+    write_csv("table4_fewshot", &["task", "shots", "formats", "accuracy_pct"], &csv);
+}

@@ -1,0 +1,36 @@
+//! Table V — BERT question answering: exact match / F1 under direct cast
+//! to MX9 and MX6 (the paper: no fine-tuning needed even at MX6).
+
+use mx_bench::{full_scale, print_table, write_csv};
+use mx_models::bert::{evaluate_bert_qa, train_bert_qa};
+use mx_nn::qflow::QuantConfig;
+use mx_nn::TensorFormat;
+
+fn main() {
+    let iters = if full_scale() { 900 } else { 450 };
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (name, d, l) in [("BERT-Base-style", 32, 2), ("BERT-Large-style", 48, 3)] {
+        eprintln!("training {name} ({iters} iters)...");
+        let (mut model, base) = train_bert_qa(d, l, QuantConfig::fp32(), iters, 61);
+        model.set_quant(QuantConfig::weights_activations(TensorFormat::MX9, TensorFormat::MX9));
+        let mx9 = evaluate_bert_qa(&mut model, 61);
+        model.set_quant(QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6));
+        let mx6 = evaluate_bert_qa(&mut model, 61);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1} / {:.1}", base.em, base.f1),
+            format!("{:.1} / {:.1}", mx9.em, mx9.f1),
+            format!("{:.1} / {:.1}", mx6.em, mx6.f1),
+        ]);
+        for (cfg, r) in [("fp32", base), ("cast_mx9", mx9), ("cast_mx6", mx6)] {
+            csv.push(vec![name.to_string(), cfg.into(), r.em.to_string(), r.f1.to_string()]);
+        }
+    }
+    print_table(
+        "Table V: BERT QA, Exact Match / F1 (direct cast, no fine-tuning)",
+        &["model", "Baseline FP32", "Direct cast MX9", "Direct cast MX6"],
+        &rows,
+    );
+    write_csv("table5_bert_qa", &["model", "config", "em", "f1"], &csv);
+}

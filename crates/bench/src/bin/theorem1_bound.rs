@@ -1,0 +1,52 @@
+//! Theorem 1 / Eq. 4 — the closed-form QSNR lower bound vs measured QSNR
+//! across formats and data distributions (the bound must never be
+//! violated; its tightness varies with the distribution's tail).
+
+use mx_bench::{fmt, print_table, write_csv};
+use mx_core::bdr::{BdrFormat, BdrQuantizer};
+use mx_core::qsnr::{measure_qsnr, Distribution, QsnrConfig};
+use mx_core::theory::qsnr_lower_bound_db;
+
+fn main() {
+    let cfg = QsnrConfig { vectors: 256, vector_len: 1024, seed: 31 };
+    let dists = [
+        Distribution::NormalVariableVariance,
+        Distribution::Uniform { lo: -1.0, hi: 1.0 },
+        Distribution::LogNormalSigned { sigma: 1.5 },
+        Distribution::Laplace { scale: 1.0 },
+    ];
+    let formats = [
+        BdrFormat::MX9,
+        BdrFormat::MX6,
+        BdrFormat::MX4,
+        BdrFormat::MSFP16,
+        BdrFormat::MSFP12,
+        BdrFormat::new(4, 8, 2, 16, 2).expect("valid"),
+    ];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut violations = 0;
+    for f in formats {
+        let bound = qsnr_lower_bound_db(f, cfg.vector_len);
+        let mut row = vec![f.to_string(), fmt(bound, 1)];
+        for d in dists {
+            let measured = measure_qsnr(&mut BdrQuantizer::new(f), d, cfg);
+            if measured < bound {
+                violations += 1;
+            }
+            row.push(fmt(measured, 1));
+            csv.push(vec![f.to_string(), d.to_string(), bound.to_string(), measured.to_string()]);
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Theorem 1: QSNR lower bound vs measured (dB)",
+        &["format", "bound", "N(0,|N|^2)", "Uniform", "LogNormal", "Laplace"],
+        &rows,
+    );
+    println!(
+        "\nBound violations: {violations} (must be 0; the property test in \
+         mx-core checks 512 adversarial cases per run)"
+    );
+    write_csv("theorem1_bound", &["format", "distribution", "bound_db", "measured_db"], &csv);
+}

@@ -1,0 +1,102 @@
+//! Error types for format construction and encoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a quantization format is parameterized inconsistently.
+///
+/// # Examples
+///
+/// ```
+/// # use mx_core::bdr::BdrFormat;
+/// // Sub-blocks must tile the block evenly: k2 = 3 does not divide k1 = 16.
+/// assert!(BdrFormat::new(4, 8, 1, 16, 3).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The sub-block granularity `k2` does not evenly divide the block
+    /// granularity `k1`, or one of them is zero.
+    InvalidBlockStructure {
+        /// First-level block granularity.
+        k1: usize,
+        /// Second-level sub-block granularity.
+        k2: usize,
+    },
+    /// The mantissa bit-width is outside the supported range.
+    InvalidMantissa {
+        /// Requested explicit mantissa bits.
+        m: u32,
+        /// Inclusive upper limit supported by the implementation.
+        max: u32,
+    },
+    /// A scale bit-width is outside the supported range.
+    InvalidScaleWidth {
+        /// Which scale level (1 = shared exponent, 2 = microexponent).
+        level: u8,
+        /// Requested bits.
+        bits: u32,
+        /// Inclusive upper limit supported by the implementation.
+        max: u32,
+    },
+    /// A scalar float format was requested with an unsupported field layout.
+    InvalidScalarLayout {
+        /// Requested exponent bits.
+        exp_bits: u32,
+        /// Requested mantissa bits.
+        man_bits: u32,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::InvalidBlockStructure { k1, k2 } => {
+                write!(f, "sub-block granularity k2={k2} must be nonzero and divide block granularity k1={k1}")
+            }
+            FormatError::InvalidMantissa { m, max } => {
+                write!(f, "mantissa bit-width m={m} outside supported range 1..={max}")
+            }
+            FormatError::InvalidScaleWidth { level, bits, max } => {
+                write!(f, "level-{level} scale bit-width {bits} outside supported range 0..={max}")
+            }
+            FormatError::InvalidScalarLayout { exp_bits, man_bits } => {
+                write!(f, "scalar format E{exp_bits}M{man_bits} is not representable by this implementation")
+            }
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = FormatError::InvalidBlockStructure { k1: 16, k2: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("k2=3"));
+        assert!(msg.contains("k1=16"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FormatError>();
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants = [
+            FormatError::InvalidBlockStructure { k1: 0, k2: 0 },
+            FormatError::InvalidMantissa { m: 99, max: 23 },
+            FormatError::InvalidScaleWidth { level: 2, bits: 9, max: 4 },
+            FormatError::InvalidScalarLayout { exp_bits: 9, man_bits: 30 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

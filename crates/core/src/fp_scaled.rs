@@ -1,0 +1,166 @@
+//! Scalar floating-point quantization with a software first-level scale —
+//! the FP8/FP6/FP4 rows of Fig. 7 and the "FP8" row of Table I.
+//!
+//! Interpreted in the BDR framework, narrow scalar floats are a two-level
+//! scheme: a coarse software FP32 scale `s` over `k1 ≈ 10K` elements
+//! (maintained by a Transformer-Engine-style delayed-scaling heuristic) plus
+//! a per-element (`k2 = 1`) power-of-two sub-scale — the element's own
+//! private exponent. Quantization computes `cast(x / s) · s`.
+
+use crate::int_quant::FP32_SCALE_BITS;
+use crate::scalar::ScalarFormat;
+use crate::scaling::{ScaleStrategy, ScaleTracker};
+use crate::VectorQuantizer;
+
+/// Nominal software-scale granularity used for storage accounting when the
+/// caller does not override it (the paper quotes `k1 ≈ 10K` for FP8).
+pub const DEFAULT_TENSOR_BLOCK: usize = 10_000;
+
+/// Scalar-float quantizer with software first-level scaling.
+///
+/// # Examples
+///
+/// ```
+/// # use mx_core::fp_scaled::FpScaledQuantizer;
+/// # use mx_core::scalar::ScalarFormat;
+/// # use mx_core::scaling::ScaleStrategy;
+/// # use mx_core::VectorQuantizer;
+/// let mut q = FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Amax);
+/// // The max element is scaled to the format's max finite value, so it is
+/// // recovered exactly.
+/// let y = q.quantize_dequantize(&[1000.0, 1.0]);
+/// assert_eq!(y[0], 1000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FpScaledQuantizer {
+    format: ScalarFormat,
+    tracker: ScaleTracker,
+    block: usize,
+}
+
+impl FpScaledQuantizer {
+    /// Creates a quantizer that scales each tensor (treated as one block) by
+    /// `amax / max_finite` before casting to `format`.
+    pub fn new(format: ScalarFormat, strategy: ScaleStrategy) -> Self {
+        FpScaledQuantizer { format, tracker: ScaleTracker::new(strategy), block: DEFAULT_TENSOR_BLOCK }
+    }
+
+    /// Overrides the nominal scale granularity used for bits-per-element
+    /// accounting (and the block size at which scales are recomputed).
+    pub fn with_block(mut self, block: usize) -> Self {
+        assert!(block > 0, "block granularity must be nonzero");
+        self.block = block;
+        self
+    }
+
+    /// The underlying scalar format.
+    pub fn format(&self) -> ScalarFormat {
+        self.format
+    }
+
+    fn quantize_block(&mut self, block: &[f32], out: &mut [f32]) {
+        let amax = self.tracker.observe(block);
+        if amax == 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        // Map the observed maximum onto the largest finite value.
+        let s = amax as f64 / self.format.max_finite() as f64;
+        for (x, y) in block.iter().zip(out.iter_mut()) {
+            *y = (self.format.cast((*x as f64 / s) as f32) as f64 * s) as f32;
+        }
+    }
+}
+
+impl VectorQuantizer for FpScaledQuantizer {
+    fn label(&self) -> String {
+        format!("{}({})", self.format, self.tracker.strategy())
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        self.format.total_bits() as f64 + FP32_SCALE_BITS / self.block as f64
+    }
+
+    fn quantize_dequantize(&mut self, xs: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; xs.len()];
+        for (block, block_out) in xs.chunks(self.block).zip(out.chunks_mut(self.block)) {
+            self.quantize_block(block, block_out);
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.tracker.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amax_maps_to_max_finite() {
+        let mut q = FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Amax);
+        let y = q.quantize_dequantize(&[8.0, 4.0, -2.0]);
+        assert_eq!(y[0], 8.0);
+        // 4.0 and 2.0 are powers of two times the max, still exact.
+        assert_eq!(y[1], 4.0);
+        assert_eq!(y[2], -2.0);
+    }
+
+    #[test]
+    fn relative_error_bounded_by_format_precision() {
+        let mut q = FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Amax);
+        let x: Vec<f32> = (1..500).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let y = q.quantize_dequantize(&x);
+        for (a, b) in x.iter().zip(y.iter()) {
+            if a.abs() > 0.1 {
+                // E4M3 has 3 mantissa bits: relative error <= 2^-4 for normals.
+                assert!(((a - b) / a).abs() <= 0.0625 + 1e-6, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_scaling_saturates_new_outliers() {
+        let mut q = FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Delayed { window: 4 })
+            .with_block(4);
+        let _ = q.quantize_dequantize(&[1.0, 0.5, 0.2, 0.1]);
+        let y = q.quantize_dequantize(&[100.0, 0.0, 0.0, 0.0]);
+        // Scale was set for amax 1.0 -> 100 clips to about 1.0.
+        assert!(y[0] <= 1.01, "expected clipping, got {}", y[0]);
+    }
+
+    #[test]
+    fn bits_per_element_accounts_for_scale() {
+        let q = FpScaledQuantizer::new(ScalarFormat::E5M2, ScaleStrategy::Amax);
+        assert!((q.bits_per_element() - (8.0 + 32.0 / 10_000.0)).abs() < 1e-12);
+        let q = q.with_block(128);
+        assert!((q.bits_per_element() - (8.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_tensor() {
+        let mut q = FpScaledQuantizer::new(ScalarFormat::E5M2, ScaleStrategy::Amax);
+        assert_eq!(q.quantize_dequantize(&[0.0; 8]), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn fp4_is_coarse_but_sane() {
+        let mut q = FpScaledQuantizer::new(ScalarFormat::FP4_E2M1, ScaleStrategy::Amax);
+        let x = [6.0f32, 3.0, 1.5, -6.0];
+        // With amax 6 the scale is exactly 1, so these FP4 values round-trip.
+        assert_eq!(q.quantize_dequantize(&x), x.to_vec());
+    }
+
+    #[test]
+    fn label_and_reset() {
+        let mut q = FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Delayed { window: 2 })
+            .with_block(2);
+        assert_eq!(q.label(), "FP8-E4M3(delayed(2))");
+        let _ = q.quantize_dequantize(&[50.0, 0.0]);
+        q.reset();
+        let y = q.quantize_dequantize(&[1.0, 0.0]);
+        assert_eq!(y[0], 1.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Software-scaled integer quantization (scaled INT4 / INT8 of Fig. 7).
+//!
+//! The classic GPU recipe (Fig. 1 and §II of the paper): blocks of `k1 ≈ 1K`
+//! elements share one FP32 scale factor `s = amax / (2^(m−1) − 1)`, each
+//! element stores a two's-complement integer `clamp(round(x / s))`. The
+//! scale is software-managed, so `k1` must be large to amortize its cost.
+
+use crate::scaling::{ScaleStrategy, ScaleTracker};
+use crate::util::round_half_even;
+use crate::VectorQuantizer;
+
+/// Bits spent on each software-managed FP32 scale factor.
+pub const FP32_SCALE_BITS: f64 = 32.0;
+
+/// Symmetric integer quantizer with a software FP32 scale per `k1`-block.
+///
+/// # Examples
+///
+/// ```
+/// # use mx_core::int_quant::IntQuantizer;
+/// # use mx_core::scaling::ScaleStrategy;
+/// # use mx_core::VectorQuantizer;
+/// let mut q = IntQuantizer::new(8, 1024, ScaleStrategy::Amax);
+/// let y = q.quantize_dequantize(&[0.5, -1.0, 0.25]);
+/// assert!((y[1] - -1.0).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntQuantizer {
+    bits: u32,
+    k1: usize,
+    tracker: ScaleTracker,
+}
+
+impl IntQuantizer {
+    /// Creates an INT quantizer storing `bits`-wide integers with one FP32
+    /// scale per `k1` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=16` or `k1` is zero.
+    pub fn new(bits: u32, k1: usize, strategy: ScaleStrategy) -> Self {
+        assert!((2..=16).contains(&bits), "INT bit-width {bits} outside 2..=16");
+        assert!(k1 > 0, "block granularity must be nonzero");
+        IntQuantizer { bits, k1, tracker: ScaleTracker::new(strategy) }
+    }
+
+    /// Integer bit-width (including sign).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Block granularity of the FP32 scale.
+    pub fn k1(&self) -> usize {
+        self.k1
+    }
+
+    /// Largest representable positive code, `2^(bits−1) − 1`.
+    pub fn max_code(&self) -> i64 {
+        (1i64 << (self.bits - 1)) - 1
+    }
+
+    fn quantize_block(&mut self, block: &[f32], out: &mut [f32]) {
+        let amax = self.tracker.observe(block);
+        if amax == 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        let max_code = self.max_code() as f64;
+        let s = amax as f64 / max_code;
+        for (x, y) in block.iter().zip(out.iter_mut()) {
+            let q = round_half_even(*x as f64 / s).clamp(-max_code, max_code);
+            *y = (q * s) as f32;
+        }
+    }
+}
+
+impl VectorQuantizer for IntQuantizer {
+    fn label(&self) -> String {
+        format!("INT{}(k1={},{})", self.bits, self.k1, self.tracker.strategy())
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        self.bits as f64 + FP32_SCALE_BITS / self.k1 as f64
+    }
+
+    fn quantize_dequantize(&mut self, xs: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; xs.len()];
+        for (block, block_out) in xs.chunks(self.k1).zip(out.chunks_mut(self.k1)) {
+            self.quantize_block(block, block_out);
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.tracker.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amax_int(bits: u32) -> IntQuantizer {
+        IntQuantizer::new(bits, 1024, ScaleStrategy::Amax)
+    }
+
+    #[test]
+    fn max_value_is_exact_with_amax_scaling() {
+        let mut q = amax_int(8);
+        let y = q.quantize_dequantize(&[3.7, -1.0, 0.0]);
+        assert_eq!(y[0], 3.7);
+        assert_eq!(y[2], 0.0);
+    }
+
+    #[test]
+    fn int8_error_within_half_step() {
+        let mut q = amax_int(8);
+        let x: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.7).sin()).collect();
+        let y = q.quantize_dequantize(&x);
+        let step = 1.0 / 127.0; // amax is 1.0-ish
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() <= step, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn int4_is_coarser_than_int8() {
+        let x: Vec<f32> = (0..1024).map(|i| ((i * 61) % 997) as f32 / 997.0 - 0.5).collect();
+        let n8 = crate::util::noise_power(&amax_int(8).quantize_dequantize(&x), &x);
+        let n4 = crate::util::noise_power(&amax_int(4).quantize_dequantize(&x), &x);
+        assert!(n4 > 8.0 * n8, "INT4 noise {n4} should far exceed INT8 noise {n8}");
+    }
+
+    #[test]
+    fn delayed_scaling_clips_outliers() {
+        let mut q = IntQuantizer::new(8, 4, ScaleStrategy::Delayed { window: 4 });
+        // Prime history with small values.
+        let _ = q.quantize_dequantize(&[0.1, -0.1, 0.05, 0.08]);
+        // A new outlier saturates at the stale scale (0.1).
+        let y = q.quantize_dequantize(&[10.0, 0.0, 0.0, 0.0]);
+        assert!(y[0] <= 0.11, "outlier should clip near 0.1, got {}", y[0]);
+    }
+
+    #[test]
+    fn zero_block() {
+        let mut q = amax_int(8);
+        assert_eq!(q.quantize_dequantize(&[0.0; 10]), vec![0.0; 10]);
+    }
+
+    #[test]
+    fn bits_per_element_amortizes_scale() {
+        let q = IntQuantizer::new(4, 1024, ScaleStrategy::Amax);
+        assert!((q.bits_per_element() - (4.0 + 32.0 / 1024.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_delayed_history() {
+        let mut q = IntQuantizer::new(8, 2, ScaleStrategy::Delayed { window: 8 });
+        let _ = q.quantize_dequantize(&[100.0, 0.0]);
+        q.reset();
+        // After reset the first block scales from itself again.
+        let y = q.quantize_dequantize(&[1.0, 0.5]);
+        assert_eq!(y[0], 1.0);
+    }
+
+    #[test]
+    fn label_mentions_configuration() {
+        let q = IntQuantizer::new(8, 1024, ScaleStrategy::Amax);
+        assert_eq!(q.label(), "INT8(k1=1024,amax)");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 2..=16")]
+    fn rejects_1_bit() {
+        let _ = IntQuantizer::new(1, 16, ScaleStrategy::Amax);
+    }
+}

@@ -1,0 +1,398 @@
+//! Parameterized scalar floating-point formats (FP8, FP6, FP4, BF16, FP16).
+//!
+//! Scalar floats are the "per-element sub-scale" end of the BDR design space
+//! (Table I of the paper: FP8 is a two-level scheme with `k2 = 1`, the
+//! private exponent acting as a power-of-two sub-scale). This module
+//! implements bit-exact casting from `f32` into any `ExMy` layout with
+//! round-to-nearest-even, gradual underflow (subnormals), and saturating
+//! overflow, matching the behaviour of the paper's emulation library.
+
+use crate::error::FormatError;
+use crate::util::{exponent_of, pow2, round_half_even};
+use std::fmt;
+
+/// How a format spends its top exponent codes on non-finite values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Specials {
+    /// No codes reserved: all encodings are finite (OCP-style FP6/FP4).
+    None,
+    /// IEEE-style: the all-ones exponent is reserved for infinity and NaN
+    /// (E5M2, FP16, BF16).
+    InfNan,
+    /// Only the single all-ones exponent + all-ones mantissa code is NaN,
+    /// with no infinity (E4M3 per the FP8 paper).
+    NanOnly,
+}
+
+/// A scalar floating-point format: sign bit, `exp_bits` exponent bits with
+/// the given `bias`, and `man_bits` explicit mantissa bits.
+///
+/// The struct is plain data; use [`ScalarFormat::new`] for validated custom
+/// layouts or the provided constants ([`ScalarFormat::E4M3`] etc.).
+///
+/// # Examples
+///
+/// ```
+/// # use mx_core::scalar::ScalarFormat;
+/// let f = ScalarFormat::E4M3;
+/// assert_eq!(f.max_finite(), 448.0);
+/// assert_eq!(f.cast(1.06), 1.0);  // nearest representable value (ulp = 1/8)
+/// assert_eq!(f.cast(1e6), 448.0); // saturating overflow
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScalarFormat {
+    exp_bits: u32,
+    man_bits: u32,
+    bias: i32,
+    specials: Specials,
+    name: Option<&'static str>,
+}
+
+impl ScalarFormat {
+    /// FP8 E4M3 per the FP8-for-deep-learning proposal: bias 7, NaN-only
+    /// specials, max finite 448.
+    pub const E4M3: Self = Self::preset(4, 3, 7, Specials::NanOnly, "FP8-E4M3");
+    /// FP8 E5M2: IEEE-like with inf/NaN, bias 15, max finite 57344.
+    pub const E5M2: Self = Self::preset(5, 2, 15, Specials::InfNan, "FP8-E5M2");
+    /// FP8 E3M4 (explored in Fig. 7): bias 3, all codes finite.
+    pub const E3M4: Self = Self::preset(3, 4, 3, Specials::None, "FP8-E3M4");
+    /// FP6 E3M2: bias 3, all codes finite.
+    pub const FP6_E3M2: Self = Self::preset(3, 2, 3, Specials::None, "FP6-E3M2");
+    /// FP6 E2M3: bias 1, all codes finite.
+    pub const FP6_E2M3: Self = Self::preset(2, 3, 1, Specials::None, "FP6-E2M3");
+    /// FP4 E2M1: bias 1, all codes finite.
+    pub const FP4_E2M1: Self = Self::preset(2, 1, 1, Specials::None, "FP4-E2M1");
+    /// FP4 E1M2: bias 0, all codes finite.
+    pub const FP4_E1M2: Self = Self::preset(1, 2, 0, Specials::None, "FP4-E1M2");
+    /// FP4 E3M0: exponent-only format, bias 3, all codes finite.
+    pub const FP4_E3M0: Self = Self::preset(3, 0, 3, Specials::None, "FP4-E3M0");
+    /// BFloat16: 8 exponent bits, 7 mantissa bits, IEEE specials.
+    pub const BF16: Self = Self::preset(8, 7, 127, Specials::InfNan, "BF16");
+    /// IEEE half precision: 5 exponent bits, 10 mantissa bits.
+    pub const FP16: Self = Self::preset(5, 10, 15, Specials::InfNan, "FP16");
+
+    const fn preset(exp_bits: u32, man_bits: u32, bias: i32, specials: Specials, name: &'static str) -> Self {
+        ScalarFormat { exp_bits, man_bits, bias, specials, name: Some(name) }
+    }
+
+    /// Creates a custom format with the IEEE-conventional bias
+    /// `2^(exp_bits-1) - 1` and no reserved special codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidScalarLayout`] when `exp_bits` is zero or
+    /// greater than 8, or `man_bits` exceeds 23 (an `f32` mantissa cannot
+    /// carry more).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use mx_core::scalar::ScalarFormat;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let e2m5 = ScalarFormat::new(2, 5)?;
+    /// assert_eq!(e2m5.to_string(), "E2M5");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(exp_bits: u32, man_bits: u32) -> Result<Self, FormatError> {
+        if exp_bits == 0 || exp_bits > 8 || man_bits > 23 {
+            return Err(FormatError::InvalidScalarLayout { exp_bits, man_bits });
+        }
+        let bias = (1i32 << (exp_bits - 1)) - 1;
+        Ok(ScalarFormat { exp_bits, man_bits, bias, specials: Specials::None, name: None })
+    }
+
+    /// Exponent field width in bits.
+    pub fn exp_bits(&self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Explicit mantissa field width in bits (excluding the implicit leading
+    /// one of normal values).
+    pub fn man_bits(&self) -> u32 {
+        self.man_bits
+    }
+
+    /// Exponent bias.
+    pub fn bias(&self) -> i32 {
+        self.bias
+    }
+
+    /// Special-value policy for the top exponent codes.
+    pub fn specials(&self) -> Specials {
+        self.specials
+    }
+
+    /// Total storage bits per element: sign + exponent + mantissa.
+    pub fn total_bits(&self) -> u32 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    /// Smallest exponent of a normal value, `1 - bias`.
+    pub fn min_normal_exp(&self) -> i32 {
+        1 - self.bias
+    }
+
+    /// Largest exponent usable by finite values.
+    pub fn max_exp(&self) -> i32 {
+        let top = (1i32 << self.exp_bits) - 1;
+        match self.specials {
+            Specials::InfNan => top - 1 - self.bias,
+            Specials::None | Specials::NanOnly => top - self.bias,
+        }
+    }
+
+    /// Largest finite representable magnitude.
+    pub fn max_finite(&self) -> f32 {
+        let max_mantissa = match self.specials {
+            // All-ones mantissa at the top exponent is the NaN code, so the
+            // largest finite value uses the next mantissa down.
+            Specials::NanOnly => {
+                if self.man_bits == 0 {
+                    // Degenerate: the whole top code would be NaN; treat as no
+                    // specials (not used by any preset).
+                    1.0
+                } else {
+                    2.0 - pow2(1 - self.man_bits as i32)
+                }
+            }
+            Specials::None | Specials::InfNan => 2.0 - pow2(-(self.man_bits as i32)),
+        };
+        (max_mantissa * pow2(self.max_exp())) as f32
+    }
+
+    /// Smallest positive normal magnitude, `2^(1 - bias)`.
+    pub fn min_normal(&self) -> f32 {
+        pow2(self.min_normal_exp()) as f32
+    }
+
+    /// Smallest positive subnormal magnitude, `2^(1 - bias - man_bits)`.
+    ///
+    /// Equals [`Self::min_normal`] for formats with `man_bits == 0`.
+    pub fn min_subnormal(&self) -> f32 {
+        pow2(self.min_normal_exp() - self.man_bits as i32) as f32
+    }
+
+    /// Casts `x` to the nearest representable value of this format using
+    /// round-to-nearest-even, with gradual underflow and saturating overflow.
+    ///
+    /// NaN inputs propagate; infinities saturate to [`Self::max_finite`]
+    /// (the convention used when these formats quantize tensors during
+    /// training, where generating new infinities is undesirable).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use mx_core::scalar::ScalarFormat;
+    /// let f = ScalarFormat::E5M2;
+    /// assert_eq!(f.cast(3.3), 3.5);
+    /// assert_eq!(f.cast(-3.3), -3.5);
+    /// assert_eq!(f.cast(0.0), 0.0);
+    /// ```
+    pub fn cast(&self, x: f32) -> f32 {
+        if x.is_nan() {
+            return f32::NAN;
+        }
+        if x == 0.0 {
+            return x;
+        }
+        let sign = if x.is_sign_negative() { -1.0f64 } else { 1.0f64 };
+        if x.is_infinite() {
+            return (sign * self.max_finite() as f64) as f32;
+        }
+        let a = x.abs() as f64;
+        let e = exponent_of(x);
+        let e_eff = e.max(self.min_normal_exp());
+        // One unit in the last place at this exponent.
+        let ulp = pow2(e_eff - self.man_bits as i32);
+        let q = round_half_even(a / ulp) * ulp;
+        let max = self.max_finite() as f64;
+        let q = if q > max { max } else { q };
+        (sign * q) as f32
+    }
+
+    /// Casts every element of `xs`, returning a new vector.
+    pub fn cast_slice(&self, xs: &[f32]) -> Vec<f32> {
+        xs.iter().map(|&x| self.cast(x)).collect()
+    }
+
+    /// Number of distinct finite values this format can represent (counting
+    /// signed zero once).
+    pub fn finite_value_count(&self) -> u32 {
+        let total = 1u32 << (self.exp_bits + self.man_bits + 1);
+        let reserved = match self.specials {
+            Specials::None => 0,
+            Specials::NanOnly => 2,
+            Specials::InfNan => 2 << self.man_bits,
+        };
+        total - reserved - 1 // merge +0 and -0
+    }
+}
+
+impl fmt::Display for ScalarFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name {
+            Some(n) => f.write_str(n),
+            None => write!(f, "E{}M{}", self.exp_bits, self.man_bits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4m3_boundaries() {
+        let f = ScalarFormat::E4M3;
+        assert_eq!(f.max_finite(), 448.0);
+        assert_eq!(f.min_normal(), 2.0f32.powi(-6));
+        assert_eq!(f.min_subnormal(), 2.0f32.powi(-9));
+        assert_eq!(f.total_bits(), 8);
+    }
+
+    #[test]
+    fn e5m2_boundaries() {
+        let f = ScalarFormat::E5M2;
+        assert_eq!(f.max_finite(), 57344.0);
+        assert_eq!(f.min_normal(), 2.0f32.powi(-14));
+        assert_eq!(f.min_subnormal(), 2.0f32.powi(-16));
+    }
+
+    #[test]
+    fn fp4_e2m1_full_value_set() {
+        // E2M1 (bias 1) should represent exactly 0, 0.5, 1, 1.5, 2, 3, 4, 6.
+        let f = ScalarFormat::FP4_E2M1;
+        assert_eq!(f.max_finite(), 6.0);
+        let expect = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0];
+        for v in expect {
+            assert_eq!(f.cast(v), v, "value {v} should be exact");
+            assert_eq!(f.cast(-v), -v);
+        }
+        // Midpoints round to even mantissa.
+        assert_eq!(f.cast(2.5), 2.0); // tie between 2 and 3 -> even mantissa (2)
+        assert_eq!(f.cast(5.0), 4.0); // tie between 4 and 6 -> 4 has even mantissa
+        assert_eq!(f.cast(7.0), 6.0); // saturate
+    }
+
+    #[test]
+    fn e3m0_exponent_only() {
+        let f = ScalarFormat::FP4_E3M0;
+        // Values are +-2^e for e in -2..=4, plus 0.
+        assert_eq!(f.max_finite(), 16.0);
+        assert_eq!(f.cast(1.0), 1.0);
+        assert_eq!(f.cast(5.0), 4.0);
+        assert_eq!(f.cast(6.1), 8.0);
+        assert_eq!(f.cast(100.0), 16.0);
+        assert_eq!(f.min_normal(), 0.25);
+    }
+
+    #[test]
+    fn bf16_matches_truncation_grid() {
+        let f = ScalarFormat::BF16;
+        // BF16 values are f32 values with 16 low bits cleared; RNE cast must
+        // land on that grid.
+        for &x in &[1.0f32, 3.14159, -2.71828, 1e-20, 6.55e4, 123456.0] {
+            let y = f.cast(x);
+            let bits = y.to_bits();
+            assert_eq!(bits & 0xffff, 0, "BF16 cast of {x} left low bits set: {y}");
+            // And be within one bf16 ulp.
+            let ulp = 2.0f32.powi(exponent_of(x) - 7);
+            assert!((y - x).abs() <= ulp * 0.5 + f32::EPSILON, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn fp16_round_trip_of_exact_values() {
+        let f = ScalarFormat::FP16;
+        for &x in &[1.0f32, 0.5, 1024.0, 0.000061035156, 65504.0] {
+            assert_eq!(f.cast(x), x);
+        }
+        assert_eq!(f.cast(1e9), 65504.0);
+    }
+
+    #[test]
+    fn subnormal_handling() {
+        let f = ScalarFormat::E4M3;
+        // min subnormal is 2^-9; half of it rounds to zero (ties-to-even).
+        assert_eq!(f.cast(2.0f32.powi(-10)), 0.0);
+        // 0.75 * 2^-9 rounds to 2^-9.
+        assert_eq!(f.cast(0.75 * 2.0f32.powi(-9)), 2.0f32.powi(-9));
+        // 1.5 * 2^-9 is a tie between 2^-9 and 2^-8: 2^-8 has even code.
+        assert_eq!(f.cast(1.5 * 2.0f32.powi(-9)), 2.0f32.powi(-8));
+    }
+
+    #[test]
+    fn cast_is_idempotent() {
+        let formats = [
+            ScalarFormat::E4M3,
+            ScalarFormat::E5M2,
+            ScalarFormat::E3M4,
+            ScalarFormat::FP6_E3M2,
+            ScalarFormat::FP6_E2M3,
+            ScalarFormat::FP4_E2M1,
+            ScalarFormat::FP4_E1M2,
+            ScalarFormat::FP4_E3M0,
+        ];
+        for f in formats {
+            let mut x = -1000.0f32;
+            while x < 1000.0 {
+                let y = f.cast(x);
+                assert_eq!(f.cast(y), y, "{f} not idempotent at {x}");
+                x += 13.7;
+            }
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_handling() {
+        let f = ScalarFormat::E5M2;
+        assert!(f.cast(f32::NAN).is_nan());
+        assert_eq!(f.cast(f32::INFINITY), f.max_finite());
+        assert_eq!(f.cast(f32::NEG_INFINITY), -f.max_finite());
+    }
+
+    #[test]
+    fn negative_zero_preserved() {
+        let f = ScalarFormat::E4M3;
+        let y = f.cast(-0.0);
+        assert_eq!(y, 0.0);
+        assert!(y.is_sign_negative());
+    }
+
+    #[test]
+    fn finite_value_counts() {
+        assert_eq!(ScalarFormat::FP4_E2M1.finite_value_count(), 15);
+        // E4M3: 256 codes - 2 NaN - 1 merged zero = 253.
+        assert_eq!(ScalarFormat::E4M3.finite_value_count(), 253);
+        // E5M2: 256 - 2*4 (inf/nan exponent) - 1 = 247.
+        assert_eq!(ScalarFormat::E5M2.finite_value_count(), 247);
+    }
+
+    #[test]
+    fn new_validates_layout() {
+        assert!(ScalarFormat::new(0, 3).is_err());
+        assert!(ScalarFormat::new(9, 3).is_err());
+        assert!(ScalarFormat::new(4, 24).is_err());
+        assert!(ScalarFormat::new(4, 3).is_ok());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ScalarFormat::E4M3.to_string(), "FP8-E4M3");
+        assert_eq!(ScalarFormat::new(2, 5).unwrap().to_string(), "E2M5");
+    }
+
+    #[test]
+    fn cast_monotone_nondecreasing() {
+        let f = ScalarFormat::FP6_E2M3;
+        let mut prev = f.cast(-100.0);
+        let mut x = -100.0f32;
+        while x < 100.0 {
+            let y = f.cast(x);
+            assert!(y >= prev, "cast not monotone at {x}: {y} < {prev}");
+            prev = y;
+            x += 0.37;
+        }
+    }
+}

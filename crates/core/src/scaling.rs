@@ -1,0 +1,141 @@
+//! First-level (software) scale-factor strategies shared by the INT, scalar
+//! floating-point, and VSQ quantizers.
+//!
+//! Static weights can be scaled offline from their exact maximum, but dynamic
+//! activations and gradients need either conservative static scales or
+//! history-based estimates. The paper's Fig. 7 evaluates the SW-scaled
+//! formats with the "delayed scaling" approach of NVIDIA's Transformer
+//! Engine: the scale of the current tensor is derived from the maximum
+//! absolute value over a window of previously observed tensors.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Strategy for choosing the software-managed first-level scale factor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScaleStrategy {
+    /// Scale each block from its own observed maximum (offline / inference
+    /// style; requires a pass over the data before quantizing it).
+    Amax,
+    /// Delayed scaling: use the maximum over the previous `window` observed
+    /// blocks; the current block's maximum only affects *future* scales.
+    /// Values above the stale scale saturate, mimicking dynamic-outlier
+    /// clipping in training.
+    Delayed {
+        /// Number of past blocks whose maxima are tracked.
+        window: usize,
+    },
+}
+
+impl Default for ScaleStrategy {
+    /// The paper's Fig. 7 setting: delayed scaling with a window of recent
+    /// history (here 16 blocks).
+    fn default() -> Self {
+        ScaleStrategy::Delayed { window: 16 }
+    }
+}
+
+impl fmt::Display for ScaleStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleStrategy::Amax => f.write_str("amax"),
+            ScaleStrategy::Delayed { window } => write!(f, "delayed({window})"),
+        }
+    }
+}
+
+/// Stateful tracker that turns a [`ScaleStrategy`] into per-block maxima.
+#[derive(Debug, Clone)]
+pub struct ScaleTracker {
+    strategy: ScaleStrategy,
+    history: VecDeque<f32>,
+}
+
+impl ScaleTracker {
+    /// Creates a tracker with the given strategy.
+    pub fn new(strategy: ScaleStrategy) -> Self {
+        ScaleTracker { strategy, history: VecDeque::new() }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> &ScaleStrategy {
+        &self.strategy
+    }
+
+    /// Returns the amax estimate to use for `block`, then records the block's
+    /// own amax into the history.
+    ///
+    /// Under [`ScaleStrategy::Amax`] this is simply the block's maximum; under
+    /// delayed scaling it is the window maximum (falling back to the current
+    /// block when no history exists yet, as frameworks do on the first step).
+    pub fn observe(&mut self, block: &[f32]) -> f32 {
+        let amax = block.iter().fold(0.0f32, |acc, x| acc.max(x.abs()));
+        match self.strategy {
+            ScaleStrategy::Amax => amax,
+            ScaleStrategy::Delayed { window } => {
+                let est = if self.history.is_empty() {
+                    amax
+                } else {
+                    self.history.iter().fold(0.0f32, |acc, &x| acc.max(x))
+                };
+                self.history.push_back(amax);
+                while self.history.len() > window {
+                    self.history.pop_front();
+                }
+                est
+            }
+        }
+    }
+
+    /// Clears accumulated history (e.g. between independent experiments).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amax_ignores_history() {
+        let mut t = ScaleTracker::new(ScaleStrategy::Amax);
+        assert_eq!(t.observe(&[1.0, -3.0]), 3.0);
+        assert_eq!(t.observe(&[0.5]), 0.5);
+    }
+
+    #[test]
+    fn delayed_uses_previous_blocks() {
+        let mut t = ScaleTracker::new(ScaleStrategy::Delayed { window: 2 });
+        // First block: no history, falls back to own amax.
+        assert_eq!(t.observe(&[2.0]), 2.0);
+        // Second block: history = [2.0].
+        assert_eq!(t.observe(&[8.0]), 2.0);
+        // Third block: history = [2.0, 8.0].
+        assert_eq!(t.observe(&[1.0]), 8.0);
+        // Fourth block: history = [8.0, 1.0] (window evicted 2.0).
+        assert_eq!(t.observe(&[0.1]), 8.0);
+        // Fifth: history = [1.0, 0.1].
+        assert_eq!(t.observe(&[0.1]), 1.0);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut t = ScaleTracker::new(ScaleStrategy::default());
+        t.observe(&[100.0]);
+        t.reset();
+        assert_eq!(t.observe(&[1.0]), 1.0);
+    }
+
+    #[test]
+    fn zero_blocks_give_zero_amax() {
+        let mut t = ScaleTracker::new(ScaleStrategy::Amax);
+        assert_eq!(t.observe(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ScaleStrategy::Amax.to_string(), "amax");
+        assert_eq!(ScaleStrategy::default().to_string(), "delayed(16)");
+    }
+}

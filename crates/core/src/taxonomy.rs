@@ -1,0 +1,169 @@
+//! Table I of the paper: classification of quantization approaches under the
+//! unified two-level scaling framework.
+//!
+//! Each row records who manages each scaling level (software or hardware),
+//! how the scale factors are encoded, and the block granularities. This is
+//! the data behind the `table1_taxonomy` regeneration binary and a useful
+//! programmatic map of the design space.
+
+use std::fmt;
+
+/// Who sets a scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleManagement {
+    /// Software heuristics (framework-managed, coarse granularity).
+    Software,
+    /// Hardware-managed (set automatically inside the datapath).
+    Hardware,
+    /// This level is not used by the scheme.
+    Unused,
+}
+
+impl fmt::Display for ScaleManagement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScaleManagement::Software => "SW",
+            ScaleManagement::Hardware => "HW",
+            ScaleManagement::Unused => "-",
+        })
+    }
+}
+
+/// Encoding of a scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleEncoding {
+    /// Full-precision FP32 multiplier.
+    Fp32,
+    /// Power of two (`2^z`, stored as an exponent).
+    PowerOfTwo,
+    /// Unsigned integer multiplier.
+    Integer,
+    /// This level is not used by the scheme.
+    Unused,
+}
+
+impl fmt::Display for ScaleEncoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScaleEncoding::Fp32 => "FP32",
+            ScaleEncoding::PowerOfTwo => "2^z",
+            ScaleEncoding::Integer => "INT",
+            ScaleEncoding::Unused => "-",
+        })
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaxonomyRow {
+    /// Scheme name as the paper writes it.
+    pub scheme: &'static str,
+    /// Management of the first-level scale `s`.
+    pub scale: ScaleManagement,
+    /// Management of the second-level sub-scale `ss`.
+    pub sub_scale: ScaleManagement,
+    /// Encoding of `s`.
+    pub s_type: ScaleEncoding,
+    /// Encoding of `ssᵢ`.
+    pub ss_type: ScaleEncoding,
+    /// Approximate first-level granularity (elements sharing `s`).
+    pub k1: usize,
+    /// Approximate second-level granularity (elements sharing `ssᵢ`),
+    /// `0` when unused.
+    pub k2: usize,
+}
+
+/// Returns Table I: the classification of INT, MSFP/BFP, FP8, VSQ, and MX
+/// under the two-level scaling framework.
+///
+/// # Examples
+///
+/// ```
+/// # use mx_core::taxonomy::table_i;
+/// let rows = table_i();
+/// assert_eq!(rows.len(), 5);
+/// assert_eq!(rows.iter().filter(|r| r.scheme == "MX").count(), 1);
+/// ```
+pub fn table_i() -> Vec<TaxonomyRow> {
+    vec![
+        TaxonomyRow {
+            scheme: "INT",
+            scale: ScaleManagement::Software,
+            sub_scale: ScaleManagement::Unused,
+            s_type: ScaleEncoding::Fp32,
+            ss_type: ScaleEncoding::Unused,
+            k1: 1_000,
+            k2: 0,
+        },
+        TaxonomyRow {
+            scheme: "MSFP/BFP",
+            scale: ScaleManagement::Hardware,
+            sub_scale: ScaleManagement::Unused,
+            s_type: ScaleEncoding::PowerOfTwo,
+            ss_type: ScaleEncoding::Unused,
+            k1: 10,
+            k2: 0,
+        },
+        TaxonomyRow {
+            scheme: "FP8",
+            scale: ScaleManagement::Software,
+            sub_scale: ScaleManagement::Hardware,
+            s_type: ScaleEncoding::Fp32,
+            ss_type: ScaleEncoding::PowerOfTwo,
+            k1: 10_000,
+            k2: 1,
+        },
+        TaxonomyRow {
+            scheme: "VSQ",
+            scale: ScaleManagement::Software,
+            sub_scale: ScaleManagement::Hardware,
+            s_type: ScaleEncoding::Fp32,
+            ss_type: ScaleEncoding::Integer,
+            k1: 1_000,
+            k2: 10,
+        },
+        TaxonomyRow {
+            scheme: "MX",
+            scale: ScaleManagement::Hardware,
+            sub_scale: ScaleManagement::Hardware,
+            s_type: ScaleEncoding::PowerOfTwo,
+            ss_type: ScaleEncoding::PowerOfTwo,
+            k1: 10,
+            k2: 1,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mx_is_the_only_all_hardware_two_level_scheme() {
+        let rows = table_i();
+        let all_hw: Vec<_> = rows
+            .iter()
+            .filter(|r| {
+                r.scale == ScaleManagement::Hardware && r.sub_scale == ScaleManagement::Hardware
+            })
+            .collect();
+        assert_eq!(all_hw.len(), 1);
+        assert_eq!(all_hw[0].scheme, "MX");
+    }
+
+    #[test]
+    fn single_level_schemes_have_no_sub_scale() {
+        for r in table_i() {
+            if r.sub_scale == ScaleManagement::Unused {
+                assert_eq!(r.ss_type, ScaleEncoding::Unused, "{}", r.scheme);
+                assert_eq!(r.k2, 0, "{}", r.scheme);
+            }
+        }
+    }
+
+    #[test]
+    fn display_codes() {
+        assert_eq!(ScaleManagement::Software.to_string(), "SW");
+        assert_eq!(ScaleEncoding::PowerOfTwo.to_string(), "2^z");
+    }
+}

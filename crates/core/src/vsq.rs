@@ -1,0 +1,216 @@
+//! Per-Vector Scaled Quantization (VSQ) — the hierarchical INT scheme of
+//! Dai et al. (MLSys 2021), Table I row "VSQ".
+//!
+//! VSQ composes a coarse software FP32 scale (per `k1 ≈ 1K` elements) with a
+//! fine *integer* sub-scale per `k2 = 16` element vector, stored in `d2`
+//! bits. Unlike MX's power-of-two microexponents, the integer sub-scale
+//! requires an integer rescaling multiplier in the dot-product datapath.
+
+use crate::int_quant::FP32_SCALE_BITS;
+use crate::scaling::{ScaleStrategy, ScaleTracker};
+use crate::util::round_half_even;
+use crate::VectorQuantizer;
+
+/// Vector size over which the integer sub-scale is shared (the VSQ paper and
+/// Fig. 4 use 16).
+pub const VSQ_VECTOR: usize = 16;
+
+/// VSQ quantizer: INT`bits` data, `d2`-bit unsigned integer sub-scale per
+/// 16-element vector, FP32 scale per `k1` elements.
+///
+/// # Examples
+///
+/// ```
+/// # use mx_core::vsq::VsqQuantizer;
+/// # use mx_core::scaling::ScaleStrategy;
+/// # use mx_core::VectorQuantizer;
+/// let mut q = VsqQuantizer::new(4, 4, 1024, ScaleStrategy::Amax);
+/// let y = q.quantize_dequantize(&[0.8, -0.4, 0.1, 0.0]);
+/// assert_eq!(y.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VsqQuantizer {
+    bits: u32,
+    d2: u32,
+    k1: usize,
+    tracker: ScaleTracker,
+}
+
+impl VsqQuantizer {
+    /// Creates a VSQ quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=16`, `d2` not in `1..=10`, or `k1` is
+    /// not a positive multiple of [`VSQ_VECTOR`].
+    pub fn new(bits: u32, d2: u32, k1: usize, strategy: ScaleStrategy) -> Self {
+        assert!((2..=16).contains(&bits), "INT bit-width {bits} outside 2..=16");
+        assert!((1..=10).contains(&d2), "sub-scale width {d2} outside 1..=10");
+        assert!(k1 > 0 && k1 % VSQ_VECTOR == 0, "k1 must be a positive multiple of 16");
+        VsqQuantizer { bits, d2, k1, tracker: ScaleTracker::new(strategy) }
+    }
+
+    /// Integer data bit-width (including sign).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Sub-scale bit-width.
+    pub fn d2(&self) -> u32 {
+        self.d2
+    }
+
+    /// Largest representable positive data code.
+    pub fn max_code(&self) -> i64 {
+        (1i64 << (self.bits - 1)) - 1
+    }
+
+    /// Largest sub-scale multiplier, `2^d2 − 1`.
+    pub fn max_subscale(&self) -> u32 {
+        (1u32 << self.d2) - 1
+    }
+
+    fn quantize_block(&mut self, block: &[f32], out: &mut [f32]) {
+        let amax = self.tracker.observe(block);
+        if amax == 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        let max_code = self.max_code() as f64;
+        let max_ss = self.max_subscale() as f64;
+        // The tensor scale is set so that amax maps to (max sub-scale) *
+        // (max code): the finest granularity that still covers the range.
+        let s_t = amax as f64 / (max_ss * max_code);
+        for (vec_in, vec_out) in block.chunks(VSQ_VECTOR).zip(out.chunks_mut(VSQ_VECTOR)) {
+            let vmax = vec_in.iter().fold(0.0f32, |acc, x| acc.max(x.abs())) as f64;
+            if vmax == 0.0 {
+                vec_out.fill(0.0);
+                continue;
+            }
+            // Smallest integer sub-scale that avoids clipping this vector
+            // (ceil), clamped to the representable range.
+            let ss = (vmax / (s_t * max_code)).ceil().clamp(1.0, max_ss);
+            let s = s_t * ss;
+            for (x, y) in vec_in.iter().zip(vec_out.iter_mut()) {
+                let q = round_half_even(*x as f64 / s).clamp(-max_code, max_code);
+                *y = (q * s) as f32;
+            }
+        }
+    }
+}
+
+impl VectorQuantizer for VsqQuantizer {
+    fn label(&self) -> String {
+        format!("VSQ{}(d2={},k1={},{})", self.bits, self.d2, self.k1, self.tracker.strategy())
+    }
+
+    fn bits_per_element(&self) -> f64 {
+        self.bits as f64 + self.d2 as f64 / VSQ_VECTOR as f64 + FP32_SCALE_BITS / self.k1 as f64
+    }
+
+    fn quantize_dequantize(&mut self, xs: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; xs.len()];
+        for (block, block_out) in xs.chunks(self.k1).zip(out.chunks_mut(self.k1)) {
+            self.quantize_block(block, block_out);
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.tracker.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vsq(bits: u32, d2: u32) -> VsqQuantizer {
+        VsqQuantizer::new(bits, d2, 1024, ScaleStrategy::Amax)
+    }
+
+    #[test]
+    fn per_vector_scaling_beats_flat_int_on_mixed_magnitudes() {
+        use crate::int_quant::IntQuantizer;
+        // One vector of large values followed by one of small values: the
+        // per-vector sub-scale preserves the small vector's resolution.
+        let mut x = Vec::new();
+        for i in 0..16 {
+            x.push(1.0 + 0.01 * i as f32);
+        }
+        for i in 0..16 {
+            x.push(0.01 + 0.0001 * i as f32);
+        }
+        let mut v = vsq(4, 8);
+        let mut flat = IntQuantizer::new(4, 1024, ScaleStrategy::Amax);
+        let yv = v.quantize_dequantize(&x);
+        let yf = flat.quantize_dequantize(&x);
+        // The small-magnitude vector is where per-vector scaling pays off:
+        // flat INT4 flushes it entirely (scale set by the large vector),
+        // while VSQ preserves it with its own sub-scale.
+        let nv = crate::util::noise_power(&yv[16..], &x[16..]);
+        let nf = crate::util::noise_power(&yf[16..], &x[16..]);
+        assert!(nv < nf * 0.1, "VSQ small-vector noise {nv} should be well below flat INT {nf}");
+    }
+
+    #[test]
+    fn max_element_nearly_exact() {
+        let mut q = vsq(8, 4);
+        let x: Vec<f32> = (0..32).map(|i| if i == 7 { 5.0 } else { 0.3 }).collect();
+        let y = q.quantize_dequantize(&x);
+        assert!((y[7] - 5.0).abs() / 5.0 < 0.01);
+    }
+
+    #[test]
+    fn zero_vectors_within_block() {
+        let mut q = vsq(4, 4);
+        let mut x = vec![0.0f32; 32];
+        x[0] = 1.0;
+        let y = q.quantize_dequantize(&x);
+        assert_eq!(&y[16..], &[0.0; 16]);
+        assert!((y[0] - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bits_per_element_accounting() {
+        let q = vsq(4, 4);
+        let expect = 4.0 + 4.0 / 16.0 + 32.0 / 1024.0;
+        assert!((q.bits_per_element() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_subscale_reduces_noise() {
+        // With more sub-scale bits the per-vector scale matches vmax better.
+        let x: Vec<f32> = (0..256)
+            .map(|i| {
+                let group = i / 16;
+                let base = 2.0f32.powi(-(group as i32 % 6));
+                base * (1.0 + 0.05 * (i % 16) as f32)
+            })
+            .collect();
+        let n4 = crate::util::noise_power(&vsq(4, 4).quantize_dequantize(&x), &x);
+        let n8 = crate::util::noise_power(&vsq(4, 8).quantize_dequantize(&x), &x);
+        assert!(n8 <= n4, "d2=8 noise {n8} should not exceed d2=4 noise {n4}");
+    }
+
+    #[test]
+    fn delayed_scaling_is_supported() {
+        let mut q = VsqQuantizer::new(8, 4, 16, ScaleStrategy::Delayed { window: 2 });
+        let _ = q.quantize_dequantize(&[1.0; 16]);
+        let y = q.quantize_dequantize(&[10.0; 16]);
+        // Stale scale (1.0) clips the new values near 1.0.
+        assert!(y[0] < 1.1);
+        q.reset();
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn rejects_unaligned_k1() {
+        let _ = VsqQuantizer::new(4, 4, 100, ScaleStrategy::Amax);
+    }
+
+    #[test]
+    fn label() {
+        assert_eq!(vsq(6, 4).label(), "VSQ6(d2=4,k1=1024,amax)");
+    }
+}

@@ -1,0 +1,46 @@
+//! # mx-hw — hardware substrate for the MX/BDR reproduction
+//!
+//! Models the hardware half of the paper's methodology (§IV-B):
+//!
+//! - [`pipeline`] — a **bit-accurate functional simulator** of the Fig. 6
+//!   dot-product datapath: sign-magnitude mantissa multipliers, conditional
+//!   sub-block right-shifts (the "little shifting" of the title), exponent
+//!   max/normalize, `f`-bit fixed-point reduction with real truncation, and
+//!   FP32 accumulation. Configurable for MX/MSFP/BDR block formats and for
+//!   conventional scalar floats (`k1 = k2 = 1`).
+//! - [`area`] — an **analytic standard-cell area model** standing in for the
+//!   paper's Synopsys DC synthesis (see DESIGN.md §4 for why the
+//!   substitution preserves the relative comparisons Fig. 7 needs).
+//! - [`memory`] — the 256-element-tile / 64-byte-interface **packing model**.
+//! - [`cost`] — the Fig. 7 x-axis: normalized **area × memory product**
+//!   against a dual-mode FP8 baseline, plus [`cost::FormatConfig`], the
+//!   namespace of every design point the sweep evaluates.
+//!
+//! ## Example
+//!
+//! ```
+//! use mx_core::bdr::BdrFormat;
+//! use mx_hw::cost::{CostModel, FormatConfig};
+//! use mx_hw::pipeline::{DotProductPipeline, PipelineConfig};
+//!
+//! // How much silicon does an MX6 dot product cost relative to FP8?
+//! let model = CostModel::new();
+//! let report = model.evaluate(&FormatConfig::Bdr(BdrFormat::MX6));
+//! assert!(report.product < 0.6);
+//!
+//! // And what does its datapath actually compute?
+//! let engine = DotProductPipeline::new(PipelineConfig::Bdr(BdrFormat::MX6), 64);
+//! let y = engine.dot(&[1.0; 64], &[0.5; 64]);
+//! assert_eq!(y, 32.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod cost;
+pub mod memory;
+pub mod pipeline;
+
+pub use area::{AreaModel, PipelineGeometry};
+pub use cost::{CostModel, CostReport, FormatConfig};
+pub use pipeline::{DotProductPipeline, PipelineConfig};

@@ -1,0 +1,384 @@
+//! Bit-accurate functional model of the paper's dot-product pipeline
+//! (Fig. 6).
+//!
+//! The datapath quantizes both operands, multiplies sign-magnitude mantissa
+//! codes, applies the conditional sub-block right-shift at depth `log2(k2)`
+//! while summing the `k1` elements of each block (kept lossless here: the
+//! accumulator carries the `2β` fractional bits the shift can introduce),
+//! then normalizes the `r/k1` block results to the largest exponent and
+//! reduces them in `f`-bit fixed point — where low-order bits *are*
+//! discarded, exactly as hardware does — before converting to FP32 and
+//! accumulating.
+//!
+//! Setting `k1 = k2 = 1` with a [`ScalarConfig`](PipelineConfig::Scalar)
+//! recovers a conventional scalar floating-point dot product (the paper's
+//! optimistic approximation: elements normalize to the largest product and
+//! reduce in fixed point rather than through a full FP adder tree).
+
+use mx_core::bdr::BdrFormat;
+use mx_core::scalar::ScalarFormat;
+use mx_core::util::{exponent_of, pow2, round_half_even};
+
+/// Default fixed-point reduction width cap (the paper selects
+/// `f = min(25, max dynamic range)`).
+pub const DEFAULT_F_CAP: u32 = 25;
+
+/// Which format family the pipeline is configured for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PipelineConfig {
+    /// Block format with hardware two-level scaling (MX, MSFP, generic BDR).
+    Bdr(BdrFormat),
+    /// Scalar floating point (`k1 = k2 = 1`, private per-element exponents).
+    Scalar(ScalarFormat),
+}
+
+impl PipelineConfig {
+    /// Natural (lossless) width of a block result before fixed-point
+    /// truncation, used to derive the default `f`.
+    pub fn natural_width(&self) -> u32 {
+        match self {
+            PipelineConfig::Bdr(fmt) => {
+                let beta = fmt.max_shift();
+                2 * fmt.m() + 2 * beta + (fmt.k1() as f64).log2().ceil() as u32 + 1
+            }
+            PipelineConfig::Scalar(fmt) => {
+                // Scalar products span the format's full exponent range, so
+                // the lossless width covers both mantissa and exponent span.
+                let span = fmt.max_exp() - fmt.min_normal_exp();
+                2 * (fmt.man_bits() + 1) + 2 * span.max(0) as u32
+            }
+        }
+    }
+}
+
+/// One block result inside the pipeline: an exact integer significand and a
+/// power-of-two scale (`value = significand · 2^exponent`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockResult {
+    significand: i128,
+    exponent: i32,
+}
+
+/// Bit-accurate dot-product engine for one format configuration.
+///
+/// # Examples
+///
+/// ```
+/// # use mx_hw::pipeline::{DotProductPipeline, PipelineConfig};
+/// # use mx_core::bdr::BdrFormat;
+/// let engine = DotProductPipeline::new(PipelineConfig::Bdr(BdrFormat::MX9), 64);
+/// let a = vec![0.5f32; 64];
+/// let b = vec![2.0f32; 64];
+/// // All values are exactly representable: the dot product is exact.
+/// assert_eq!(engine.dot(&a, &b), 64.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DotProductPipeline {
+    config: PipelineConfig,
+    r: usize,
+    f: u32,
+}
+
+impl DotProductPipeline {
+    /// Creates a pipeline with reduction dimension `r` and the paper's
+    /// default accumulator width `f = min(25, natural width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero or, for block formats, not a multiple of `k1`.
+    pub fn new(config: PipelineConfig, r: usize) -> Self {
+        if let PipelineConfig::Bdr(fmt) = &config {
+            assert!(
+                r % fmt.k1() == 0,
+                "reduction dimension {r} must be a multiple of k1 = {}",
+                fmt.k1()
+            );
+        }
+        assert!(r > 0, "reduction dimension must be nonzero");
+        let f = DEFAULT_F_CAP.min(config.natural_width().max(4));
+        DotProductPipeline { config, r, f }
+    }
+
+    /// Overrides the fixed-point reduction width (e.g. to study truncation
+    /// effects, or to make the pipeline lossless for verification).
+    pub fn with_accumulator_bits(mut self, f: u32) -> Self {
+        assert!((4..=100).contains(&f), "accumulator width {f} outside 4..=100");
+        self.f = f;
+        self
+    }
+
+    /// The configured format.
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// Reduction dimension per pipeline pass.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Fixed-point reduction width.
+    pub fn f(&self) -> u32 {
+        self.f
+    }
+
+    /// Computes the dot product of `a` and `b`, quantizing both operands to
+    /// the configured format and processing `r` elements per pass with FP32
+    /// accumulation across passes (Fig. 6 end-to-end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot product operands must have equal length");
+        let mut acc = 0.0f32;
+        for (ca, cb) in a.chunks(self.r).zip(b.chunks(self.r)) {
+            let chunk = self.chunk_value(ca, cb);
+            // FP32 Convert followed by FP32 Accumulate.
+            acc += chunk as f32;
+        }
+        acc
+    }
+
+    /// Processes one `r`-element pass and returns its exact value after
+    /// `f`-bit fixed-point reduction (before the FP32 convert).
+    fn chunk_value(&self, a: &[f32], b: &[f32]) -> f64 {
+        let blocks = match &self.config {
+            PipelineConfig::Bdr(fmt) => self.bdr_blocks(fmt, a, b),
+            PipelineConfig::Scalar(fmt) => self.scalar_blocks(fmt, a, b),
+        };
+        self.fixed_point_reduce(&blocks)
+    }
+
+    /// First half of the pipeline for block formats: mantissa multipliers,
+    /// sign XOR, sub-block scale addition, conditional right shift (kept in
+    /// extra fractional bits), and the intra-block adder tree.
+    fn bdr_blocks(&self, fmt: &BdrFormat, a: &[f32], b: &[f32]) -> Vec<BlockResult> {
+        let beta = fmt.max_shift();
+        let mut out = Vec::with_capacity(a.len().div_ceil(fmt.k1()));
+        for (ba, bb) in a.chunks(fmt.k1()).zip(b.chunks(fmt.k1())) {
+            let qa = fmt.quantize_block_codes(ba);
+            let qb = fmt.quantize_block_codes(bb);
+            let mut sum: i128 = 0;
+            for i in 0..ba.len() {
+                let sub = i / fmt.k2();
+                // Combined sub-block shift for this Hadamard product.
+                let shift = qa.shifts[sub] + qb.shifts[sub];
+                let mag = (qa.codes[i] as i128) * (qb.codes[i] as i128);
+                let signed = if qa.signs[i] ^ qb.signs[i] { -mag } else { mag };
+                // Keep 2*beta fractional bits so the conditional right shift
+                // is lossless inside the block accumulator.
+                sum += signed << (2 * beta - shift);
+            }
+            let exponent =
+                qa.shared_exp + qb.shared_exp - 2 * (fmt.m() as i32 - 1) - 2 * beta as i32;
+            out.push(BlockResult { significand: sum, exponent });
+        }
+        out
+    }
+
+    /// First half of the pipeline for scalar floats: each element is its own
+    /// "block" with a private exponent.
+    fn scalar_blocks(&self, fmt: &ScalarFormat, a: &[f32], b: &[f32]) -> Vec<BlockResult> {
+        a.iter()
+            .zip(b.iter())
+            .map(|(&xa, &xb)| {
+                let (sa, ca, ea) = scalar_decompose(fmt, xa);
+                let (sb, cb, eb) = scalar_decompose(fmt, xb);
+                let mag = (ca as i128) * (cb as i128);
+                let signed = if sa ^ sb { -mag } else { mag };
+                BlockResult { significand: signed, exponent: ea + eb }
+            })
+            .collect()
+    }
+
+    /// Second half of the pipeline: normalize all block results to the
+    /// largest and reduce in `f`-bit fixed point (low bits truncate), then
+    /// express the sum as an exact `f64`.
+    fn fixed_point_reduce(&self, blocks: &[BlockResult]) -> f64 {
+        // Vector Max over block magnitudes (exponent + significand width).
+        let msb_max = blocks
+            .iter()
+            .filter(|b| b.significand != 0)
+            .map(|b| b.exponent + int_bit_len(b.significand))
+            .max();
+        let Some(msb_max) = msb_max else {
+            return 0.0;
+        };
+        let target_lsb = msb_max - self.f as i32;
+        let mut sum: i128 = 0;
+        for blk in blocks {
+            let shift = blk.exponent - target_lsb;
+            // Arithmetic shifts: left when the block has headroom, right
+            // (truncating low bits, exactly like hardware) otherwise.
+            let aligned = if shift >= 0 {
+                blk.significand << shift.min(120)
+            } else {
+                let s = (-shift).min(127);
+                blk.significand >> s
+            };
+            sum += aligned;
+        }
+        sum as f64 * pow2(target_lsb.clamp(-1000, 1000))
+    }
+}
+
+/// Number of bits needed to represent `|v|` (0 for zero).
+fn int_bit_len(v: i128) -> i32 {
+    (128 - v.unsigned_abs().leading_zeros()) as i32
+}
+
+/// Decomposes `x` into the (sign, significand code, code exponent) triple a
+/// scalar FP datapath reads out of a register: the value equals
+/// `(−1)^sign · code · 2^exponent` after casting `x` into `fmt`.
+fn scalar_decompose(fmt: &ScalarFormat, x: f32) -> (bool, u32, i32) {
+    let y = fmt.cast(x);
+    if y == 0.0 {
+        return (false, 0, 0);
+    }
+    let e = exponent_of(y).max(fmt.min_normal_exp());
+    let lsb_exp = e - fmt.man_bits() as i32;
+    let code = round_half_even(y.abs() as f64 / pow2(lsb_exp)) as u32;
+    (y.is_sign_negative(), code, lsb_exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: FP32-accumulated chunked dot product of the quantized
+    /// values, computed in f64 (exact for the mantissa widths used here).
+    fn reference_dot(qa: &[f32], qb: &[f32], r: usize) -> f32 {
+        let mut acc = 0.0f32;
+        for (ca, cb) in qa.chunks(r).zip(qb.chunks(r)) {
+            let chunk: f64 = ca.iter().zip(cb.iter()).map(|(&x, &y)| x as f64 * y as f64).sum();
+            acc += chunk as f32;
+        }
+        acc
+    }
+
+    fn test_vectors(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 4.0 - 2.0
+        };
+        let a = (0..n).map(|_| next()).collect();
+        let b = (0..n).map(|_| next()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn lossless_pipeline_matches_reference_for_mx_formats() {
+        for fmt in [BdrFormat::MX4, BdrFormat::MX6, BdrFormat::MX9, BdrFormat::MSFP12] {
+            let engine = DotProductPipeline::new(PipelineConfig::Bdr(fmt), 64)
+                .with_accumulator_bits(90);
+            let (a, b) = test_vectors(256, 7);
+            let qa = fmt.quantize_dequantize(&a);
+            let qb = fmt.quantize_dequantize(&b);
+            let expect = reference_dot(&qa, &qb, 64);
+            let got = engine.dot(&a, &b);
+            assert_eq!(got, expect, "format {fmt}");
+        }
+    }
+
+    #[test]
+    fn default_f_truncation_is_small() {
+        let fmt = BdrFormat::MX9;
+        let engine = DotProductPipeline::new(PipelineConfig::Bdr(fmt), 64);
+        // MX9's natural block width (2m + 2β + log2 k1 + 1 = 21) is below the
+        // 25-bit cap.
+        assert_eq!(engine.f(), 21);
+        let (a, b) = test_vectors(512, 3);
+        let qa = fmt.quantize_dequantize(&a);
+        let qb = fmt.quantize_dequantize(&b);
+        let expect = reference_dot(&qa, &qb, 64);
+        let got = engine.dot(&a, &b);
+        let scale = qa.iter().map(|x| x.abs()).fold(0.0f32, f32::max);
+        assert!(
+            (got - expect).abs() <= scale * 1e-3,
+            "truncation too large: {got} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn scalar_pipeline_matches_cast_reference() {
+        for fmt in [ScalarFormat::E4M3, ScalarFormat::E5M2, ScalarFormat::FP6_E2M3] {
+            let engine = DotProductPipeline::new(PipelineConfig::Scalar(fmt), 32)
+                .with_accumulator_bits(90);
+            let (a, b) = test_vectors(128, 11);
+            let qa = fmt.cast_slice(&a);
+            let qb = fmt.cast_slice(&b);
+            let expect = reference_dot(&qa, &qb, 32);
+            let got = engine.dot(&a, &b);
+            assert_eq!(got, expect, "format {fmt}");
+        }
+    }
+
+    #[test]
+    fn zero_inputs() {
+        let engine = DotProductPipeline::new(PipelineConfig::Bdr(BdrFormat::MX6), 16);
+        assert_eq!(engine.dot(&[0.0; 32], &[0.0; 32]), 0.0);
+        let a = vec![1.0f32; 16];
+        assert_eq!(engine.dot(&a, &[0.0; 16]), 0.0);
+    }
+
+    #[test]
+    fn orthogonal_vectors_cancel_exactly() {
+        let engine = DotProductPipeline::new(PipelineConfig::Bdr(BdrFormat::MX9), 16);
+        let a = vec![1.0f32, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let b = vec![1.0f32; 16];
+        assert_eq!(engine.dot(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_tail_chunk() {
+        let fmt = BdrFormat::MX6;
+        let engine =
+            DotProductPipeline::new(PipelineConfig::Bdr(fmt), 32).with_accumulator_bits(90);
+        let (a, b) = test_vectors(40, 5); // 32 + tail of 8
+        let qa = fmt.quantize_dequantize(&a);
+        let qb = fmt.quantize_dequantize(&b);
+        assert_eq!(engine.dot(&a, &b), reference_dot(&qa, &qb, 32));
+    }
+
+    #[test]
+    fn scalar_decompose_round_trips() {
+        let fmt = ScalarFormat::E4M3;
+        for x in [1.0f32, -3.5, 0.015625, 448.0, 0.0, -0.001953125] {
+            let (s, c, e) = scalar_decompose(&fmt, x);
+            let v = (if s { -1.0 } else { 1.0 }) * c as f64 * pow2(e.clamp(-100, 100));
+            assert_eq!(v as f32, fmt.cast(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn wide_dynamic_range_survives() {
+        let fmt = BdrFormat::MX9;
+        let engine = DotProductPipeline::new(PipelineConfig::Bdr(fmt), 16);
+        let mut a = vec![0.0f32; 32];
+        a[0] = 1e20;
+        a[16] = 1e-20;
+        let b = vec![1.0f32; 32];
+        let got = engine.dot(&a, &b);
+        // The 1e-20 chunk is summed separately and FP32-accumulated: it
+        // vanishes against 1e20 exactly as real hardware would behave. MX9's
+        // 7-bit mantissa leaves up to ~2^-8 relative error on 1e20 itself.
+        assert!((got - 1e20).abs() / 1e20 < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of k1")]
+    fn rejects_misaligned_r() {
+        let _ = DotProductPipeline::new(PipelineConfig::Bdr(BdrFormat::MX9), 24);
+    }
+
+    #[test]
+    fn natural_width() {
+        assert_eq!(PipelineConfig::Bdr(BdrFormat::MX9).natural_width(), 14 + 2 + 4 + 1);
+        // E4M3: mantissa product 8 bits + exponent span 2*(8 - (-6)) = 28.
+        assert_eq!(PipelineConfig::Scalar(ScalarFormat::E4M3).natural_width(), 36);
+    }
+}

@@ -1,0 +1,462 @@
+//! Deterministic synthetic datasets standing in for the paper's proprietary
+//! or large-scale corpora (see DESIGN.md §4). Every generator is seeded and
+//! reproducible, which is what lets FP32 and MX runs start from identical
+//! data — the paper's "exact same seed, container, and node" methodology.
+
+use mx_core::qsnr::standard_normal;
+use mx_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Vocabulary size of the synthetic character-level corpus.
+pub const LM_VOCAB: usize = 24;
+
+/// Generates a character-level corpus from a sparse random Markov chain —
+/// enough structure for a language model to have something to learn, with
+/// entropy controlled by `temperature` (lower = more predictable).
+pub fn markov_corpus(seed: u64, len: usize, temperature: f32) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random sparse transition logits: each state prefers ~4 successors.
+    let mut logits = vec![f32::NEG_INFINITY; LM_VOCAB * LM_VOCAB];
+    for s in 0..LM_VOCAB {
+        for _ in 0..4 {
+            let t = rng.gen_range(0..LM_VOCAB);
+            logits[s * LM_VOCAB + t] = rng.gen_range(0.0..2.0) / temperature;
+        }
+        // Guarantee at least one successor.
+        let t = rng.gen_range(0..LM_VOCAB);
+        logits[s * LM_VOCAB + t] = 1.0 / temperature;
+    }
+    let mut corpus = Vec::with_capacity(len);
+    let mut state = 0usize;
+    for _ in 0..len {
+        let row = &logits[state * LM_VOCAB..(state + 1) * LM_VOCAB];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let probs: Vec<f32> = row.iter().map(|&l| (l - max).exp()).collect();
+        let total: f32 = probs.iter().sum();
+        let mut u = rng.gen_range(0.0..total);
+        let mut next = 0;
+        for (i, p) in probs.iter().enumerate() {
+            u -= p;
+            if u <= 0.0 {
+                next = i;
+                break;
+            }
+        }
+        corpus.push(next);
+        state = next;
+    }
+    corpus
+}
+
+/// Samples `(inputs, targets)` next-token batches from a corpus:
+/// `inputs[b] = corpus[o..o+t]`, `targets[b] = corpus[o+1..o+t+1]`.
+pub fn lm_batch(
+    rng: &mut StdRng,
+    corpus: &[usize],
+    batch: usize,
+    seq: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut inputs = Vec::with_capacity(batch * seq);
+    let mut targets = Vec::with_capacity(batch * seq);
+    for _ in 0..batch {
+        let o = rng.gen_range(0..corpus.len() - seq - 1);
+        inputs.extend_from_slice(&corpus[o..o + seq]);
+        targets.extend_from_slice(&corpus[o + 1..o + seq + 1]);
+    }
+    (inputs, targets)
+}
+
+/// A translation pair: source and target token sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslationPair {
+    /// Source sequence.
+    pub source: Vec<usize>,
+    /// Target sequence (deterministic transform of the source).
+    pub target: Vec<usize>,
+}
+
+/// Vocabulary size of the synthetic translation task (shared by source and
+/// target sides).
+pub const TRANSLATE_VOCAB: usize = 16;
+
+/// Generates source/target pairs for a learnable "translation": the target
+/// is the reversed source passed through a fixed substitution cipher.
+pub fn translation_pairs(seed: u64, n: usize, len: usize) -> Vec<TranslationPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fixed permutation as the "lexicon".
+    let mut perm: Vec<usize> = (0..TRANSLATE_VOCAB).collect();
+    for i in (1..perm.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    (0..n)
+        .map(|_| {
+            let source: Vec<usize> =
+                (0..len).map(|_| rng.gen_range(0..TRANSLATE_VOCAB)).collect();
+            let target: Vec<usize> = source.iter().rev().map(|&s| perm[s]).collect();
+            TranslationPair { source, target }
+        })
+        .collect()
+}
+
+/// Labeled grayscale image for the classification tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledImage {
+    /// Pixels, `side × side`, row-major in `[0, 1]`.
+    pub pixels: Vec<f32>,
+    /// Class id in `0..SHAPE_CLASSES`.
+    pub label: usize,
+}
+
+/// Number of shape classes.
+pub const SHAPE_CLASSES: usize = 4;
+/// Image side length.
+pub const IMAGE_SIDE: usize = 12;
+
+/// Procedural "shapes" image dataset: filled square, cross, diamond, and
+/// horizontal stripes, with random offsets and pixel noise.
+pub fn shape_images(seed: u64, n: usize) -> Vec<LabeledImage> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = IMAGE_SIDE;
+    (0..n)
+        .map(|i| {
+            let label = i % SHAPE_CLASSES;
+            let mut px = vec![0.0f32; s * s];
+            let cx = rng.gen_range(4..s - 4) as isize;
+            let cy = rng.gen_range(4..s - 4) as isize;
+            let r = rng.gen_range(2..4) as isize;
+            for y in 0..s as isize {
+                for x in 0..s as isize {
+                    let dx = (x - cx).abs();
+                    let dy = (y - cy).abs();
+                    let on = match label {
+                        0 => dx <= r && dy <= r,                   // square
+                        1 => dx <= 1 || dy <= 1,                   // cross through centre
+                        2 => dx + dy <= r + 1,                     // diamond
+                        _ => y % 3 == 0,                           // stripes
+                    };
+                    if on {
+                        px[(y * s as isize + x) as usize] = 1.0;
+                    }
+                }
+            }
+            for p in px.iter_mut() {
+                *p = (*p + 0.15 * standard_normal(&mut rng)).clamp(0.0, 1.0);
+            }
+            LabeledImage { pixels: px, label }
+        })
+        .collect()
+}
+
+/// Packs images into a `[n, 1, side, side]` tensor plus labels.
+pub fn images_to_tensor(images: &[LabeledImage]) -> (Tensor, Vec<usize>) {
+    let s = IMAGE_SIDE;
+    let mut data = Vec::with_capacity(images.len() * s * s);
+    let mut labels = Vec::with_capacity(images.len());
+    for im in images {
+        data.extend_from_slice(&im.pixels);
+        labels.push(im.label);
+    }
+    (Tensor::from_vec(data, &[images.len(), 1, s, s]), labels)
+}
+
+/// One synthetic click-through record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtrRecord {
+    /// Categorical feature ids, one per field.
+    pub categorical: Vec<usize>,
+    /// Dense features.
+    pub dense: Vec<f32>,
+    /// Click label.
+    pub clicked: bool,
+}
+
+/// Number of categorical fields in the synthetic CTR task.
+pub const CTR_FIELDS: usize = 6;
+/// Cardinality of each categorical field.
+pub const CTR_CARDINALITY: usize = 40;
+/// Number of dense features.
+pub const CTR_DENSE: usize = 4;
+
+/// Generates CTR logs with a planted nonlinear click model: certain field
+/// co-occurrences and a dense interaction drive the click probability, and
+/// field values follow a Zipf-ish skew (as production categorical data
+/// does).
+pub fn ctr_logs(seed: u64, n: usize) -> Vec<CtrRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Planted pairwise affinities between fields 0/1 and 2/3.
+    let mut affinity = vec![0.0f32; CTR_CARDINALITY * CTR_CARDINALITY];
+    for a in affinity.iter_mut() {
+        *a = 0.6 * standard_normal(&mut rng);
+    }
+    (0..n)
+        .map(|_| {
+            let categorical: Vec<usize> = (0..CTR_FIELDS)
+                .map(|_| {
+                    // Zipf-ish skew via squaring a uniform draw.
+                    let u: f32 = rng.gen_range(0.0f32..1.0);
+                    ((u * u) * CTR_CARDINALITY as f32) as usize % CTR_CARDINALITY
+                })
+                .collect();
+            let dense: Vec<f32> = (0..CTR_DENSE).map(|_| standard_normal(&mut rng)).collect();
+            let logit = affinity[categorical[0] * CTR_CARDINALITY + categorical[1]]
+                + affinity[categorical[2] * CTR_CARDINALITY + categorical[3]]
+                + 0.8 * dense[0] * dense[1]
+                + 0.4 * dense[2]
+                - 0.5;
+            let p = 1.0 / (1.0 + (-logit).exp());
+            CtrRecord { categorical, dense, clicked: rng.gen_range(0.0f32..1.0) < p }
+        })
+        .collect()
+}
+
+/// Samples `n` points from a fixed 4-component 2-D Gaussian mixture (the
+/// diffusion benchmark's data distribution).
+pub fn gaussian_mixture_2d(seed: u64, n: usize) -> (Vec<[f32; 2]>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = [[-2.0f32, -2.0], [2.0, -2.0], [-2.0, 2.0], [2.0, 2.0]];
+    let mut pts = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % centers.len();
+        let [cx, cy] = centers[c];
+        pts.push([cx + 0.35 * standard_normal(&mut rng), cy + 0.35 * standard_normal(&mut rng)]);
+        labels.push(c);
+    }
+    (pts, labels)
+}
+
+/// A synthetic extractive-QA example: a token "passage" containing one
+/// marked answer span that a question token points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QaExample {
+    /// Token sequence (question token first, then the passage).
+    pub tokens: Vec<usize>,
+    /// Answer span start (inclusive), indexing into `tokens`.
+    pub start: usize,
+    /// Answer span end (inclusive).
+    pub end: usize,
+}
+
+/// Number of distinct question keys in the QA task.
+pub const QA_KEYS: usize = 5;
+/// Total QA vocabulary size: keys + 2 value tokens per key + filler.
+pub const QA_VOCAB: usize = QA_KEYS + 2 * QA_KEYS + 9;
+
+/// First filler token id.
+const QA_FILLER: usize = QA_KEYS + 2 * QA_KEYS;
+
+/// Generates QA examples: the passage embeds one keyed span per key, of the
+/// form `key-marker value+`, where each key has its own pair of value
+/// tokens; the question token (position 0) selects which span is the
+/// answer.
+pub fn qa_examples(seed: u64, n: usize, passage_len: usize) -> Vec<QaExample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let q = rng.gen_range(0..QA_KEYS);
+            let mut tokens = vec![q];
+            let mut spans = Vec::new();
+            // Lay out all keys in random order with filler between them.
+            let mut keys: Vec<usize> = (0..QA_KEYS).collect();
+            for i in (1..keys.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                keys.swap(i, j);
+            }
+            for &key in &keys {
+                let filler = rng.gen_range(0..3);
+                for _ in 0..filler {
+                    tokens.push(QA_FILLER + rng.gen_range(0..QA_VOCAB - QA_FILLER));
+                }
+                tokens.push(key); // marker
+                let span_len = rng.gen_range(1..3);
+                let start = tokens.len();
+                for _ in 0..span_len {
+                    // Key-specific value tokens.
+                    tokens.push(QA_KEYS + 2 * key + rng.gen_range(0..2));
+                }
+                spans.push((key, start, start + span_len - 1));
+            }
+            while tokens.len() < passage_len {
+                tokens.push(QA_FILLER + rng.gen_range(0..QA_VOCAB - QA_FILLER));
+            }
+            assert!(tokens.len() == passage_len, "passage_len too short for the layout");
+            let (_, s, e) = spans.iter().find(|(k, _, _)| *k == q).copied().expect("span exists");
+            QaExample { tokens, start: s, end: e }
+        })
+        .collect()
+}
+
+/// A speech-like utterance: noisy frame vectors with repeated frames per
+/// symbol (variable "speaking rate"), plus the clean symbol transcript.
+#[derive(Debug, Clone)]
+pub struct Utterance {
+    /// Frames, `[t, SPEECH_DIM]`.
+    pub frames: Tensor,
+    /// Ground-truth symbol sequence (before repetition).
+    pub transcript: Vec<usize>,
+    /// Gold per-frame symbol (the alignment a CTC loss would learn; exposed
+    /// directly as a documented simplification).
+    pub frame_symbols: Vec<usize>,
+}
+
+/// Number of distinct "phoneme" symbols.
+pub const SPEECH_SYMBOLS: usize = 8;
+/// Frame feature dimension.
+pub const SPEECH_DIM: usize = 12;
+
+/// Generates utterances: each transcript symbol emits 1–3 noisy frames of a
+/// symbol-specific template (so a frame classifier + repeat-collapse decoder
+/// can recover the transcript).
+///
+/// The templates are the "acoustics" of the synthetic language and are fixed
+/// globally (independent of `seed`), so train and held-out utterances share
+/// them — only transcripts, rates, and noise vary with the seed.
+pub fn utterances(seed: u64, n: usize, transcript_len: usize) -> Vec<Utterance> {
+    let mut template_rng = StdRng::seed_from_u64(0x7e3a_11ce);
+    let templates: Vec<Vec<f32>> = (0..SPEECH_SYMBOLS)
+        .map(|_| (0..SPEECH_DIM).map(|_| 1.2 * standard_normal(&mut template_rng)).collect())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut transcript = Vec::with_capacity(transcript_len);
+            let mut prev = usize::MAX;
+            for _ in 0..transcript_len {
+                // No immediate repeats, so collapse decoding is well-posed.
+                let mut sym = rng.gen_range(0..SPEECH_SYMBOLS);
+                while sym == prev {
+                    sym = rng.gen_range(0..SPEECH_SYMBOLS);
+                }
+                transcript.push(sym);
+                prev = sym;
+            }
+            let mut frames = Vec::new();
+            let mut frame_symbols = Vec::new();
+            let mut t = 0;
+            for &sym in &transcript {
+                let reps = rng.gen_range(1..=3);
+                for _ in 0..reps {
+                    for d in 0..SPEECH_DIM {
+                        frames.push(templates[sym][d] + 0.4 * standard_normal(&mut rng));
+                    }
+                    frame_symbols.push(sym);
+                    t += 1;
+                }
+            }
+            Utterance {
+                frames: Tensor::from_vec(frames, &[1, t, SPEECH_DIM]),
+                transcript,
+                frame_symbols,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markov_corpus_is_deterministic_and_structured() {
+        let a = markov_corpus(1, 2000, 0.5);
+        let b = markov_corpus(1, 2000, 0.5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&t| t < LM_VOCAB));
+        // Structure: bigram entropy is far below uniform.
+        let mut counts = vec![0usize; LM_VOCAB * LM_VOCAB];
+        for w in a.windows(2) {
+            counts[w[0] * LM_VOCAB + w[1]] += 1;
+        }
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero < LM_VOCAB * LM_VOCAB / 2, "transitions too dense: {nonzero}");
+    }
+
+    #[test]
+    fn lm_batches_shift_by_one() {
+        let corpus = markov_corpus(2, 500, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (x, y) = lm_batch(&mut rng, &corpus, 4, 8);
+        assert_eq!(x.len(), 32);
+        assert_eq!(y.len(), 32);
+        // Within each window the target is the next input token.
+        for b in 0..4 {
+            for t in 0..7 {
+                assert_eq!(x[b * 8 + t + 1], y[b * 8 + t]);
+            }
+        }
+    }
+
+    #[test]
+    fn translation_is_reversible_cipher() {
+        let pairs = translation_pairs(5, 10, 6);
+        assert_eq!(pairs.len(), 10);
+        for p in &pairs {
+            assert_eq!(p.source.len(), 6);
+            assert_eq!(p.target.len(), 6);
+        }
+        // Deterministic mapping: same source prefix structure holds.
+        let again = translation_pairs(5, 10, 6);
+        assert_eq!(pairs, again);
+    }
+
+    #[test]
+    fn shapes_have_distinct_classes() {
+        let imgs = shape_images(7, 40);
+        assert_eq!(imgs.len(), 40);
+        let (t, labels) = images_to_tensor(&imgs);
+        assert_eq!(t.shape(), &[40, 1, IMAGE_SIDE, IMAGE_SIDE]);
+        assert!(labels.iter().all(|&l| l < SHAPE_CLASSES));
+        // Stripes (class 3) light up more pixels than squares (class 0).
+        let mass = |l: usize| -> f32 {
+            imgs.iter().filter(|im| im.label == l).map(|im| im.pixels.iter().sum::<f32>()).sum()
+        };
+        assert!(mass(3) > mass(0));
+    }
+
+    #[test]
+    fn ctr_click_rate_is_sane() {
+        let logs = ctr_logs(11, 4000);
+        let rate = logs.iter().filter(|r| r.clicked).count() as f64 / logs.len() as f64;
+        assert!(rate > 0.15 && rate < 0.6, "click rate {rate}");
+        assert!(logs.iter().all(|r| r.categorical.iter().all(|&c| c < CTR_CARDINALITY)));
+    }
+
+    #[test]
+    fn mixture_has_four_modes() {
+        let (pts, labels) = gaussian_mixture_2d(3, 400);
+        assert_eq!(pts.len(), 400);
+        for c in 0..4 {
+            let n = labels.iter().filter(|&&l| l == c).count();
+            assert_eq!(n, 100);
+        }
+        // Points cluster near their centers.
+        assert!(pts.iter().all(|p| p[0].abs() < 4.5 && p[1].abs() < 4.5));
+    }
+
+    #[test]
+    fn qa_spans_are_consistent() {
+        let exs = qa_examples(13, 50, 40);
+        for ex in &exs {
+            assert_eq!(ex.tokens.len(), 40);
+            assert!(ex.start <= ex.end && ex.end < 40);
+            let q = ex.tokens[0];
+            assert!(q < QA_KEYS);
+            // The token right before the span is the key marker.
+            assert_eq!(ex.tokens[ex.start - 1], q);
+        }
+    }
+
+    #[test]
+    fn utterances_have_no_immediate_repeats_and_valid_frames() {
+        let utts = utterances(17, 10, 5);
+        for u in &utts {
+            assert_eq!(u.transcript.len(), 5);
+            for w in u.transcript.windows(2) {
+                assert_ne!(w[0], w[1]);
+            }
+            assert!(u.frames.shape()[1] >= 5 && u.frames.shape()[1] <= 15);
+        }
+    }
+}

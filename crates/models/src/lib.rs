@@ -1,0 +1,49 @@
+//! # mx-models — the MX paper's benchmark suite at laptop scale
+//!
+//! Scaled-down, synthetic-data instantiations of every model family in the
+//! paper's evaluation (§VI): generative transformers with optional MoE
+//! ([`gpt`]), encoder QA ([`bert`]), GRU and transformer translation
+//! ([`translate`]), vision transformers and CNNs ([`vision`]), denoising
+//! diffusion ([`diffusion`]), speech recognition ([`speech`]), and three
+//! recommendation topologies ([`recsys`]) — plus the zero/few-shot
+//! multiple-choice harness ([`fewshot`]), seeded dataset generators
+//! ([`data`]), and the evaluation metrics ([`metrics`]).
+//!
+//! Every model takes an [`mx_nn::QuantConfig`], so the same code runs the
+//! FP32 baseline, MX9/MX6/MX4 training, direct-cast inference, and
+//! quantization-aware fine-tuning. DESIGN.md §4 documents how each synthetic
+//! task preserves the behaviour the paper's full-scale benchmark exercises.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use mx_models::gpt::{train_lm, GptConfig};
+//! use mx_models::data::markov_corpus;
+//! use mx_nn::{QuantConfig, TensorFormat};
+//!
+//! let corpus = markov_corpus(0, 20_000, 0.4);
+//! let (_m, fp32) = train_lm(GptConfig::tiny(), QuantConfig::fp32(), &corpus, 300, 8, 3e-3, 1);
+//! let (_m, mx9) = train_lm(
+//!     GptConfig::tiny(),
+//!     QuantConfig::uniform(TensorFormat::MX9),
+//!     &corpus,
+//!     300,
+//!     8,
+//!     3e-3,
+//!     1,
+//! );
+//! println!("FP32 {:.3} vs MX9 {:.3}", fp32.eval_loss, mx9.eval_loss);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bert;
+pub mod data;
+pub mod diffusion;
+pub mod fewshot;
+pub mod gpt;
+pub mod metrics;
+pub mod recsys;
+pub mod speech;
+pub mod translate;
+pub mod vision;

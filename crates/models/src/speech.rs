@@ -1,0 +1,159 @@
+//! Speech recognition stand-in (the Table III Wav2Vec row): a GRU frame
+//! classifier over noisy "phoneme" frames, decoded by collapsing repeated
+//! predictions, scored with word error rate.
+
+use crate::data::{self, Utterance, SPEECH_DIM, SPEECH_SYMBOLS};
+use crate::metrics::word_error_rate;
+use mx_nn::layers::{Layer, Linear};
+use mx_nn::loss::softmax_cross_entropy;
+use mx_nn::optim::Adam;
+use mx_nn::param::{HasParams, Param};
+use mx_nn::qflow::QuantConfig;
+use mx_nn::rnn::Gru;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// GRU acoustic model: frames → per-frame symbol logits.
+#[derive(Debug)]
+pub struct SpeechModel {
+    gru: Gru,
+    head: Linear,
+    hidden: usize,
+}
+
+impl SpeechModel {
+    /// Builds the model.
+    pub fn new(rng: &mut StdRng, hidden: usize, qcfg: QuantConfig) -> Self {
+        SpeechModel {
+            gru: Gru::new(rng, SPEECH_DIM, hidden, qcfg),
+            head: Linear::new(rng, hidden, SPEECH_SYMBOLS, true, qcfg),
+            hidden,
+        }
+    }
+
+    /// Switches the quantization config.
+    pub fn set_quant(&mut self, qcfg: QuantConfig) {
+        self.gru.set_quant(qcfg);
+        self.head.set_quant(qcfg);
+    }
+
+    /// Per-frame frame labels: the symbol active at each frame (derived by
+    /// aligning the utterance generator's repetition structure is not
+    /// available, so training uses per-frame nearest-template targets passed
+    /// in by the caller).
+    pub fn train_step(&mut self, utt: &Utterance, frame_labels: &[usize], opt: &mut Adam) -> f64 {
+        self.zero_grads();
+        let t = utt.frames.shape()[1];
+        let hs = self.gru.forward_sequence(&utt.frames, true);
+        let h2d = hs.reshape(&[t, self.hidden]);
+        let logits = self.head.forward(&h2d, true);
+        let (loss, grad) = softmax_cross_entropy(&logits, frame_labels);
+        let g = self.head.backward(&grad);
+        let _ = self.gru.backward_sequence(&g.reshape(&[1, t, self.hidden]));
+        self.clip_grad_norm(5.0);
+        opt.step(self);
+        loss
+    }
+
+    /// Greedy per-frame decode followed by repeat collapse.
+    pub fn transcribe(&mut self, utt: &Utterance) -> Vec<usize> {
+        let t = utt.frames.shape()[1];
+        let hs = self.gru.forward_sequence(&utt.frames, false);
+        let h2d = hs.reshape(&[t, self.hidden]);
+        let logits = self.head.forward(&h2d, false);
+        let mut out = Vec::new();
+        let mut prev = usize::MAX;
+        for f in 0..t {
+            let row = &logits.data()[f * SPEECH_SYMBOLS..(f + 1) * SPEECH_SYMBOLS];
+            let sym = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            if sym != prev {
+                out.push(sym);
+                prev = sym;
+            }
+        }
+        out
+    }
+}
+
+impl HasParams for SpeechModel {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.gru.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+/// Gold per-frame labels (the alignment a CTC loss would recover; the
+/// generator exposes it directly — DESIGN.md documents the simplification).
+pub fn frame_labels(utt: &Utterance) -> Vec<usize> {
+    utt.frame_symbols.clone()
+}
+
+/// Speech benchmark result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeechResult {
+    /// Word error rate percentage (lower is better).
+    pub wer: f64,
+}
+
+/// Trains a speech model and reports WER on held-out utterances.
+pub fn run_speech(qcfg: QuantConfig, hidden: usize, iters: usize, seed: u64) -> SpeechResult {
+    let train_set = data::utterances(seed, 96, 5);
+    let test_set = data::utterances(seed ^ 0x5afe, 32, 5);
+    let mut rng = StdRng::seed_from_u64(seed ^ 1);
+    let mut model = SpeechModel::new(&mut rng, hidden, qcfg);
+    let mut opt = Adam::new(4e-3);
+    for i in 0..iters {
+        let utt = &train_set[i % train_set.len()];
+        let labels = frame_labels(utt);
+        let _ = model.train_step(utt, &labels, &mut opt);
+    }
+    let mut hyps = Vec::new();
+    let mut refs = Vec::new();
+    for utt in &test_set {
+        hyps.push(model.transcribe(utt));
+        refs.push(utt.transcript.clone());
+    }
+    SpeechResult { wer: word_error_rate(&hyps, &refs) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_nn::TensorFormat;
+
+    #[test]
+    fn speech_model_learns() {
+        let r = run_speech(QuantConfig::fp32(), 24, 300, 3);
+        // Untrained WER is near 100%+; trained should be far lower.
+        assert!(r.wer < 60.0, "WER too high: {:.1}", r.wer);
+    }
+
+    #[test]
+    fn mx9_speech_tracks_fp32() {
+        let base = run_speech(QuantConfig::fp32(), 16, 150, 5);
+        let mx9 = run_speech(QuantConfig::uniform(TensorFormat::MX9), 16, 150, 5);
+        assert!(
+            (base.wer - mx9.wer).abs() < 20.0,
+            "MX9 WER {:.1} vs FP32 {:.1}",
+            mx9.wer,
+            base.wer
+        );
+    }
+
+    #[test]
+    fn transcribe_collapses_repeats() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = SpeechModel::new(&mut rng, 8, QuantConfig::fp32());
+        let utt = &data::utterances(2, 1, 4)[0];
+        let out = m.transcribe(utt);
+        for w in out.windows(2) {
+            assert_ne!(w[0], w[1], "repeats must collapse");
+        }
+    }
+}

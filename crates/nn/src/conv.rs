@@ -1,0 +1,310 @@
+//! 2-D convolution via im2col, sharing the quantized matmul primitive — the
+//! reduction dimension of a convolution is the flattened patch
+//! (`in_channels × kh × kw`), so MX blocks tile along it exactly as the
+//! paper's compute flow requires for CNN benchmarks (ResNet/MobileNet rows
+//! of Table III).
+
+use crate::param::{HasParams, Param};
+use crate::qflow::{quantized_matmul, QuantConfig};
+use crate::tensor::Tensor;
+use crate::{init, layers::Layer};
+use rand::rngs::StdRng;
+
+/// 2-D convolution with square kernels, stride 1, and symmetric zero
+/// padding.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Kernel as `[in_ch * k * k, out_ch]` (im2col layout).
+    pub w: Param,
+    /// Per-output-channel bias.
+    pub b: Param,
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    pad: usize,
+    cfg: QuantConfig,
+    cache: Option<(Vec<Tensor>, [usize; 4])>, // im2col per batch item, input shape
+}
+
+impl Conv2d {
+    /// Creates a `k × k` convolution (`pad = k/2` keeps spatial dims for odd
+    /// `k`).
+    pub fn new(rng: &mut StdRng, in_ch: usize, out_ch: usize, k: usize, cfg: QuantConfig) -> Self {
+        let fan_in = in_ch * k * k;
+        Conv2d {
+            w: Param::new(init::he_normal(rng, fan_in, &[fan_in, out_ch])),
+            b: Param::new(Tensor::zeros(&[out_ch])),
+            in_ch,
+            out_ch,
+            k,
+            pad: k / 2,
+            cfg,
+            cache: None,
+        }
+    }
+
+    fn im2col(&self, x: &[f32], h: usize, w: usize) -> Tensor {
+        let k = self.k;
+        let pad = self.pad as isize;
+        let (oh, ow) = (h, w); // stride 1, same padding
+        let patch = self.in_ch * k * k;
+        let mut out = vec![0.0f32; oh * ow * patch];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (oy * ow + ox) * patch;
+                let mut idx = row;
+                for c in 0..self.in_ch {
+                    for ky in 0..k {
+                        let iy = oy as isize + ky as isize - pad;
+                        for kx in 0..k {
+                            let ix = ox as isize + kx as isize - pad;
+                            out[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
+                            {
+                                x[c * h * w + iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[oh * ow, patch])
+    }
+
+    fn col2im(&self, cols: &Tensor, h: usize, w: usize) -> Vec<f32> {
+        let k = self.k;
+        let pad = self.pad as isize;
+        let patch = self.in_ch * k * k;
+        let mut out = vec![0.0f32; self.in_ch * h * w];
+        for oy in 0..h {
+            for ox in 0..w {
+                let row = (oy * w + ox) * patch;
+                let mut idx = row;
+                for c in 0..self.in_ch {
+                    for ky in 0..k {
+                        let iy = oy as isize + ky as isize - pad;
+                        for kx in 0..k {
+                            let ix = ox as isize + kx as isize - pad;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                out[c * h * w + iy as usize * w + ix as usize] +=
+                                    cols.data()[idx];
+                            }
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl HasParams for Conv2d {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+impl Layer for Conv2d {
+    /// Forward over `[batch, in_ch, h, w]`, returning `[batch, out_ch, h, w]`.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "Conv2d expects [B, C, H, W]");
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(c, self.in_ch, "channel mismatch");
+        let mut out = Vec::with_capacity(b * self.out_ch * h * w);
+        let mut cols_cache = Vec::new();
+        for bi in 0..b {
+            let xb = &x.data()[bi * c * h * w..(bi + 1) * c * h * w];
+            let cols = self.im2col(xb, h, w);
+            // y [oh*ow, out_ch] = quantized cols · W.
+            let y = crate::qflow::quantized_matmul_ab(&cols, &self.w.value, self.cfg.fwd, self.cfg.fwd_w)
+                .add_row(&self.b.value);
+            // Reorder to [out_ch, h, w].
+            for oc in 0..self.out_ch {
+                for p in 0..h * w {
+                    out.push(y.data()[p * self.out_ch + oc]);
+                }
+            }
+            if train {
+                cols_cache.push(cols);
+            }
+        }
+        if train {
+            self.cache = Some((cols_cache, [b, c, h, w]));
+        }
+        Tensor::from_vec(out, &[b, self.out_ch, h, w])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (cols_cache, [b, c, h, w]) = self.cache.take().expect("backward before forward");
+        let mut dx = Vec::with_capacity(b * c * h * w);
+        for (bi, cols) in cols_cache.iter().enumerate() {
+            // Back to [oh*ow, out_ch] layout.
+            let gb = &grad_out.data()[bi * self.out_ch * h * w..(bi + 1) * self.out_ch * h * w];
+            let mut g2d = vec![0.0f32; h * w * self.out_ch];
+            for oc in 0..self.out_ch {
+                for p in 0..h * w {
+                    g2d[p * self.out_ch + oc] = gb[oc * h * w + p];
+                }
+            }
+            let g2d = Tensor::from_vec(g2d, &[h * w, self.out_ch]);
+            let dw = quantized_matmul(&cols.transpose2d(), &g2d, self.cfg.bwd);
+            self.w.accumulate(&dw);
+            self.b.accumulate(&g2d.sum_rows());
+            let dcols = quantized_matmul(&g2d, &self.w.value.transpose2d(), self.cfg.bwd);
+            dx.extend_from_slice(&self.col2im(&dcols, h, w));
+        }
+        self.cache = None;
+        Tensor::from_vec(dx, &[b, c, h, w])
+    }
+
+    fn set_quant(&mut self, cfg: QuantConfig) {
+        self.cfg = cfg;
+    }
+}
+
+/// Global average pooling: `[B, C, H, W] -> [B, C]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    cache: Option<[usize; 4]>,
+}
+
+impl GlobalAvgPool {
+    /// Creates the pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl HasParams for GlobalAvgPool {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        if train {
+            self.cache = Some([b, c, h, w]);
+        }
+        let mut out = Vec::with_capacity(b * c);
+        for bc in 0..b * c {
+            let sum: f32 = x.data()[bc * h * w..(bc + 1) * h * w].iter().sum();
+            out.push(sum / (h * w) as f32);
+        }
+        Tensor::from_vec(out, &[b, c])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [b, c, h, w] = self.cache.take().expect("backward before forward");
+        let scale = 1.0 / (h * w) as f32;
+        let mut dx = Vec::with_capacity(b * c * h * w);
+        for &g in grad_out.data() {
+            dx.extend(std::iter::repeat_n(g * scale, h * w));
+        }
+        Tensor::from_vec(dx, &[b, c, h, w])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // A 1x1 conv with identity weights passes channels through.
+        let mut conv = Conv2d::new(&mut rng(), 2, 2, 1, QuantConfig::fp32());
+        conv.w.value = Tensor::eye(2);
+        conv.b.value = Tensor::zeros(&[2]);
+        let x = Tensor::from_vec((0..2 * 2 * 3 * 3).map(|i| i as f32).collect(), &[2, 2, 3, 3]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn conv_shapes_and_padding() {
+        let mut conv = Conv2d::new(&mut rng(), 3, 8, 3, QuantConfig::fp32());
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn conv_known_3x3_sum_kernel() {
+        // All-ones 3x3 kernel on a constant image: interior pixels see 9,
+        // corners see 4 (padding zeros).
+        let mut conv = Conv2d::new(&mut rng(), 1, 1, 3, QuantConfig::fp32());
+        conv.w.value = Tensor::full(&[9, 1], 1.0);
+        conv.b.value = Tensor::zeros(&[1]);
+        let x = Tensor::full(&[1, 1, 4, 4], 1.0);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data()[0], 4.0); // corner
+        assert_eq!(y.data()[5], 9.0); // interior
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        let mut conv = Conv2d::new(&mut rng(), 2, 3, 3, QuantConfig::fp32());
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 4 * 4).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect(),
+            &[2, 2, 4, 4],
+        );
+        let y = conv.forward(&x, true);
+        let dx = conv.backward(&y);
+        let eps = 1e-2;
+        for i in (0..x.numel()).step_by(9) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp = conv.forward(&xp, false).sq_norm() / 2.0;
+            let lm = conv.forward(&xm, false).sq_norm() / 2.0;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - dx.data()[i]).abs() < 3e-2 * (1.0 + num.abs()),
+                "conv grad mismatch at {i}: {num} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pool_averages_and_distributes() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[1, 2, 2, 2]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.data(), &[1.5, 5.5]);
+        let dy = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]);
+        let dx = pool.backward(&dy);
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn quantized_conv_close_to_fp32() {
+        let x = Tensor::from_vec(
+            (0..1 * 2 * 6 * 6).map(|i| ((i * 11 % 23) as f32 - 11.0) * 0.08).collect(),
+            &[1, 2, 6, 6],
+        );
+        let mut c32 = Conv2d::new(&mut rng(), 2, 4, 3, QuantConfig::fp32());
+        let mut c9 = Conv2d::new(
+            &mut rng(),
+            2,
+            4,
+            3,
+            QuantConfig::uniform(crate::format::TensorFormat::MX9),
+        );
+        let y32 = c32.forward(&x, false);
+        let y9 = c9.forward(&x, false);
+        let rel = y9.sub(&y32).sq_norm() / y32.sq_norm().max(1e-12);
+        assert!(rel < 1e-3, "MX9 conv relative error {rel}");
+    }
+}

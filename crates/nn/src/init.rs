@@ -1,0 +1,70 @@
+//! Seeded weight initializers (deterministic across runs, which is what lets
+//! the experiments compare FP32 and MX training from identical starting
+//! points, as the paper does with fixed seeds/containers).
+
+use crate::tensor::Tensor;
+use mx_core::qsnr::standard_normal;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
+pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    let data = (0..fan_in * fan_out).map(|_| rng.gen_range(-limit..limit)).collect();
+    Tensor::from_vec(data, &[fan_in, fan_out])
+}
+
+/// He (Kaiming) normal initialization with gain for ReLU networks.
+pub fn he_normal(rng: &mut StdRng, fan_in: usize, shape: &[usize]) -> Tensor {
+    let std = (2.0 / fan_in as f64).sqrt() as f32;
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| std * standard_normal(rng)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Plain normal initialization with the given standard deviation.
+pub fn normal(rng: &mut StdRng, std: f32, shape: &[usize]) -> Tensor {
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| std * standard_normal(rng)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(xavier_uniform(&mut a, 8, 8), xavier_uniform(&mut b, 8, 8));
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_uniform(&mut rng, 100, 100);
+        let limit = (6.0f64 / 200.0).sqrt() as f32;
+        assert!(t.data().iter().all(|x| x.abs() <= limit));
+        // Spread covers a good part of the range.
+        assert!(t.amax() > limit * 0.8);
+    }
+
+    #[test]
+    fn he_normal_std_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = he_normal(&mut rng, 128, &[128, 128]);
+        let var = t.sq_norm() / t.numel() as f64;
+        let expect = 2.0 / 128.0;
+        assert!((var - expect).abs() / expect < 0.15, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn normal_shapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = normal(&mut rng, 0.02, &[3, 4, 5]);
+        assert_eq!(t.shape(), &[3, 4, 5]);
+        assert_eq!(t.numel(), 60);
+    }
+}

@@ -1,0 +1,159 @@
+//! Loss functions returning `(loss, dL/dlogits)` pairs.
+
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over logits `[N, C]` with integer class targets.
+///
+/// Returns the mean loss (natural log) and the gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if `targets.len()` differs from the number of rows or a target is
+/// out of range.
+///
+/// # Examples
+///
+/// ```
+/// # use mx_nn::loss::softmax_cross_entropy;
+/// # use mx_nn::tensor::Tensor;
+/// let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 10.0], &[2, 2]);
+/// let (loss, _grad) = softmax_cross_entropy(&logits, &[0, 1]);
+/// assert!(loss < 0.01); // confidently correct
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f64, Tensor) {
+    let n = logits.rows();
+    let c = logits.cols();
+    assert_eq!(targets.len(), n, "one target per row");
+    let probs = logits.softmax_rows();
+    let mut grad = probs.clone();
+    let mut loss = 0.0f64;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < c, "target {t} out of range {c}");
+        let p = probs.data()[i * c + t].max(1e-12);
+        loss -= (p as f64).ln();
+        grad.data_mut()[i * c + t] -= 1.0;
+    }
+    let scale = 1.0 / n as f32;
+    (loss / n as f64, grad.scale(scale))
+}
+
+/// Mean squared error between `pred` and `target` (same shape).
+///
+/// Returns `mean((pred-target)^2)` and `dL/dpred`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+    assert_eq!(pred.shape(), target.shape());
+    let n = pred.numel().max(1);
+    let diff = pred.sub(target);
+    let loss = diff.sq_norm() / n as f64;
+    let grad = diff.scale(2.0 / n as f32);
+    (loss, grad)
+}
+
+/// Binary cross-entropy with logits: `logits` is `[N]` or `[N,1]`, `targets`
+/// in `{0.0, 1.0}` (soft labels allowed).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn bce_with_logits(logits: &Tensor, targets: &[f32]) -> (f64, Tensor) {
+    assert_eq!(logits.numel(), targets.len());
+    let n = targets.len().max(1);
+    let mut grad = logits.clone();
+    let mut loss = 0.0f64;
+    for (g, (&x, &y)) in grad.data_mut().iter_mut().zip(logits.data().iter().zip(targets)) {
+        // Numerically stable: log(1+e^-|x|) + max(x,0) - x*y.
+        let max_part = x.max(0.0) as f64;
+        loss += max_part + ((-(x.abs() as f64)).exp() + 1.0).ln() - (x as f64) * y as f64;
+        let p = 1.0 / (1.0 + (-x).exp());
+        *g = (p - y) / n as f32;
+    }
+    (loss / n as f64, grad)
+}
+
+/// Perplexity from a mean natural-log cross-entropy loss.
+pub fn perplexity(mean_ce: f64) -> f64 {
+    mean_ce.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros(&[3, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1, 2]);
+        assert!((loss - 4.0f64.ln()).abs() < 1e-6);
+        // Gradient rows sum to zero.
+        for r in 0..3 {
+            let s: f32 = grad.data()[r * 4..(r + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let logits =
+            Tensor::from_vec(vec![0.2, -0.5, 1.0, 0.7, 0.1, -0.3, 0.9, -1.1], &[2, 4]);
+        let targets = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (a, _) = softmax_cross_entropy(&lp, &targets);
+            let (b, _) = softmax_cross_entropy(&lm, &targets);
+            let num = ((a - b) / (2.0 * eps as f64)) as f32;
+            assert!((num - grad.data()[i]).abs() < 1e-4, "at {i}: {num} vs {}", grad.data()[i]);
+        }
+    }
+
+    #[test]
+    fn mse_known_values() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let t = Tensor::from_vec(vec![0.0, 4.0], &[2]);
+        let (loss, grad) = mse_loss(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-9); // (1 + 4)/2
+        assert_eq!(grad.data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn bce_matches_manual() {
+        let logits = Tensor::from_vec(vec![0.0, 3.0, -3.0], &[3]);
+        let (loss, grad) = bce_with_logits(&logits, &[1.0, 1.0, 0.0]);
+        // Manual: -ln(sigmoid(0)) = ln 2; -ln(sigmoid(3)); -ln(1-sigmoid(-3)).
+        let expect = (2.0f64.ln() + (1.0 + (-3.0f64).exp()).ln() + (1.0 + (-3.0f64).exp()).ln()) / 3.0;
+        assert!((loss - expect).abs() < 1e-9, "{loss} vs {expect}");
+        // Gradient signs: wrong-confidence positive targets get negative grads.
+        assert!(grad.data()[0] < 0.0 && grad.data()[1] < 0.0 && grad.data()[2] > 0.0);
+    }
+
+    #[test]
+    fn bce_gradcheck() {
+        let logits = Tensor::from_vec(vec![0.3, -0.9, 2.0, -2.0], &[4]);
+        let targets = [1.0f32, 0.0, 0.0, 1.0];
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (a, _) = bce_with_logits(&lp, &targets);
+            let (b, _) = bce_with_logits(&lm, &targets);
+            let num = ((a - b) / (2.0 * eps as f64)) as f32;
+            assert!((num - grad.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn perplexity_of_uniform() {
+        assert!((perplexity(4.0f64.ln()) - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,218 @@
+//! Optimizers operating on FP32 master weights (Fig. 8's optimizer stage is
+//! always full precision, regardless of the tensor-op format).
+
+use crate::param::{HasParams, Param};
+use crate::tensor::Tensor;
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables the velocity buffer).
+    pub momentum: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0 }
+    }
+
+    /// Applies one update to every parameter of `model`.
+    pub fn step(&self, model: &mut dyn HasParams) {
+        model.visit_params(&mut |p: &mut Param| {
+            if self.weight_decay != 0.0 {
+                let wd = self.weight_decay;
+                let decay: Vec<f32> = p.value.data().iter().map(|w| w * wd).collect();
+                for (g, d) in p.grad.data_mut().iter_mut().zip(decay) {
+                    *g += d;
+                }
+            }
+            if self.momentum != 0.0 {
+                let vel = p
+                    .moment1
+                    .get_or_insert_with(|| Tensor::zeros(p.value.shape()));
+                for (v, &g) in vel.data_mut().iter_mut().zip(p.grad.data().iter()) {
+                    *v = self.momentum * *v + g;
+                }
+                let vel = vel.clone();
+                for (w, &v) in p.value.data_mut().iter_mut().zip(vel.data().iter()) {
+                    *w -= self.lr * v;
+                }
+            } else {
+                let lr = self.lr;
+                let grads: Vec<f32> = p.grad.data().to_vec();
+                for (w, g) in p.value.data_mut().iter_mut().zip(grads) {
+                    *w -= lr * g;
+                }
+            }
+        });
+    }
+}
+
+/// Adam with decoupled weight decay (AdamW-style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    step_count: u64,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, step_count: 0 }
+    }
+
+    /// Sets decoupled weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Resets the bias-correction clock and lets moments rebuild (the
+    /// "reset the optimizer" step the paper recommends before
+    /// quantization-aware fine-tuning).
+    pub fn reset(&mut self, model: &mut dyn HasParams) {
+        self.step_count = 0;
+        model.visit_params(&mut |p| {
+            p.moment1 = None;
+            p.moment2 = None;
+        });
+    }
+
+    /// Applies one update to every parameter of `model`.
+    pub fn step(&mut self, model: &mut dyn HasParams) {
+        self.step_count += 1;
+        let t = self.step_count as f64;
+        let bc1 = 1.0 - (self.beta1 as f64).powf(t);
+        let bc2 = 1.0 - (self.beta2 as f64).powf(t);
+        let (b1, b2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+        model.visit_params(&mut |p: &mut Param| {
+            if p.moment1.is_none() {
+                p.moment1 = Some(Tensor::zeros(p.value.shape()));
+            }
+            if p.moment2.is_none() {
+                p.moment2 = Some(Tensor::zeros(p.value.shape()));
+            }
+            let n = p.value.numel();
+            for i in 0..n {
+                let g = p.grad.data()[i];
+                let m = p.moment1.as_mut().expect("allocated above").data_mut();
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                let mhat = m[i] as f64 / bc1;
+                let v = p.moment2.as_mut().expect("allocated above").data_mut();
+                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                let vhat = v[i] as f64 / bc2;
+                let w = &mut p.value.data_mut()[i];
+                *w -= lr * (mhat / (vhat.sqrt() + eps as f64)) as f32 + lr * wd * *w;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct One {
+        p: Param,
+    }
+
+    impl HasParams for One {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p)
+        }
+    }
+
+    fn quadratic_grad(m: &mut One) {
+        // Loss = 0.5 * ||w - 3||^2, grad = w - 3.
+        let g = m.p.value.map(|w| w - 3.0);
+        m.p.zero_grad();
+        m.p.accumulate(&g);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut m = One { p: Param::new(Tensor::from_vec(vec![0.0, 10.0], &[2])) };
+        let opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            quadratic_grad(&mut m);
+            opt.step(&mut m);
+        }
+        for &w in m.p.value.data() {
+            assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let mut plain = One { p: Param::new(Tensor::from_vec(vec![10.0], &[1])) };
+        let mut mom = One { p: Param::new(Tensor::from_vec(vec![10.0], &[1])) };
+        let o1 = Sgd::new(0.01);
+        let o2 = Sgd { lr: 0.01, momentum: 0.9, weight_decay: 0.0 };
+        for _ in 0..50 {
+            quadratic_grad(&mut plain);
+            o1.step(&mut plain);
+            quadratic_grad(&mut mom);
+            o2.step(&mut mom);
+        }
+        let e1 = (plain.p.value.data()[0] - 3.0).abs();
+        let e2 = (mom.p.value.data()[0] - 3.0).abs();
+        assert!(e2 < e1, "momentum ({e2}) should beat plain ({e1})");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut m = One { p: Param::new(Tensor::from_vec(vec![-5.0, 20.0], &[2])) };
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            quadratic_grad(&mut m);
+            opt.step(&mut m);
+        }
+        for &w in m.p.value.data() {
+            // Adam with a fixed lr hovers near the optimum rather than
+            // converging exactly.
+            assert!((w - 3.0).abs() < 5e-2, "w = {w}");
+        }
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn adam_reset_clears_moments() {
+        let mut m = One { p: Param::new(Tensor::from_vec(vec![1.0], &[1])) };
+        let mut opt = Adam::new(0.1);
+        quadratic_grad(&mut m);
+        opt.step(&mut m);
+        assert!(m.p.moment1.is_some());
+        opt.reset(&mut m);
+        assert!(m.p.moment1.is_none());
+        assert_eq!(opt.steps(), 0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut m = One { p: Param::new(Tensor::from_vec(vec![1.0], &[1])) };
+        let mut opt = Adam::new(0.1).with_weight_decay(0.1);
+        // Zero gradient: only the (decoupled, lr-scaled) decay acts.
+        m.p.zero_grad();
+        opt.step(&mut m);
+        assert!((m.p.value.data()[0] - 0.99).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,178 @@
+//! The quantized compute flow of Fig. 8: which tensors get quantized, in
+//! which format, along which axis, in the forward and backward passes.
+//!
+//! Every tensor (matrix-multiply / convolution) operation quantizes *both*
+//! operands along the reduction dimension. Element-wise operations run in a
+//! scalar format (BF16 in the paper; FP32 here by default — see
+//! [`QuantConfig::elementwise`]). The backward pass may use a different
+//! (usually wider) format than the forward pass, which is how
+//! quantization-aware fine-tuning with an MX6/MX4 forward and an FP32
+//! backward is expressed.
+
+use crate::format::{quantize_along, Axis, TensorFormat};
+use crate::tensor::Tensor;
+use std::fmt;
+
+/// Format assignment for a model's tensor and vector operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantConfig {
+    /// Format of forward-pass *activation* operands.
+    pub fwd: TensorFormat,
+    /// Format of forward-pass *weight* operands (Table IV evaluates
+    /// weight/activation format combinations independently).
+    pub fwd_w: TensorFormat,
+    /// Format of backward-pass tensor-op operands (errors, transposed
+    /// weights and activations).
+    pub bwd: TensorFormat,
+    /// Format element-wise (vector) operation outputs are rounded to.
+    pub elementwise: TensorFormat,
+}
+
+impl QuantConfig {
+    /// Full-precision baseline: nothing is quantized.
+    pub fn fp32() -> Self {
+        QuantConfig {
+            fwd: TensorFormat::Fp32,
+            fwd_w: TensorFormat::Fp32,
+            bwd: TensorFormat::Fp32,
+            elementwise: TensorFormat::Fp32,
+        }
+    }
+
+    /// The paper's MX training setup: the same block format on every tensor
+    /// operand in forward and backward, element-wise ops left in full
+    /// precision.
+    pub fn uniform(format: TensorFormat) -> Self {
+        QuantConfig { fwd: format, fwd_w: format, bwd: format, elementwise: TensorFormat::Fp32 }
+    }
+
+    /// Quantization-aware fine-tuning: narrow forward, full-precision
+    /// backward (§V "the forward pass might use MX6 or MX4 and the backward
+    /// pass a higher bit-width format").
+    pub fn qat(fwd: TensorFormat) -> Self {
+        QuantConfig { fwd, fwd_w: fwd, bwd: TensorFormat::Fp32, elementwise: TensorFormat::Fp32 }
+    }
+
+    /// Inference-style config with separate weight and activation formats —
+    /// the `(w, a)` tuples of Table IV.
+    pub fn weights_activations(w: TensorFormat, a: TensorFormat) -> Self {
+        QuantConfig { fwd: a, fwd_w: w, bwd: TensorFormat::Fp32, elementwise: TensorFormat::Fp32 }
+    }
+
+    /// Overrides the element-wise format (e.g. BF16 to match the paper's
+    /// vector-op precision exactly).
+    pub fn with_elementwise(mut self, format: TensorFormat) -> Self {
+        self.elementwise = format;
+        self
+    }
+
+    /// Whether any tensor op quantizes at all.
+    pub fn is_fp32(&self) -> bool {
+        self.fwd.is_identity()
+            && self.fwd_w.is_identity()
+            && self.bwd.is_identity()
+            && self.elementwise.is_identity()
+    }
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        Self::fp32()
+    }
+}
+
+impl fmt::Display for QuantConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fwd={} bwd={} elem={}", self.fwd, self.bwd, self.elementwise)
+    }
+}
+
+/// Quantized matrix product: quantizes `a` along its rows (the reduction
+/// dimension `K`) and `b` along its columns, then multiplies.
+///
+/// This is the single primitive every tensor op in the repository routes
+/// through; it encodes the directional-quantization rule of §V.
+///
+/// # Examples
+///
+/// ```
+/// # use mx_nn::qflow::quantized_matmul;
+/// # use mx_nn::format::TensorFormat;
+/// # use mx_nn::tensor::Tensor;
+/// let a = Tensor::from_vec(vec![1.0; 32], &[2, 16]);
+/// let b = Tensor::from_vec(vec![0.5; 32], &[16, 2]);
+/// let y = quantized_matmul(&a, &b, TensorFormat::MX6);
+/// assert_eq!(y.data(), &[8.0, 8.0, 8.0, 8.0]);
+/// ```
+pub fn quantized_matmul(a: &Tensor, b: &Tensor, format: TensorFormat) -> Tensor {
+    quantized_matmul_ab(a, b, format, format)
+}
+
+/// [`quantized_matmul`] with distinct operand formats: `a` (activations)
+/// quantizes in `fa`, `b` (weights) in `fb`.
+pub fn quantized_matmul_ab(a: &Tensor, b: &Tensor, fa: TensorFormat, fb: TensorFormat) -> Tensor {
+    if fa.is_identity() && fb.is_identity() {
+        return a.matmul(b);
+    }
+    let aq = quantize_along(a, fa, Axis::Row);
+    let bq = quantize_along(b, fb, Axis::Col);
+    aq.matmul(&bq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_core::bdr::BdrFormat;
+
+    #[test]
+    fn fp32_config_is_identity() {
+        let cfg = QuantConfig::fp32();
+        assert!(cfg.is_fp32());
+        let a = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[2, 4]);
+        let b = Tensor::eye(4);
+        assert_eq!(quantized_matmul(&a, &b, cfg.fwd), a);
+    }
+
+    #[test]
+    fn uniform_and_qat_constructors() {
+        let mx9 = QuantConfig::uniform(TensorFormat::MX9);
+        assert_eq!(mx9.fwd, TensorFormat::MX9);
+        assert_eq!(mx9.bwd, TensorFormat::MX9);
+        let qat = QuantConfig::qat(TensorFormat::MX6);
+        assert_eq!(qat.fwd, TensorFormat::MX6);
+        assert!(qat.bwd.is_identity());
+    }
+
+    #[test]
+    fn quantized_matmul_matches_manual_quantization() {
+        let a = Tensor::from_vec((0..64).map(|i| (i as f32 * 0.17).sin()).collect(), &[4, 16]);
+        let b = Tensor::from_vec((0..64).map(|i| (i as f32 * 0.13).cos()).collect(), &[16, 4]);
+        let y = quantized_matmul(&a, &b, TensorFormat::MX6);
+        let aq = quantize_along(&a, TensorFormat::MX6, Axis::Row);
+        let bq = quantize_along(&b, TensorFormat::MX6, Axis::Col);
+        assert_eq!(y, aq.matmul(&bq));
+        // And it differs from the unquantized product.
+        assert_ne!(y, a.matmul(&b));
+    }
+
+    #[test]
+    fn narrow_formats_add_more_noise() {
+        let a = Tensor::from_vec((0..256).map(|i| (i as f32 * 0.37).sin()).collect(), &[16, 16]);
+        let b = Tensor::from_vec((0..256).map(|i| (i as f32 * 0.29).cos()).collect(), &[16, 16]);
+        let exact = a.matmul(&b);
+        let err = |fmt| {
+            let y = quantized_matmul(&a, &b, TensorFormat::Bdr(fmt));
+            y.sub(&exact).sq_norm()
+        };
+        let e9 = err(BdrFormat::MX9);
+        let e6 = err(BdrFormat::MX6);
+        let e4 = err(BdrFormat::MX4);
+        assert!(e9 < e6 && e6 < e4, "{e9} {e6} {e4}");
+    }
+
+    #[test]
+    fn display() {
+        let cfg = QuantConfig::uniform(TensorFormat::MX9);
+        assert_eq!(cfg.to_string(), "fwd=MX9 bwd=MX9 elem=FP32");
+    }
+}

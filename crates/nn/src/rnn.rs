@@ -1,0 +1,321 @@
+//! Gated recurrent unit with full backpropagation through time — the
+//! recurrent-topology substrate for the GNMT-style translation row of
+//! Table III. All six gate matmuls are quantized per the Fig. 8 rules.
+
+use crate::param::{HasParams, Param};
+use crate::qflow::{quantized_matmul, QuantConfig};
+use crate::tensor::Tensor;
+use crate::init;
+use rand::rngs::StdRng;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Per-timestep cache for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Tensor,
+    h_prev: Tensor,
+    r: Tensor,
+    z: Tensor,
+    n: Tensor,
+    hn_term: Tensor, // h_prev·W_hn + b_hn (pre-gating)
+}
+
+/// A single-layer GRU.
+///
+/// Update rules (PyTorch convention):
+/// `r = σ(x·Wxr + h·Whr + br)`, `z = σ(x·Wxz + h·Whz + bz)`,
+/// `n = tanh(x·Wxn + bxn + r ∘ (h·Whn + bhn))`, `h' = (1−z)∘n + z∘h`.
+#[derive(Debug, Clone)]
+pub struct Gru {
+    /// Input weights `[d_in, hidden]` for the r, z, n gates.
+    pub wxr: Param,
+    /// See [`Gru::wxr`].
+    pub wxz: Param,
+    /// See [`Gru::wxr`].
+    pub wxn: Param,
+    /// Hidden weights `[hidden, hidden]` for the r, z, n gates.
+    pub whr: Param,
+    /// See [`Gru::whr`].
+    pub whz: Param,
+    /// See [`Gru::whr`].
+    pub whn: Param,
+    /// Gate biases `[hidden]`.
+    pub br: Param,
+    /// See [`Gru::br`].
+    pub bz: Param,
+    /// Input-side bias of the candidate gate.
+    pub bxn: Param,
+    /// Hidden-side bias of the candidate gate.
+    pub bhn: Param,
+    hidden: usize,
+    cfg: QuantConfig,
+    caches: Vec<StepCache>,
+}
+
+impl Gru {
+    /// Creates a GRU layer.
+    pub fn new(rng: &mut StdRng, d_in: usize, hidden: usize, cfg: QuantConfig) -> Self {
+        let mk_x = |rng: &mut StdRng| Param::new(init::xavier_uniform(rng, d_in, hidden));
+        let mk_h = |rng: &mut StdRng| Param::new(init::xavier_uniform(rng, hidden, hidden));
+        Gru {
+            wxr: mk_x(rng),
+            wxz: mk_x(rng),
+            wxn: mk_x(rng),
+            whr: mk_h(rng),
+            whz: mk_h(rng),
+            whn: mk_h(rng),
+            br: Param::new(Tensor::zeros(&[hidden])),
+            bz: Param::new(Tensor::zeros(&[hidden])),
+            bxn: Param::new(Tensor::zeros(&[hidden])),
+            bhn: Param::new(Tensor::zeros(&[hidden])),
+            hidden,
+            cfg,
+            caches: Vec::new(),
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Replaces the quantization config.
+    pub fn set_quant(&mut self, cfg: QuantConfig) {
+        self.cfg = cfg;
+    }
+
+    /// One step: `x [B, d_in]`, `h [B, hidden]` → new hidden state.
+    pub fn step(&mut self, x: &Tensor, h: &Tensor, train: bool) -> Tensor {
+        use crate::qflow::quantized_matmul_ab as qmm;
+        let (fa, fw) = (self.cfg.fwd, self.cfg.fwd_w);
+        let r_pre = qmm(x, &self.wxr.value, fa, fw)
+            .add(&qmm(h, &self.whr.value, fa, fw))
+            .add_row(&self.br.value);
+        let z_pre = qmm(x, &self.wxz.value, fa, fw)
+            .add(&qmm(h, &self.whz.value, fa, fw))
+            .add_row(&self.bz.value);
+        let r = r_pre.map(sigmoid);
+        let z = z_pre.map(sigmoid);
+        let hn_term = qmm(h, &self.whn.value, fa, fw).add_row(&self.bhn.value);
+        let n_pre =
+            qmm(x, &self.wxn.value, fa, fw).add_row(&self.bxn.value).add(&r.mul(&hn_term));
+        let n = n_pre.map(f32::tanh);
+        let h_new = z.mul(h).add(&n.sub(&z.mul(&n)));
+        if train {
+            self.caches.push(StepCache {
+                x: x.clone(),
+                h_prev: h.clone(),
+                r,
+                z,
+                n,
+                hn_term,
+            });
+        }
+        h_new
+    }
+
+    /// Runs a full sequence `[B, T, d_in]`, returning all hidden states
+    /// `[B, T, hidden]` (initial state zero).
+    pub fn forward_sequence(&mut self, xs: &Tensor, train: bool) -> Tensor {
+        let (b, t, d) = (xs.shape()[0], xs.shape()[1], xs.shape()[2]);
+        self.caches.clear();
+        let mut h = Tensor::zeros(&[b, self.hidden]);
+        let mut outs: Vec<f32> = Vec::with_capacity(b * t * self.hidden);
+        let mut per_step = Vec::with_capacity(t);
+        for ti in 0..t {
+            // Gather x_t across the batch.
+            let mut xt = Vec::with_capacity(b * d);
+            for bi in 0..b {
+                let base = (bi * t + ti) * d;
+                xt.extend_from_slice(&xs.data()[base..base + d]);
+            }
+            let xt = Tensor::from_vec(xt, &[b, d]);
+            h = self.step(&xt, &h, train);
+            per_step.push(h.clone());
+        }
+        for bi in 0..b {
+            for step in per_step.iter() {
+                outs.extend_from_slice(
+                    &step.data()[bi * self.hidden..(bi + 1) * self.hidden],
+                );
+            }
+        }
+        Tensor::from_vec(outs, &[b, t, self.hidden])
+    }
+
+    /// BPTT from `grads [B, T, hidden]` (gradient w.r.t. every step's
+    /// output). Returns the gradient w.r.t. the input sequence.
+    pub fn backward_sequence(&mut self, grads: &Tensor) -> Tensor {
+        let (b, t, hd) = (grads.shape()[0], grads.shape()[1], grads.shape()[2]);
+        assert_eq!(t, self.caches.len(), "backward/forward step mismatch");
+        let d_in = self.wxr.value.shape()[0];
+        let bq = self.cfg.bwd;
+        let mut dh_next = Tensor::zeros(&[b, hd]);
+        let mut dx_all = vec![0.0f32; b * t * d_in];
+        for ti in (0..t).rev() {
+            let cache = &self.caches[ti];
+            // Output grad for this step + carry from the future.
+            let mut dh = dh_next.clone();
+            for bi in 0..b {
+                for j in 0..hd {
+                    dh.data_mut()[bi * hd + j] += grads.data()[(bi * t + ti) * hd + j];
+                }
+            }
+            let dz = dh.mul(&cache.h_prev.sub(&cache.n));
+            let dn = dh.mul(&cache.z.map(|z| 1.0 - z));
+            let mut dh_prev = dh.mul(&cache.z);
+            let dn_pre = dn.zip_map(&cache.n, |g, n| g * (1.0 - n * n));
+            let dr = dn_pre.mul(&cache.hn_term);
+            let dhn_term = dn_pre.mul(&cache.r);
+            let dz_pre = dz.zip_map(&cache.z, |g, z| g * z * (1.0 - z));
+            let dr_pre = dr.zip_map(&cache.r, |g, r| g * r * (1.0 - r));
+            // Parameter gradients (quantized backward matmuls).
+            let xt = cache.x.transpose2d();
+            let ht = cache.h_prev.transpose2d();
+            self.wxn.accumulate(&quantized_matmul(&xt, &dn_pre, bq));
+            self.wxz.accumulate(&quantized_matmul(&xt, &dz_pre, bq));
+            self.wxr.accumulate(&quantized_matmul(&xt, &dr_pre, bq));
+            self.whn.accumulate(&quantized_matmul(&ht, &dhn_term, bq));
+            self.whz.accumulate(&quantized_matmul(&ht, &dz_pre, bq));
+            self.whr.accumulate(&quantized_matmul(&ht, &dr_pre, bq));
+            self.bxn.accumulate(&dn_pre.sum_rows());
+            self.bhn.accumulate(&dhn_term.sum_rows());
+            self.bz.accumulate(&dz_pre.sum_rows());
+            self.br.accumulate(&dr_pre.sum_rows());
+            // Input and hidden-state gradients.
+            let dx = quantized_matmul(&dn_pre, &self.wxn.value.transpose2d(), bq)
+                .add(&quantized_matmul(&dz_pre, &self.wxz.value.transpose2d(), bq))
+                .add(&quantized_matmul(&dr_pre, &self.wxr.value.transpose2d(), bq));
+            dh_prev = dh_prev
+                .add(&quantized_matmul(&dhn_term, &self.whn.value.transpose2d(), bq))
+                .add(&quantized_matmul(&dz_pre, &self.whz.value.transpose2d(), bq))
+                .add(&quantized_matmul(&dr_pre, &self.whr.value.transpose2d(), bq));
+            for bi in 0..b {
+                for j in 0..d_in {
+                    dx_all[(bi * t + ti) * d_in + j] = dx.data()[bi * d_in + j];
+                }
+            }
+            dh_next = dh_prev;
+        }
+        self.caches.clear();
+        Tensor::from_vec(dx_all, &[b, t, d_in])
+    }
+}
+
+impl HasParams for Gru {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in [
+            &mut self.wxr,
+            &mut self.wxz,
+            &mut self.wxn,
+            &mut self.whr,
+            &mut self.whz,
+            &mut self.whn,
+            &mut self.br,
+            &mut self.bz,
+            &mut self.bxn,
+            &mut self.bhn,
+        ] {
+            f(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn seq(b: usize, t: usize, d: usize) -> Tensor {
+        Tensor::from_vec(
+            (0..b * t * d).map(|i| ((i * 13 % 19) as f32 - 9.0) * 0.08).collect(),
+            &[b, t, d],
+        )
+    }
+
+    #[test]
+    fn shapes() {
+        let mut gru = Gru::new(&mut rng(), 3, 5, QuantConfig::fp32());
+        let xs = seq(2, 4, 3);
+        let hs = gru.forward_sequence(&xs, true);
+        assert_eq!(hs.shape(), &[2, 4, 5]);
+        let dx = gru.backward_sequence(&hs);
+        assert_eq!(dx.shape(), &[2, 4, 3]);
+    }
+
+    #[test]
+    fn hidden_state_carries_information() {
+        // Output at the last step must depend on the first input.
+        let mut gru = Gru::new(&mut rng(), 2, 4, QuantConfig::fp32());
+        let x1 = seq(1, 5, 2);
+        let mut x2 = x1.clone();
+        x2.data_mut()[0] += 1.0;
+        let h1 = gru.forward_sequence(&x1, false);
+        let h2 = gru.forward_sequence(&x2, false);
+        let last1 = &h1.data()[4 * 4..];
+        let last2 = &h2.data()[4 * 4..];
+        let diff: f32 = last1.iter().zip(last2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-5, "GRU forgot its first input");
+    }
+
+    #[test]
+    fn bptt_gradcheck() {
+        let mut gru = Gru::new(&mut rng(), 2, 3, QuantConfig::fp32());
+        let xs = seq(1, 3, 2);
+        let hs = gru.forward_sequence(&xs, true);
+        let dx = gru.backward_sequence(&hs);
+        let eps = 1e-3;
+        for i in 0..xs.numel() {
+            let mut xp = xs.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = xs.clone();
+            xm.data_mut()[i] -= eps;
+            let lp = gru.forward_sequence(&xp, false).sq_norm() / 2.0;
+            let lm = gru.forward_sequence(&xm, false).sq_norm() / 2.0;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - dx.data()[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                "GRU grad mismatch at {i}: {num} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradcheck_single_matrix() {
+        let mut gru = Gru::new(&mut rng(), 2, 3, QuantConfig::fp32());
+        let xs = seq(1, 3, 2);
+        let hs = gru.forward_sequence(&xs, true);
+        let _ = gru.backward_sequence(&hs);
+        let analytic = gru.whn.grad.clone();
+        let eps = 1e-3;
+        for i in 0..analytic.numel() {
+            let orig = gru.whn.value.data()[i];
+            gru.whn.value.data_mut()[i] = orig + eps;
+            let lp = gru.forward_sequence(&xs, false).sq_norm() / 2.0;
+            gru.whn.value.data_mut()[i] = orig - eps;
+            let lm = gru.forward_sequence(&xs, false).sq_norm() / 2.0;
+            gru.whn.value.data_mut()[i] = orig;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - analytic.data()[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                "whn grad mismatch at {i}: {num} vs {}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut gru = Gru::new(&mut rng(), 4, 8, QuantConfig::fp32());
+        // 3 * (4*8) + 3 * (8*8) + 4 * 8 biases.
+        assert_eq!(gru.param_count(), 96 + 192 + 32);
+    }
+}

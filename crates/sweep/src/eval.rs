@@ -1,0 +1,147 @@
+//! Parallel evaluation of design points: QSNR (Eq. 3 Monte-Carlo) × cost
+//! (normalized area-memory product), the two axes of Fig. 7.
+
+use crate::space;
+use mx_core::qsnr::{measure_qsnr, Distribution, QsnrConfig};
+use mx_core::scaling::ScaleStrategy;
+use mx_hw::cost::{CostModel, FormatConfig};
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Configuration label.
+    pub label: String,
+    /// The configuration itself.
+    pub config: FormatConfig,
+    /// Storage bits per element.
+    pub bits_per_element: f64,
+    /// Measured QSNR in dB.
+    pub qsnr_db: f64,
+    /// Normalized dot-product area.
+    pub area_norm: f64,
+    /// Normalized memory cost.
+    pub memory_norm: f64,
+    /// Fig. 7 x-axis: area × memory product.
+    pub product: f64,
+}
+
+/// Sweep evaluation settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSettings {
+    /// Monte-Carlo settings for the QSNR measurement.
+    pub qsnr: QsnrConfig,
+    /// Data distribution (the paper's Fig. 7 uses
+    /// [`Distribution::NormalVariableVariance`]).
+    pub distribution: Distribution,
+    /// Number of worker threads.
+    pub threads: usize,
+}
+
+impl Default for SweepSettings {
+    fn default() -> Self {
+        SweepSettings {
+            qsnr: QsnrConfig { vectors: 256, vector_len: 1024, seed: 0xf1e7 },
+            distribution: Distribution::NormalVariableVariance,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+/// Evaluates one configuration.
+pub fn evaluate_point(
+    config: &FormatConfig,
+    label: String,
+    model: &CostModel,
+    settings: &SweepSettings,
+) -> SweepPoint {
+    let mut q = config.quantizer(ScaleStrategy::default());
+    let qsnr_db = measure_qsnr(q.as_mut(), settings.distribution, settings.qsnr);
+    let cost = model.evaluate(config);
+    SweepPoint {
+        label,
+        config: config.clone(),
+        bits_per_element: config.bits_per_element(),
+        qsnr_db,
+        area_norm: cost.area_norm,
+        memory_norm: cost.memory_norm,
+        product: cost.product,
+    }
+}
+
+/// Evaluates a list of configurations in parallel (order preserved).
+pub fn evaluate_all(configs: &[FormatConfig], settings: &SweepSettings) -> Vec<SweepPoint> {
+    let model = CostModel::new();
+    let chunk = configs.len().div_ceil(settings.threads.max(1)).max(1);
+    let mut results: Vec<Option<SweepPoint>> = vec![None; configs.len()];
+    crossbeam::thread::scope(|s| {
+        for (slot, cfgs) in results.chunks_mut(chunk).zip(configs.chunks(chunk)) {
+            let model = &model;
+            let settings = &settings;
+            s.spawn(move |_| {
+                for (out, cfg) in slot.iter_mut().zip(cfgs.iter()) {
+                    *out = Some(evaluate_point(cfg, cfg.label(), model, settings));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results.into_iter().map(|p| p.expect("all slots filled")).collect()
+}
+
+/// Evaluates the full Fig. 7 space.
+pub fn evaluate_full_space(settings: &SweepSettings) -> Vec<SweepPoint> {
+    evaluate_all(&space::full_space(), settings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_core::bdr::BdrFormat;
+
+    fn fast_settings() -> SweepSettings {
+        SweepSettings {
+            qsnr: QsnrConfig { vectors: 24, vector_len: 256, seed: 1 },
+            distribution: Distribution::NormalVariableVariance,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let configs: Vec<FormatConfig> =
+            vec![FormatConfig::Bdr(BdrFormat::MX9), FormatConfig::Bdr(BdrFormat::MX4)];
+        let settings = fast_settings();
+        let par = evaluate_all(&configs, &settings);
+        let model = CostModel::new();
+        for (p, c) in par.iter().zip(configs.iter()) {
+            let seq = evaluate_point(c, c.label(), &model, &settings);
+            assert_eq!(p, &seq);
+        }
+    }
+
+    #[test]
+    fn points_have_sane_values() {
+        let configs = vec![
+            FormatConfig::Bdr(BdrFormat::MX6),
+            FormatConfig::Int { bits: 8, k1: 1024 },
+        ];
+        let pts = evaluate_all(&configs, &fast_settings());
+        for p in &pts {
+            assert!(p.qsnr_db > 5.0 && p.qsnr_db < 80.0, "{}: {}", p.label, p.qsnr_db);
+            assert!(p.product > 0.0 && p.product < 3.0);
+            assert!(p.bits_per_element > 0.0);
+        }
+    }
+
+    #[test]
+    fn qsnr_ordering_in_sweep_points() {
+        let configs = vec![
+            FormatConfig::Bdr(BdrFormat::MX4),
+            FormatConfig::Bdr(BdrFormat::MX6),
+            FormatConfig::Bdr(BdrFormat::MX9),
+        ];
+        let pts = evaluate_all(&configs, &fast_settings());
+        assert!(pts[0].qsnr_db < pts[1].qsnr_db);
+        assert!(pts[1].qsnr_db < pts[2].qsnr_db);
+    }
+}

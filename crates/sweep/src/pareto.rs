@@ -1,0 +1,102 @@
+//! Pareto-frontier extraction over (cost, fidelity) sweep points.
+
+use crate::eval::SweepPoint;
+
+/// Returns the indices of points on the Pareto frontier: no other point has
+/// both lower-or-equal product and strictly higher QSNR (or equal QSNR and
+/// strictly lower product).
+pub fn pareto_indices(points: &[SweepPoint]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    // Sort by product ascending, QSNR descending as tiebreak.
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .product
+            .partial_cmp(&points[b].product)
+            .expect("finite products")
+            .then(points[b].qsnr_db.partial_cmp(&points[a].qsnr_db).expect("finite qsnr"))
+    });
+    let mut frontier = Vec::new();
+    let mut best_qsnr = f64::NEG_INFINITY;
+    for &i in &idx {
+        if points[i].qsnr_db > best_qsnr {
+            frontier.push(i);
+            best_qsnr = points[i].qsnr_db;
+        }
+    }
+    frontier
+}
+
+/// Distance (in dB) from a point to the frontier at its cost: 0 for frontier
+/// members; positive values say how far below the achievable QSNR the point
+/// sits.
+pub fn db_below_frontier(points: &[SweepPoint], target: &SweepPoint) -> f64 {
+    let best = points
+        .iter()
+        .filter(|p| p.product <= target.product + 1e-12)
+        .map(|p| p.qsnr_db)
+        .fold(f64::NEG_INFINITY, f64::max);
+    (best - target.qsnr_db).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_core::bdr::BdrFormat;
+    use mx_hw::cost::FormatConfig;
+
+    fn point(label: &str, product: f64, qsnr: f64) -> SweepPoint {
+        SweepPoint {
+            label: label.into(),
+            config: FormatConfig::Bdr(BdrFormat::MX9),
+            bits_per_element: 9.0,
+            qsnr_db: qsnr,
+            area_norm: product,
+            memory_norm: 1.0,
+            product,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let pts = vec![
+            point("cheap-good", 0.3, 20.0),
+            point("cheap-bad", 0.3, 10.0),   // dominated by cheap-good
+            point("mid", 0.5, 25.0),
+            point("pricey-worse", 0.7, 24.0), // dominated by mid
+            point("pricey-best", 0.9, 40.0),
+        ];
+        let f = pareto_indices(&pts);
+        let labels: Vec<&str> = f.iter().map(|&i| pts[i].label.as_str()).collect();
+        assert_eq!(labels, vec!["cheap-good", "mid", "pricey-best"]);
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let pts: Vec<SweepPoint> = (0..50)
+            .map(|i| {
+                let x = 0.1 + i as f64 * 0.02;
+                point(&format!("p{i}"), x, 10.0 + (i as f64 * 7.3) % 30.0)
+            })
+            .collect();
+        let f = pareto_indices(&pts);
+        for w in f.windows(2) {
+            assert!(pts[w[0]].product <= pts[w[1]].product);
+            assert!(pts[w[0]].qsnr_db < pts[w[1]].qsnr_db);
+        }
+    }
+
+    #[test]
+    fn db_below_frontier_zero_for_members() {
+        let pts = vec![point("a", 0.3, 20.0), point("b", 0.5, 25.0)];
+        assert_eq!(db_below_frontier(&pts, &pts[0]), 0.0);
+        assert_eq!(db_below_frontier(&pts, &pts[1]), 0.0);
+        let weak = point("w", 0.5, 22.0);
+        assert_eq!(db_below_frontier(&pts, &weak), 3.0);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let pts = vec![point("only", 1.0, 5.0)];
+        assert_eq!(pareto_indices(&pts), vec![0]);
+    }
+}

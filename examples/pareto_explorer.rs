@@ -1,0 +1,53 @@
+//! Explore a custom corner of the BDR design space and see where it lands
+//! against the MX formats and the Pareto frontier (a small interactive
+//! version of Fig. 7).
+//!
+//! ```sh
+//! cargo run --release --example pareto_explorer -- <m> <d2> <k1> <k2>
+//! cargo run --release --example pareto_explorer -- 5 2 32 4
+//! ```
+
+use mx::core::bdr::BdrFormat;
+use mx::core::qsnr::QsnrConfig;
+use mx::hw::cost::FormatConfig;
+use mx::sweep::eval::{evaluate_all, SweepSettings};
+use mx::sweep::pareto::{db_below_frontier, pareto_indices};
+
+fn main() {
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let (m, d2, k1, k2) = match args.as_slice() {
+        [m, d2, k1, k2] => (*m as u32, *d2 as u32, *k1, *k2),
+        _ => {
+            println!("usage: pareto_explorer <m> <d2> <k1> <k2>; using 5 2 32 4");
+            (5, 2, 32, 4)
+        }
+    };
+    let custom = match BdrFormat::new(m, 8, d2, k1, k2) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("invalid format: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // A compact comparison space: the MX ladder shape plus the custom point.
+    let mut configs: Vec<FormatConfig> = (1..=8)
+        .map(|m| FormatConfig::Bdr(BdrFormat::new(m, 8, 1, 16, 2).expect("valid")))
+        .collect();
+    configs.push(FormatConfig::Bdr(custom));
+    let settings = SweepSettings {
+        qsnr: QsnrConfig { vectors: 128, vector_len: 1024, seed: 5 },
+        ..SweepSettings::default()
+    };
+    let points = evaluate_all(&configs, &settings);
+    let frontier = pareto_indices(&points);
+    println!("{:<28} {:>9} {:>9} {:>14}", "format", "QSNR dB", "product", "status");
+    for (i, p) in points.iter().enumerate() {
+        let status = if frontier.contains(&i) {
+            "frontier".to_string()
+        } else {
+            format!("{:.1} dB below", db_below_frontier(&points, p))
+        };
+        println!("{:<28} {:>9.1} {:>9.3} {:>14}", p.label, p.qsnr_db, p.product, status);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: quantize a tensor into the MX formats, inspect fidelity and
+//! storage, and run a bit-accurate hardware dot product.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mx::core::bdr::{BdrFormat, BdrQuantizer};
+use mx::core::mx::MxTensor;
+use mx::core::qsnr::{measure_qsnr, qsnr_db, Distribution, QsnrConfig};
+use mx::core::VectorQuantizer;
+use mx::hw::cost::{CostModel, FormatConfig};
+use mx::hw::pipeline::{DotProductPipeline, PipelineConfig};
+
+fn main() {
+    // Some activations with an awkward outlier (the case block formats with
+    // microexponents are designed for).
+    let mut activations: Vec<f32> = (0..64).map(|i| 0.02 * (i as f32 * 0.7).sin()).collect();
+    activations[17] = 3.5;
+
+    println!("== 1. Quantize with the Table II formats ==");
+    let cost = CostModel::new();
+    let fp8_area = cost
+        .evaluate(&FormatConfig::ScalarSw { format: mx::core::scalar::ScalarFormat::E4M3, k1: 10_000 })
+        .area_norm;
+    for fmt in [BdrFormat::MX9, BdrFormat::MX6, BdrFormat::MX4] {
+        let q = fmt.quantize_dequantize(&activations);
+        let packed = MxTensor::encode(fmt, &activations);
+        let report = cost.evaluate(&FormatConfig::Bdr(fmt));
+        println!(
+            "  {fmt}: QSNR {:5.1} dB | {:3} bytes packed | {:.0}% of an FP8 unit's silicon",
+            qsnr_db(&activations, &q),
+            packed.as_bytes().len(),
+            100.0 * report.area_norm / fp8_area,
+        );
+    }
+
+    println!("\n== 2. Statistical fidelity over a training-like distribution ==");
+    let cfg = QsnrConfig { vectors: 128, vector_len: 1024, seed: 1 };
+    for fmt in [BdrFormat::MX9, BdrFormat::MX6, BdrFormat::MX4, BdrFormat::MSFP12] {
+        let mut q = BdrQuantizer::new(fmt);
+        let db = measure_qsnr(&mut q, Distribution::NormalVariableVariance, cfg);
+        let bound = mx::core::theory::qsnr_lower_bound_db(fmt, 1024);
+        println!("  {fmt}: measured {db:5.1} dB (Theorem 1 floor {bound:5.1} dB)");
+    }
+
+    println!("\n== 3. Bit-accurate hardware dot product (Fig. 6 pipeline) ==");
+    let engine = DotProductPipeline::new(PipelineConfig::Bdr(BdrFormat::MX9), 64);
+    let weights: Vec<f32> = (0..64).map(|i| 0.1 * (i as f32 * 0.3).cos()).collect();
+    let hw = engine.dot(&activations, &weights);
+    let sw: f64 = BdrFormat::MX9
+        .quantize_dequantize(&activations)
+        .iter()
+        .zip(BdrFormat::MX9.quantize_dequantize(&weights).iter())
+        .map(|(&a, &b)| a as f64 * b as f64)
+        .sum();
+    println!("  pipeline: {hw:.6}  |  quantized software reference: {sw:.6}");
+    println!("\nSee DESIGN.md for the experiment index and EXPERIMENTS.md for results.");
+}

@@ -1,0 +1,95 @@
+//! Cross-crate integration: the paper's headline end-to-end behaviours,
+//! checked as a single pipeline from data generation (mx-models) through
+//! quantized training (mx-nn) against the cost model (mx-hw).
+
+use mx::models::data::markov_corpus;
+use mx::models::gpt::{train_lm, GptConfig};
+use mx::nn::{QuantConfig, TensorFormat};
+
+/// The drop-in-replacement claim: MX9 training lands within run-to-run
+/// noise of FP32, while MX4 training visibly lags, on the same seed and
+/// data.
+#[test]
+fn mx9_is_a_drop_in_replacement_mx4_is_not() {
+    let corpus = markov_corpus(7, 12_000, 0.4);
+    let run = |cfg| train_lm(GptConfig::tiny(), cfg, &corpus, 80, 4, 3e-3, 5).1.eval_loss;
+    let fp32 = run(QuantConfig::fp32());
+    let mx9 = run(QuantConfig::uniform(TensorFormat::MX9));
+    let mx4 = run(QuantConfig::uniform(TensorFormat::MX4));
+    assert!(
+        (fp32 - mx9).abs() < 0.15,
+        "MX9 should match FP32: {fp32:.3} vs {mx9:.3}"
+    );
+    assert!(
+        mx4 > mx9 + 0.05,
+        "MX4 training should visibly lag MX9: {mx4:.3} vs {mx9:.3}"
+    );
+}
+
+/// Direct-cast degradation is monotone in format width, with the (MX4,MX4)
+/// cliff of Table IV.
+#[test]
+fn direct_cast_degrades_monotonically() {
+    let corpus = markov_corpus(8, 12_000, 0.4);
+    let (mut model, run) =
+        train_lm(GptConfig::tiny(), QuantConfig::fp32(), &corpus, 80, 4, 3e-3, 6);
+    let mut losses = Vec::new();
+    for (w, a) in [
+        (TensorFormat::MX9, TensorFormat::MX9),
+        (TensorFormat::MX6, TensorFormat::MX6),
+        (TensorFormat::MX4, TensorFormat::MX4),
+    ] {
+        model.set_quant(QuantConfig::weights_activations(w, a));
+        losses.push(model.evaluate(&corpus, 16, 77));
+    }
+    assert!(losses[0] < losses[1] + 0.02, "MX9 cast should beat MX6: {losses:?}");
+    assert!(losses[1] < losses[2], "MX6 cast should beat MX4: {losses:?}");
+    assert!(
+        (losses[0] - run.eval_loss).abs() < 0.05,
+        "MX9 cast should track FP32 ({:.3}): {losses:?}",
+        run.eval_loss
+    );
+}
+
+/// Fig. 9's economics: MX6 needs more iterations, but the per-iteration
+/// cost model (mx-hw) says each one is much cheaper, so cost-to-quality
+/// favours MX6.
+#[test]
+fn mx6_training_cost_economics() {
+    use mx::core::bdr::BdrFormat;
+    use mx::hw::cost::{CostModel, FormatConfig};
+    let corpus = markov_corpus(9, 12_000, 0.4);
+    let iters = 80;
+    let (_, mx9) = train_lm(
+        GptConfig::tiny(),
+        QuantConfig::uniform(TensorFormat::MX9),
+        &corpus,
+        iters,
+        4,
+        3e-3,
+        7,
+    );
+    let (_, mx6) = train_lm(
+        GptConfig::tiny(),
+        QuantConfig::uniform(TensorFormat::MX6),
+        &corpus,
+        iters * 3 / 2,
+        4,
+        3e-3,
+        7,
+    );
+    // Quality parity within tolerance after 1.5x iterations.
+    assert!(
+        mx6.eval_loss < mx9.eval_loss + 0.15,
+        "MX6 with 1.5x iters should approach MX9: {:.3} vs {:.3}",
+        mx6.eval_loss,
+        mx9.eval_loss
+    );
+    // And cost the tensor units less in total.
+    let model = CostModel::new();
+    let c9 = model.evaluate(&FormatConfig::Bdr(BdrFormat::MX9)).product;
+    let c6 = model.evaluate(&FormatConfig::Bdr(BdrFormat::MX6)).product;
+    let total9 = iters as f64 * c9;
+    let total6 = (iters * 3 / 2) as f64 * c6;
+    assert!(total6 < total9, "MX6 total cost {total6:.1} should undercut MX9 {total9:.1}");
+}
