@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mx_core::bdr::{BdrFormat, BdrQuantizer};
+use mx_core::engine::QuantEngine;
 use mx_core::fp_scaled::FpScaledQuantizer;
 use mx_core::int_quant::IntQuantizer;
 use mx_core::mx::MxTensor;
@@ -17,7 +18,9 @@ use mx_hw::pipeline::{DotProductPipeline, PipelineConfig};
 use std::hint::black_box;
 
 fn test_vector(n: usize) -> Vec<f32> {
-    (0..n).map(|i| ((i * 2654435761usize) % 10_007) as f32 / 10_007.0 - 0.5).collect()
+    (0..n)
+        .map(|i| ((i * 2654435761usize) % 10_007) as f32 / 10_007.0 - 0.5)
+        .collect()
 }
 
 fn quant_throughput(c: &mut Criterion) {
@@ -29,9 +32,21 @@ fn quant_throughput(c: &mut Criterion) {
         ("MX6", Box::new(BdrQuantizer::new(BdrFormat::MX6))),
         ("MX4", Box::new(BdrQuantizer::new(BdrFormat::MX4))),
         ("MSFP12", Box::new(BdrQuantizer::new(BdrFormat::MSFP12))),
-        ("FP8-E4M3", Box::new(FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Amax))),
-        ("INT8", Box::new(IntQuantizer::new(8, 1024, ScaleStrategy::Amax))),
-        ("VSQ4", Box::new(VsqQuantizer::new(4, 4, 1024, ScaleStrategy::Amax))),
+        (
+            "FP8-E4M3",
+            Box::new(FpScaledQuantizer::new(
+                ScalarFormat::E4M3,
+                ScaleStrategy::Amax,
+            )),
+        ),
+        (
+            "INT8",
+            Box::new(IntQuantizer::new(8, 1024, ScaleStrategy::Amax)),
+        ),
+        (
+            "VSQ4",
+            Box::new(VsqQuantizer::new(4, 4, 1024, ScaleStrategy::Amax)),
+        ),
     ];
     for (name, q) in cases.iter_mut() {
         group.bench_function(*name, |b| b.iter(|| black_box(q.quantize_dequantize(&x))));
@@ -46,6 +61,80 @@ fn packed_encode(c: &mut Criterion) {
     for fmt in [BdrFormat::MX4, BdrFormat::MX9] {
         group.bench_with_input(BenchmarkId::from_parameter(fmt), &fmt, |b, fmt| {
             b.iter(|| black_box(MxTensor::encode(*fmt, &x)))
+        });
+    }
+    group.finish();
+}
+
+/// The seed's column-quantization path — transpose, quantize each row,
+/// transpose back — kept verbatim as the naive baseline the strided engine
+/// kernel must beat.
+fn naive_transpose_col_quantize(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    fmt: BdrFormat,
+) -> Vec<f32> {
+    let mut tt = vec![0.0f32; rows * cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            tt[j * rows + i] = data[i * cols + j];
+        }
+    }
+    for col in tt.chunks_mut(rows) {
+        fmt.quantize_dequantize_in_place(col);
+    }
+    let mut out = vec![0.0f32; rows * cols];
+    for j in 0..cols {
+        for i in 0..rows {
+            out[i * cols + j] = tt[j * rows + i];
+        }
+    }
+    out
+}
+
+/// Acceptance benchmark for the engine refactor: column-axis quantization
+/// of a 1024×1024 tensor, seed's transpose round trip vs the strided
+/// kernel, serial and parallel.
+fn engine_vs_naive(c: &mut Criterion) {
+    let (rows, cols) = (1024usize, 1024usize);
+    let x = test_vector(rows * cols);
+    let fmt = BdrFormat::MX9;
+    let mut group = c.benchmark_group("col_quantize_1024x1024");
+    group.throughput(Throughput::Elements((rows * cols) as u64));
+    group.bench_function("seed_transpose", |b| {
+        b.iter(|| black_box(naive_transpose_col_quantize(&x, rows, cols, fmt)))
+    });
+    group.bench_function("engine_strided", |b| {
+        let engine = QuantEngine::new(fmt);
+        b.iter(|| {
+            let mut d = x.clone();
+            engine.quantize_dequantize_cols(&mut d, cols);
+            black_box(d)
+        })
+    });
+    group.bench_function("engine_strided_parallel", |b| {
+        let engine = QuantEngine::auto(fmt);
+        b.iter(|| {
+            let mut d = x.clone();
+            engine.quantize_dequantize_cols(&mut d, cols);
+            black_box(d)
+        })
+    });
+    group.finish();
+}
+
+/// Multi-core scaling of the engine's contiguous value path on a 1M-element
+/// tensor.
+fn parallel_scaling(c: &mut Criterion) {
+    let x = test_vector(1 << 20);
+    let fmt = BdrFormat::MX6;
+    let mut group = c.benchmark_group("engine_parallel_scaling_1m");
+    group.throughput(Throughput::Elements(1 << 20));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let engine = QuantEngine::new(fmt).with_threads(t);
+            b.iter(|| black_box(engine.quantize_dequantize(&x)))
         });
     }
     group.finish();
@@ -68,11 +157,19 @@ fn dot_product_engine(c: &mut Criterion) {
 }
 
 fn qsnr_harness(c: &mut Criterion) {
-    let cfg = QsnrConfig { vectors: 16, vector_len: 1024, seed: 3 };
+    let cfg = QsnrConfig {
+        vectors: 16,
+        vector_len: 1024,
+        seed: 3,
+    };
     c.bench_function("qsnr_mx6_16x1k", |b| {
         b.iter(|| {
             let mut q = BdrQuantizer::new(BdrFormat::MX6);
-            black_box(measure_qsnr(&mut q, Distribution::NormalVariableVariance, cfg))
+            black_box(measure_qsnr(
+                &mut q,
+                Distribution::NormalVariableVariance,
+                cfg,
+            ))
         })
     });
 }
@@ -119,6 +216,8 @@ criterion_group!(
     benches,
     quant_throughput,
     packed_encode,
+    engine_vs_naive,
+    parallel_scaling,
     dot_product_engine,
     qsnr_harness,
     cost_model,

@@ -31,15 +31,25 @@ fn main() {
     let mut rec_c = quantize_with_scale(&X[..3], 2.5 / MAX_CODE);
     rec_c.extend(quantize_with_scale(&X[3..], 7.2 / MAX_CODE));
 
-    let rows = vec![
+    let rows = [
         (
             "(a) real-valued scale s=Max/4",
             rec_a.clone(),
             qsnr_db(&X, &rec_a),
             15.2,
         ),
-        ("(b) power-of-two scale", rec_b.clone(), qsnr_db(&X, &rec_b), 10.1),
-        ("(c) two partitions, real scales", rec_c.clone(), qsnr_db(&X, &rec_c), 16.8),
+        (
+            "(b) power-of-two scale",
+            rec_b.clone(),
+            qsnr_db(&X, &rec_b),
+            10.1,
+        ),
+        (
+            "(c) two partitions, real scales",
+            rec_c.clone(),
+            qsnr_db(&X, &rec_c),
+            16.8,
+        ),
     ];
     let printable: Vec<Vec<String>> = rows
         .iter()
@@ -54,12 +64,21 @@ fn main() {
         .collect();
     print_table(
         "Fig. 1: scaling strategies on X = [0.7, 1.4, 2.5, 6, 7.2]",
-        &["strategy", "recovered values", "QSNR (dB)", "paper QSNR (dB)"],
+        &[
+            "strategy",
+            "recovered values",
+            "QSNR (dB)",
+            "paper QSNR (dB)",
+        ],
         &printable,
     );
     println!(
         "\nShape check: multi-partition > single real scale > power-of-two scale -> {}",
-        if rows[2].2 > rows[0].2 && rows[0].2 > rows[1].2 { "HOLDS" } else { "VIOLATED" }
+        if rows[2].2 > rows[0].2 && rows[0].2 > rows[1].2 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     write_csv(
         "fig1_scaling",

@@ -52,13 +52,21 @@ fn main() {
     let ideal_q = qsnr_db(&X, &ideal);
 
     let rows = vec![
-        vec!["one-level power-of-two".into(), fmt(one_level_q, 1), "10.1".into()],
+        vec![
+            "one-level power-of-two".into(),
+            fmt(one_level_q, 1),
+            "10.1".into(),
+        ],
         vec![
             format!("two-level (s real, ss = {:?})", sub_scales),
             fmt(two_level, 1),
             "16.8".into(),
         ],
-        vec!["ideal per-partition real scaling".into(), fmt(ideal_q, 1), "16.8".into()],
+        vec![
+            "ideal per-partition real scaling".into(),
+            fmt(ideal_q, 1),
+            "16.8".into(),
+        ],
     ];
     print_table(
         "Fig. 2: two-level scaling approximates ideal per-partition scaling",
@@ -76,6 +84,9 @@ fn main() {
     write_csv(
         "fig2_two_level",
         &["scheme", "qsnr_db"],
-        &rows.iter().map(|r| vec![r[0].clone(), r[1].clone()]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| vec![r[0].clone(), r[1].clone()])
+            .collect::<Vec<_>>(),
     );
 }

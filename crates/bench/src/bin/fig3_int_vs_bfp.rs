@@ -11,14 +11,19 @@ use mx_core::scaling::ScaleStrategy;
 use mx_core::VectorQuantizer;
 
 fn main() {
-    let cfg = QsnrConfig { vectors: 128, vector_len: 8192, seed: 42 };
+    let cfg = QsnrConfig {
+        vectors: 128,
+        vector_len: 8192,
+        seed: 42,
+    };
     let dist = Distribution::NormalVariableVariance;
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for k1 in [128usize, 512, 2048, 8192] {
-        for (name, strat) in
-            [("amax", ScaleStrategy::Amax), ("delayed", ScaleStrategy::default())]
-        {
+        for (name, strat) in [
+            ("amax", ScaleStrategy::Amax),
+            ("delayed", ScaleStrategy::default()),
+        ] {
             let mut q = IntQuantizer::new(8, k1, strat);
             let qsnr = measure_qsnr(&mut q, dist, cfg);
             let bits = q.bits_per_element();
@@ -27,7 +32,11 @@ fn main() {
                 fmt(bits, 2),
                 fmt(qsnr, 1),
             ]);
-            csv.push(vec![format!("int8_{name}_k{k1}"), bits.to_string(), qsnr.to_string()]);
+            csv.push(vec![
+                format!("int8_{name}_k{k1}"),
+                bits.to_string(),
+                qsnr.to_string(),
+            ]);
         }
     }
     for k1 in [2usize, 8, 16, 64, 128] {
@@ -35,8 +44,16 @@ fn main() {
         let mut q = BdrQuantizer::new(fmt8);
         let qsnr = measure_qsnr(&mut q, dist, cfg);
         let bits = fmt8.bits_per_element();
-        rows.push(vec![format!("BFP m=7 (HW, k1={k1})"), fmt(bits, 2), fmt(qsnr, 1)]);
-        csv.push(vec![format!("bfp7_k{k1}"), bits.to_string(), qsnr.to_string()]);
+        rows.push(vec![
+            format!("BFP m=7 (HW, k1={k1})"),
+            fmt(bits, 2),
+            fmt(qsnr, 1),
+        ]);
+        csv.push(vec![
+            format!("bfp7_k{k1}"),
+            bits.to_string(),
+            qsnr.to_string(),
+        ]);
     }
     print_table(
         "Fig. 3: coarse software INT vs fine-grained hardware BFP",
@@ -46,5 +63,9 @@ fn main() {
     println!(
         "\nShape check: BFP at k1=16 (8.5 bits) should beat INT8 at k1>=128 (8+ bits): see rows above."
     );
-    write_csv("fig3_int_vs_bfp", &["config", "bits_per_element", "qsnr_db"], &csv);
+    write_csv(
+        "fig3_int_vs_bfp",
+        &["config", "bits_per_element", "qsnr_db"],
+        &csv,
+    );
 }

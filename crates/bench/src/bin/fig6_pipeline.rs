@@ -19,7 +19,11 @@ fn vectors(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
 fn reference(qa: &[f32], qb: &[f32], r: usize) -> f32 {
     let mut acc = 0.0f32;
     for (ca, cb) in qa.chunks(r).zip(qb.chunks(r)) {
-        let chunk: f64 = ca.iter().zip(cb.iter()).map(|(&x, &y)| x as f64 * y as f64).sum();
+        let chunk: f64 = ca
+            .iter()
+            .zip(cb.iter())
+            .map(|(&x, &y)| x as f64 * y as f64)
+            .sum();
         acc += chunk as f32;
     }
     acc
@@ -61,10 +65,21 @@ fn main() {
     }
     print_table(
         "Fig. 6: pipeline vs software reference (1024-element dot, r = 64)",
-        &["format", "f (bits)", "pipeline", "reference", "|err| @ default f", "|err| @ f=90"],
+        &[
+            "format",
+            "f (bits)",
+            "pipeline",
+            "reference",
+            "|err| @ default f",
+            "|err| @ f=90",
+        ],
         &rows,
     );
     println!("\nAt f = 90 the pipeline is bit-exact; the default f only drops");
     println!("bits the paper's hardware would also drop in its fixed-point reduce.");
-    write_csv("fig6_pipeline", &["format", "f", "pipeline", "reference"], &csv);
+    write_csv(
+        "fig6_pipeline",
+        &["format", "f", "pipeline", "reference"],
+        &csv,
+    );
 }

@@ -15,12 +15,20 @@ use mx_sweep::space;
 fn main() {
     let vectors = if full_scale() { 2048 } else { 256 };
     let settings = SweepSettings {
-        qsnr: QsnrConfig { vectors, vector_len: 1024, seed: 0xf1e7 },
+        qsnr: QsnrConfig {
+            vectors,
+            vector_len: 1024,
+            seed: 0xf1e7,
+        },
         distribution: Distribution::NormalVariableVariance,
         ..SweepSettings::default()
     };
     let configs = space::full_space();
-    eprintln!("evaluating {} configurations on {} threads...", configs.len(), settings.threads);
+    eprintln!(
+        "evaluating {} configurations on {} threads...",
+        configs.len(),
+        settings.threads
+    );
     let t0 = std::time::Instant::now();
     let points = evaluate_all(&configs, &settings);
     eprintln!("swept in {:?}", t0.elapsed());
@@ -30,7 +38,10 @@ fn main() {
     let named: Vec<(String, FormatConfig)> = space::named_formats();
     let mut rows = Vec::new();
     for (name, cfg) in &named {
-        let p = points.iter().find(|p| &p.config == cfg).expect("named config swept");
+        let p = points
+            .iter()
+            .find(|p| &p.config == cfg)
+            .expect("named config swept");
         let below = db_below_frontier(&points, p);
         rows.push(vec![
             name.clone(),
@@ -39,23 +50,48 @@ fn main() {
             fmt(p.area_norm, 3),
             fmt(p.memory_norm, 3),
             fmt(p.product, 3),
-            if below < 0.75 { "*on frontier*".into() } else { format!("{below:.1} dB below") },
+            if below < 0.75 {
+                "*on frontier*".into()
+            } else {
+                format!("{below:.1} dB below")
+            },
         ]);
     }
     print_table(
         "Fig. 7: named formats (x = area*memory product, normalized to dual FP8)",
-        &["format", "bits/elem", "QSNR (dB)", "area", "memory", "product", "frontier"],
+        &[
+            "format",
+            "bits/elem",
+            "QSNR (dB)",
+            "area",
+            "memory",
+            "product",
+            "frontier",
+        ],
         &rows,
     );
 
     // Headline paper claims.
     let get = |f: BdrFormat| {
-        points.iter().find(|p| p.config == FormatConfig::Bdr(f)).expect("swept")
+        points
+            .iter()
+            .find(|p| p.config == FormatConfig::Bdr(f))
+            .expect("swept")
     };
-    let fp8 = points.iter().find(|p| p.label == "FP8-E4M3").expect("swept");
-    let fp8_e5 = points.iter().find(|p| p.label == "FP8-E5M2").expect("swept");
-    let (mx9, mx6, mx4, msfp16) =
-        (get(BdrFormat::MX9), get(BdrFormat::MX6), get(BdrFormat::MX4), get(BdrFormat::MSFP16));
+    let fp8 = points
+        .iter()
+        .find(|p| p.label == "FP8-E4M3")
+        .expect("swept");
+    let fp8_e5 = points
+        .iter()
+        .find(|p| p.label == "FP8-E5M2")
+        .expect("swept");
+    let (mx9, mx6, mx4, msfp16) = (
+        get(BdrFormat::MX9),
+        get(BdrFormat::MX6),
+        get(BdrFormat::MX4),
+        get(BdrFormat::MSFP16),
+    );
     println!("\nPaper claims vs measured:");
     println!(
         "  MX9 QSNR - FP8(E4M3) QSNR    = {:+.1} dB   (paper: ~ +16 dB)",
@@ -67,15 +103,32 @@ fn main() {
     );
     println!(
         "  MX6 QSNR between E4M3/E5M2?    {}        ({:.1} vs [{:.1}, {:.1}])",
-        if mx6.qsnr_db > fp8_e5.qsnr_db && mx6.qsnr_db < fp8.qsnr_db + 3.0 { "yes" } else { "no" },
+        if mx6.qsnr_db > fp8_e5.qsnr_db && mx6.qsnr_db < fp8.qsnr_db + 3.0 {
+            "yes"
+        } else {
+            "no"
+        },
         mx6.qsnr_db,
         fp8_e5.qsnr_db,
         fp8.qsnr_db
     );
-    println!("  MX9/FP8 cost product ratio   = {:.2}x  (paper: ~ 1x)", mx9.product / fp8.product);
-    println!("  FP8/MX6 cost product ratio   = {:.2}x  (paper: ~ 2x)", fp8.product / mx6.product);
-    println!("  FP8/MX4 cost product ratio   = {:.2}x  (paper: ~ 4x)", fp8.product / mx4.product);
-    println!("  Pareto frontier: {} of {} points", frontier.len(), points.len());
+    println!(
+        "  MX9/FP8 cost product ratio   = {:.2}x  (paper: ~ 1x)",
+        mx9.product / fp8.product
+    );
+    println!(
+        "  FP8/MX6 cost product ratio   = {:.2}x  (paper: ~ 2x)",
+        fp8.product / mx6.product
+    );
+    println!(
+        "  FP8/MX4 cost product ratio   = {:.2}x  (paper: ~ 4x)",
+        fp8.product / mx4.product
+    );
+    println!(
+        "  Pareto frontier: {} of {} points",
+        frontier.len(),
+        points.len()
+    );
 
     // Full scatter to CSV for plotting.
     let csv: Vec<Vec<String>> = points
@@ -95,7 +148,15 @@ fn main() {
         .collect();
     write_csv(
         "fig7_pareto",
-        &["label", "bits_per_element", "qsnr_db", "area_norm", "memory_norm", "product", "on_frontier"],
+        &[
+            "label",
+            "bits_per_element",
+            "qsnr_db",
+            "area_norm",
+            "memory_norm",
+            "product",
+            "on_frontier",
+        ],
         &csv,
     );
 }

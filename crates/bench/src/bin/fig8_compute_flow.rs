@@ -8,9 +8,18 @@ use mx_nn::tensor::Tensor;
 fn main() {
     let fmt = TensorFormat::MX9;
     let (m, k, n) = (4usize, 16usize, 8usize);
-    let a = Tensor::from_vec((0..m * k).map(|i| (i as f32 * 0.37).sin()).collect(), &[m, k]);
-    let w = Tensor::from_vec((0..k * n).map(|i| (i as f32 * 0.21).cos()).collect(), &[k, n]);
-    let e = Tensor::from_vec((0..m * n).map(|i| (i as f32 * 0.13).sin() * 0.1).collect(), &[m, n]);
+    let a = Tensor::from_vec(
+        (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect(),
+        &[m, k],
+    );
+    let w = Tensor::from_vec(
+        (0..k * n).map(|i| (i as f32 * 0.21).cos()).collect(),
+        &[k, n],
+    );
+    let e = Tensor::from_vec(
+        (0..m * n).map(|i| (i as f32 * 0.13).sin() * 0.1).collect(),
+        &[m, n],
+    );
 
     println!("== Fig. 8: compute flow of one training iteration (format {fmt}) ==\n");
     println!("Forward:");
@@ -19,7 +28,11 @@ fn main() {
     println!("  W[{k},{n}]  --Q along K (cols)-->  MX[{k}Q,{n}]");
     let wq = quantize_along(&w, fmt, Axis::Col);
     let y = aq.matmul(&wq);
-    println!("  MatMul -> A_out[{},{}] (BF16/FP32 vector ops follow)\n", y.rows(), y.cols());
+    println!(
+        "  MatMul -> A_out[{},{}] (BF16/FP32 vector ops follow)\n",
+        y.rows(),
+        y.cols()
+    );
 
     println!("Backward (dA = E * W^T):");
     println!("  E[{m},{n}]   --Q along N (rows)-->  MX[{m},{n}Q]");
@@ -35,7 +48,11 @@ fn main() {
     println!("  E[{m},{n}]   --Q along M (cols)-->  MX[{m}Q,{n}]");
     let eq_m = quantize_along(&e, fmt, Axis::Col);
     let dw = at_q.matmul(&eq_m);
-    println!("  MatMul -> W_grad[{},{}] -> FP32 optimizer\n", dw.rows(), dw.cols());
+    println!(
+        "  MatMul -> W_grad[{},{}] -> FP32 optimizer\n",
+        dw.rows(),
+        dw.cols()
+    );
 
     // Demonstrate the non-commutativity that forces two weight copies.
     let q_then_t = quantize_along(&w, fmt, Axis::Col).transpose2d();

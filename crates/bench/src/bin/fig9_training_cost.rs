@@ -79,10 +79,21 @@ fn main() {
     }
     print_table(
         "Fig. 9: MX6 training — more iterations, lower total cost (cost in MX9-iteration units)",
-        &["model", "MX9 loss", "MX9 iters/cost", "MX6 loss (1.5x iters)", "MX6 iters/cost", "MX9/MX6 cost ratio"],
+        &[
+            "model",
+            "MX9 loss",
+            "MX9 iters/cost",
+            "MX6 loss (1.5x iters)",
+            "MX6 iters/cost",
+            "MX9/MX6 cost ratio",
+        ],
         &rows,
     );
     println!("\nShape check: with 1.5x iterations MX6 reaches (or beats) the MX9 loss");
     println!("while its total cost stays below MX9's — the crossover in Fig. 9.");
-    write_csv("fig9_training_cost", &["model", "format", "iters", "cost", "loss"], &series);
+    write_csv(
+        "fig9_training_cost",
+        &["model", "format", "iters", "cost", "loss"],
+        &series,
+    );
 }

@@ -15,18 +15,38 @@ fn main() {
                 r.s_type.to_string(),
                 r.ss_type.to_string(),
                 format!("~{}", r.k1),
-                if r.k2 == 0 { "-".into() } else { format!("~{}", r.k2) },
+                if r.k2 == 0 {
+                    "-".into()
+                } else {
+                    format!("~{}", r.k2)
+                },
             ]
         })
         .collect();
     print_table(
         "Table I: two-level scaling classification",
-        &["scheme", "scale", "sub-scale", "s type", "ss type", "k1", "k2"],
+        &[
+            "scheme",
+            "scale",
+            "sub-scale",
+            "s type",
+            "ss type",
+            "k1",
+            "k2",
+        ],
         &rows,
     );
     write_csv(
         "table1_taxonomy",
-        &["scheme", "scale", "sub_scale", "s_type", "ss_type", "k1", "k2"],
+        &[
+            "scheme",
+            "scale",
+            "sub_scale",
+            "s_type",
+            "ss_type",
+            "k1",
+            "k2",
+        ],
         &rows,
     );
 }

@@ -31,7 +31,11 @@ fn main() {
 
     // Knee analysis around each format.
     let settings = SweepSettings {
-        qsnr: QsnrConfig { vectors: 512, vector_len: 1024, seed: 17 },
+        qsnr: QsnrConfig {
+            vectors: 512,
+            vector_len: 1024,
+            seed: 17,
+        },
         distribution: Distribution::NormalVariableVariance,
         threads: 1,
     };
@@ -58,5 +62,9 @@ fn main() {
         &["base", "perturbation", "dQSNR (dB)", "dcost"],
         &rows,
     );
-    write_csv("table2_knee", &["base", "change", "dqsnr_db", "dcost_ratio"], &csv);
+    write_csv(
+        "table2_knee",
+        &["base", "change", "dqsnr_db", "dcost_ratio"],
+        &csv,
+    );
 }

@@ -40,8 +40,8 @@ fn five_way(run: impl Fn(QuantConfig) -> f64) -> [f64; 5] {
     [
         run(QuantConfig::fp32()),
         run(MX9),
-        run(mx9_cast()),  // direct cast of an FP32-trained model is handled
-        run(mx6_cast()),  // by tasks that support it; others re-run with the
+        run(mx9_cast()), // direct cast of an FP32-trained model is handled
+        run(mx6_cast()), // by tasks that support it; others re-run with the
         run(QuantConfig::qat(TensorFormat::MX6)), // cast/QAT config end-to-end
     ]
 }
@@ -88,8 +88,20 @@ fn main() {
             100.0 * train_classifier(&mut m, 90, 2e-3, 13).top1
         }
     };
-    push("DeiT-Tiny (syn shapes)", "Top-1 %", "^", five_way(vit(16, 1)), 1);
-    push("DeiT-Small (syn shapes)", "Top-1 %", "^", five_way(vit(32, 2)), 1);
+    push(
+        "DeiT-Tiny (syn shapes)",
+        "Top-1 %",
+        "^",
+        five_way(vit(16, 1)),
+        1,
+    );
+    push(
+        "DeiT-Small (syn shapes)",
+        "Top-1 %",
+        "^",
+        five_way(vit(32, 2)),
+        1,
+    );
     let resnet = |blocks: usize| {
         move |cfg: QuantConfig| {
             let mut rng = StdRng::seed_from_u64(22);
@@ -97,14 +109,32 @@ fn main() {
             100.0 * train_classifier(&mut m, 70, 3e-3, 14).top1
         }
     };
-    push("ResNet-18-style (syn shapes)", "Top-1 %", "^", five_way(resnet(1)), 1);
-    push("ResNet-50-style (syn shapes)", "Top-1 %", "^", five_way(resnet(2)), 1);
+    push(
+        "ResNet-18-style (syn shapes)",
+        "Top-1 %",
+        "^",
+        five_way(resnet(1)),
+        1,
+    );
+    push(
+        "ResNet-50-style (syn shapes)",
+        "Top-1 %",
+        "^",
+        five_way(resnet(2)),
+        1,
+    );
     let mobile = |cfg: QuantConfig| {
         let mut rng = StdRng::seed_from_u64(23);
         let mut m = TinyMobileNet::new(&mut rng, 8, 2, cfg);
         100.0 * train_classifier(&mut m, 70, 3e-3, 15).top1
     };
-    push("MobileNet-style (syn shapes)", "Top-1 %", "^", five_way(mobile), 1);
+    push(
+        "MobileNet-style (syn shapes)",
+        "Top-1 %",
+        "^",
+        five_way(mobile),
+        1,
+    );
 
     // True direct-cast check for one vision model (train FP32 once, cast).
     {
@@ -133,14 +163,32 @@ fn main() {
     // -- Diffusion ------------------------------------------------------
     eprintln!("[diffusion]");
     let ddpm_c = |cfg| run_diffusion(true, cfg, 260, 31).frechet;
-    push("Conditioned DDPM (syn 2-D)", "Frechet", "v", five_way(ddpm_c), 2);
+    push(
+        "Conditioned DDPM (syn 2-D)",
+        "Frechet",
+        "v",
+        five_way(ddpm_c),
+        2,
+    );
     let ddpm_u = |cfg| run_diffusion(false, cfg, 260, 31).frechet;
-    push("Unconditioned DDPM (syn 2-D)", "Frechet", "v", five_way(ddpm_u), 2);
+    push(
+        "Unconditioned DDPM (syn 2-D)",
+        "Frechet",
+        "v",
+        five_way(ddpm_u),
+        2,
+    );
 
     // -- Speech ----------------------------------------------------------
     eprintln!("[speech]");
     let sp = |cfg| run_speech(cfg, 24, 400, 41).wer;
-    push("Wav2Vec-style GRU (syn speech)", "WER %", "v", five_way(sp), 1);
+    push(
+        "Wav2Vec-style GRU (syn speech)",
+        "WER %",
+        "v",
+        five_way(sp),
+        1,
+    );
 
     // -- Recommendation ---------------------------------------------------
     eprintln!("[recsys]");
@@ -164,7 +212,15 @@ fn main() {
     println!(" table7_generative, mirroring the paper's cross-references.)");
     write_csv(
         "table3_model_suite",
-        &["task", "metric", "fp32", "mx9_train", "cast_mx9", "cast_mx6", "qat_mx6"],
+        &[
+            "task",
+            "metric",
+            "fp32",
+            "mx9_train",
+            "cast_mx9",
+            "cast_mx6",
+            "qat_mx6",
+        ],
         &csv,
     );
 }

@@ -18,8 +18,15 @@ fn main() {
     let corpus = markov_corpus(5, 30_000, 0.9);
     let iters = if full_scale() { 600 } else { 250 };
     eprintln!("pretraining FP32 GPT ({iters} iters)...");
-    let (mut model, run) =
-        train_lm(GptConfig::ladder(2), QuantConfig::fp32(), &corpus, iters, 8, 3e-3, 71);
+    let (mut model, run) = train_lm(
+        GptConfig::ladder(2),
+        QuantConfig::fp32(),
+        &corpus,
+        iters,
+        8,
+        3e-3,
+        71,
+    );
     eprintln!("pretrained: eval loss {:.3}", run.eval_loss);
 
     let grid: [(&str, Option<(TensorFormat, TensorFormat)>); 7] = [
@@ -65,5 +72,9 @@ fn main() {
     );
     println!("\nShape check vs paper: accuracies near-flat for >=MX6 combos; the");
     println!("(MX4, MX4) column should show a visible drop on the high-signal tasks.");
-    write_csv("table4_fewshot", &["task", "shots", "formats", "accuracy_pct"], &csv);
+    write_csv(
+        "table4_fewshot",
+        &["task", "shots", "formats", "accuracy_pct"],
+        &csv,
+    );
 }

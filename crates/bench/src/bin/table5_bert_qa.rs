@@ -13,9 +13,15 @@ fn main() {
     for (name, d, l) in [("BERT-Base-style", 32, 2), ("BERT-Large-style", 48, 3)] {
         eprintln!("training {name} ({iters} iters)...");
         let (mut model, base) = train_bert_qa(d, l, QuantConfig::fp32(), iters, 61);
-        model.set_quant(QuantConfig::weights_activations(TensorFormat::MX9, TensorFormat::MX9));
+        model.set_quant(QuantConfig::weights_activations(
+            TensorFormat::MX9,
+            TensorFormat::MX9,
+        ));
         let mx9 = evaluate_bert_qa(&mut model, 61);
-        model.set_quant(QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6));
+        model.set_quant(QuantConfig::weights_activations(
+            TensorFormat::MX6,
+            TensorFormat::MX6,
+        ));
         let mx6 = evaluate_bert_qa(&mut model, 61);
         rows.push(vec![
             name.to_string(),
@@ -24,12 +30,22 @@ fn main() {
             format!("{:.1} / {:.1}", mx6.em, mx6.f1),
         ]);
         for (cfg, r) in [("fp32", base), ("cast_mx9", mx9), ("cast_mx6", mx6)] {
-            csv.push(vec![name.to_string(), cfg.into(), r.em.to_string(), r.f1.to_string()]);
+            csv.push(vec![
+                name.to_string(),
+                cfg.into(),
+                r.em.to_string(),
+                r.f1.to_string(),
+            ]);
         }
     }
     print_table(
         "Table V: BERT QA, Exact Match / F1 (direct cast, no fine-tuning)",
-        &["model", "Baseline FP32", "Direct cast MX9", "Direct cast MX6"],
+        &[
+            "model",
+            "Baseline FP32",
+            "Direct cast MX9",
+            "Direct cast MX6",
+        ],
         &rows,
     );
     write_csv("table5_bert_qa", &["model", "config", "em", "f1"], &csv);

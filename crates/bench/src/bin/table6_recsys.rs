@@ -5,10 +5,10 @@
 //! destabilized PR-rec3.
 
 use mx_bench::{fmt, print_table, write_csv};
+use mx_core::scalar::ScalarFormat;
 use mx_models::recsys::{run_recsys, Interaction};
 use mx_nn::qflow::QuantConfig;
 use mx_nn::TensorFormat;
-use mx_core::scalar::ScalarFormat;
 
 fn main() {
     let iters = 90;
@@ -18,7 +18,16 @@ fn main() {
     let seeds = [101u64, 202, 303];
     let dlrm_nes: Vec<f64> = seeds
         .iter()
-        .map(|&s| run_recsys(Interaction::DotProduct, QuantConfig::fp32(), false, iters, s).ne)
+        .map(|&s| {
+            run_recsys(
+                Interaction::DotProduct,
+                QuantConfig::fp32(),
+                false,
+                iters,
+                s,
+            )
+            .ne
+        })
         .collect();
     let mean = dlrm_nes.iter().sum::<f64>() / dlrm_nes.len() as f64;
     let spread = dlrm_nes
@@ -46,9 +55,20 @@ fn main() {
     ] {
         eprintln!("[{name} / {topology}]");
         let base = run_recsys(interaction, QuantConfig::fp32(), false, iters, 77);
-        let mx9 = run_recsys(interaction, QuantConfig::uniform(TensorFormat::MX9), false, iters, 77);
-        let mixed =
-            run_recsys(interaction, QuantConfig::uniform(TensorFormat::MX9), true, iters, 77);
+        let mx9 = run_recsys(
+            interaction,
+            QuantConfig::uniform(TensorFormat::MX9),
+            false,
+            iters,
+            77,
+        );
+        let mixed = run_recsys(
+            interaction,
+            QuantConfig::uniform(TensorFormat::MX9),
+            true,
+            iters,
+            77,
+        );
         let fp8_run = run_recsys(interaction, fp8, false, iters, 77);
         let d_mx9 = 100.0 * (mx9.ne - base.ne) / base.ne;
         let d_mixed = 100.0 * (mixed.ne - base.ne) / base.ne;
@@ -73,14 +93,24 @@ fn main() {
     }
     print_table(
         "Table VI: NE delta of quantized training vs FP32 (paper threshold: run-to-run variance)",
-        &["model", "topology", "FP32 NE", "MX9 dNE", "mixed-prec dNE", "FP8 dNE", "FP32 AUC"],
+        &[
+            "model",
+            "topology",
+            "FP32 NE",
+            "MX9 dNE",
+            "mixed-prec dNE",
+            "FP8 dNE",
+            "FP32 AUC",
+        ],
         &rows,
     );
     println!("\nShape check: MX9 and mixed-precision deltas should sit within the");
     println!("run-to-run spread printed above, across all three topologies.");
     write_csv(
         "table6_recsys",
-        &["model", "topology", "fp32_ne", "mx9_ne", "mixed_ne", "fp8_ne"],
+        &[
+            "model", "topology", "fp32_ne", "mx9_ne", "mixed_ne", "fp8_ne",
+        ],
         &csv,
     );
 }

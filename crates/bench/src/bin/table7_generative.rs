@@ -52,8 +52,15 @@ fn main() {
     eprintln!("[MoE]");
     let moe = GptConfig::moe(2, 4);
     let (_, fp32) = train_lm(moe, QuantConfig::fp32(), &corpus, iters, 8, 3e-3, 83);
-    let (_, mx9) =
-        train_lm(moe, QuantConfig::uniform(TensorFormat::MX9), &corpus, iters, 8, 3e-3, 83);
+    let (_, mx9) = train_lm(
+        moe,
+        QuantConfig::uniform(TensorFormat::MX9),
+        &corpus,
+        iters,
+        8,
+        3e-3,
+        83,
+    );
     rows.push(vec![
         "MoE (4 experts)".into(),
         fmt(fp32.eval_loss, 3),
@@ -74,5 +81,9 @@ fn main() {
     );
     println!("\nShape check vs paper: deltas should be within run-to-run noise");
     println!("(the paper reports identical two-decimal losses at every scale).");
-    write_csv("table7_generative", &["model", "params", "fp32_loss", "mx9_loss"], &csv);
+    write_csv(
+        "table7_generative",
+        &["model", "params", "fp32_loss", "mx9_loss"],
+        &csv,
+    );
 }

@@ -8,7 +8,11 @@ use mx_core::qsnr::{measure_qsnr, Distribution, QsnrConfig};
 use mx_core::theory::qsnr_lower_bound_db;
 
 fn main() {
-    let cfg = QsnrConfig { vectors: 256, vector_len: 1024, seed: 31 };
+    let cfg = QsnrConfig {
+        vectors: 256,
+        vector_len: 1024,
+        seed: 31,
+    };
     let dists = [
         Distribution::NormalVariableVariance,
         Distribution::Uniform { lo: -1.0, hi: 1.0 },
@@ -35,18 +39,34 @@ fn main() {
                 violations += 1;
             }
             row.push(fmt(measured, 1));
-            csv.push(vec![f.to_string(), d.to_string(), bound.to_string(), measured.to_string()]);
+            csv.push(vec![
+                f.to_string(),
+                d.to_string(),
+                bound.to_string(),
+                measured.to_string(),
+            ]);
         }
         rows.push(row);
     }
     print_table(
         "Theorem 1: QSNR lower bound vs measured (dB)",
-        &["format", "bound", "N(0,|N|^2)", "Uniform", "LogNormal", "Laplace"],
+        &[
+            "format",
+            "bound",
+            "N(0,|N|^2)",
+            "Uniform",
+            "LogNormal",
+            "Laplace",
+        ],
         &rows,
     );
     println!(
         "\nBound violations: {violations} (must be 0; the property test in \
          mx-core checks 512 adversarial cases per run)"
     );
-    write_csv("theorem1_bound", &["format", "distribution", "bound_db", "measured_db"], &csv);
+    write_csv(
+        "theorem1_bound",
+        &["format", "distribution", "bound_db", "measured_db"],
+        &csv,
+    );
 }

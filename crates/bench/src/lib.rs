@@ -37,17 +37,26 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             *w = (*w).max(cell.len());
         }
     }
-    let rule: String =
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let rule: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
     println!("\n== {title} ==");
     println!("{rule}");
-    let head: Vec<String> =
-        headers.iter().zip(&widths).map(|(h, w)| format!(" {h:<w$} ")).collect();
+    let head: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:<w$} "))
+        .collect();
     println!("{}", head.join("|"));
     println!("{rule}");
     for row in rows {
-        let line: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!(" {c:<w$} ")).collect();
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect();
         println!("{}", line.join("|"));
     }
     println!("{rule}");

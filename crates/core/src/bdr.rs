@@ -15,8 +15,8 @@
 //! with `m ∈ {2, 4, 7}` (see [`BdrFormat::MX4`], [`BdrFormat::MX6`],
 //! [`BdrFormat::MX9`]).
 
+use crate::engine::QuantEngine;
 use crate::error::FormatError;
-use crate::util::{max_exponent, pow2, round_half_even};
 use crate::VectorQuantizer;
 use std::fmt;
 
@@ -83,7 +83,14 @@ impl BdrFormat {
     pub const MSFP12: Self = Self::preset(3, 8, 0, 16, 16, "MSFP12");
 
     const fn preset(m: u32, d1: u32, d2: u32, k1: usize, k2: usize, name: &'static str) -> Self {
-        BdrFormat { m, d1, d2, k1, k2, name: Some(name) }
+        BdrFormat {
+            m,
+            d1,
+            d2,
+            k1,
+            k2,
+            name: Some(name),
+        }
     }
 
     /// Creates a validated BDR format.
@@ -109,18 +116,36 @@ impl BdrFormat {
     /// ```
     pub fn new(m: u32, d1: u32, d2: u32, k1: usize, k2: usize) -> Result<Self, FormatError> {
         if m == 0 || m > MAX_MANTISSA_BITS {
-            return Err(FormatError::InvalidMantissa { m, max: MAX_MANTISSA_BITS });
+            return Err(FormatError::InvalidMantissa {
+                m,
+                max: MAX_MANTISSA_BITS,
+            });
         }
         if d1 == 0 || d1 > MAX_D1 {
-            return Err(FormatError::InvalidScaleWidth { level: 1, bits: d1, max: MAX_D1 });
+            return Err(FormatError::InvalidScaleWidth {
+                level: 1,
+                bits: d1,
+                max: MAX_D1,
+            });
         }
         if d2 > MAX_D2 {
-            return Err(FormatError::InvalidScaleWidth { level: 2, bits: d2, max: MAX_D2 });
+            return Err(FormatError::InvalidScaleWidth {
+                level: 2,
+                bits: d2,
+                max: MAX_D2,
+            });
         }
-        if k1 == 0 || k2 == 0 || k1 % k2 != 0 {
+        if k1 == 0 || k2 == 0 || !k1.is_multiple_of(k2) {
             return Err(FormatError::InvalidBlockStructure { k1, k2 });
         }
-        Ok(BdrFormat { m, d1, d2, k1, k2, name: None })
+        Ok(BdrFormat {
+            m,
+            d1,
+            d2,
+            k1,
+            k2,
+            name: None,
+        })
     }
 
     /// Explicit mantissa bits per element (excluding the sign bit).
@@ -154,6 +179,24 @@ impl BdrFormat {
         (1u32 << self.d2) - 1
     }
 
+    /// Bias added to the shared exponent when packing it into `d1` bits
+    /// (`2^(d1−1) − 1`, the IEEE-style offset).
+    pub fn exp_bias(&self) -> i64 {
+        (1i64 << (self.d1 - 1)) - 1
+    }
+
+    /// Largest `m`-bit magnitude code (`2^m − 1`); larger values saturate.
+    pub fn max_code(&self) -> u64 {
+        (1u64 << self.m) - 1
+    }
+
+    /// Packed storage footprint in bits of one block of `len` elements:
+    /// the shared exponent, one microexponent per sub-block, and a
+    /// sign + `m`-bit magnitude per element.
+    pub fn block_bits(&self, len: usize) -> usize {
+        self.d1 as usize + len.div_ceil(self.k2) * self.d2 as usize + len * (1 + self.m as usize)
+    }
+
     /// Average storage bits per element:
     /// `(m + 1) + d1/k1 + d2/k2` (Fig. 5).
     ///
@@ -185,51 +228,19 @@ impl BdrFormat {
     /// The shared exponent is the exponent of the largest magnitude, clamped
     /// to the `d1`-bit range; shift `τᵢ = min(E − Eᵢ, β)` where `Eᵢ` is the
     /// local maximum exponent of sub-block `i` (all-zero sub-blocks get `β`).
+    ///
+    /// Delegates to the unified [`crate::engine::QuantEngine`] — the single
+    /// implementation of the plan in the workspace.
     pub fn plan_block(&self, block: &[f32]) -> Option<BlockPlan> {
         debug_assert!(block.len() <= self.k1);
-        let e_raw = max_exponent(block)?;
-        let shared_exp = e_raw.clamp(self.min_shared_exp(), self.max_shared_exp());
-        let beta = self.max_shift();
-        let shifts = block
-            .chunks(self.k2)
-            .map(|sub| match max_exponent(sub) {
-                Some(e_i) => (shared_exp.saturating_sub(e_i).max(0) as u32).min(beta),
-                None => beta,
-            })
-            .collect();
-        Some(BlockPlan { shared_exp, shifts })
+        QuantEngine::new(*self).plan_block(block)
     }
 
     /// Quantizes one block (length at most [`Self::k1`]) to the format's grid
     /// and returns the dequantized values.
     pub fn quantize_dequantize_block(&self, block: &[f32]) -> Vec<f32> {
-        let mut out = vec![0.0f32; block.len()];
-        self.quantize_dequantize_block_into(block, &mut out);
-        out
-    }
-
-    fn quantize_dequantize_block_into(&self, block: &[f32], out: &mut [f32]) {
-        let Some(plan) = self.plan_block(block) else {
-            out.fill(0.0);
-            return;
-        };
-        let max_code = (1u64 << self.m) - 1;
-        for (i, (sub, sub_out)) in block.chunks(self.k2).zip(out.chunks_mut(self.k2)).enumerate() {
-            let eff_exp = plan.shared_exp - plan.shifts[i] as i32;
-            // One unit in the last place for a mantissa of the form
-            // b0.b1..b(m-1) at exponent eff_exp.
-            let ulp = pow2(eff_exp - (self.m as i32 - 1));
-            for (x, y) in sub.iter().zip(sub_out.iter_mut()) {
-                if *x == 0.0 {
-                    *y = 0.0;
-                    continue;
-                }
-                let sign = if x.is_sign_negative() { -1.0f64 } else { 1.0 };
-                let code = round_half_even(x.abs() as f64 / ulp);
-                let code = if code as u64 > max_code { max_code as f64 } else { code };
-                *y = (sign * code * ulp) as f32;
-            }
-        }
+        debug_assert!(block.len() <= self.k1);
+        QuantEngine::new(*self).quantize_dequantize(block)
     }
 
     /// Quantizes `xs` (any length; the tail may form a partial block) and
@@ -244,21 +255,13 @@ impl BdrFormat {
     /// assert_eq!(q.len(), 40);
     /// ```
     pub fn quantize_dequantize(&self, xs: &[f32]) -> Vec<f32> {
-        let mut out = vec![0.0f32; xs.len()];
-        for (block, block_out) in xs.chunks(self.k1).zip(out.chunks_mut(self.k1)) {
-            self.quantize_dequantize_block_into(block, block_out);
-        }
-        out
+        QuantEngine::new(*self).quantize_dequantize(xs)
     }
 
     /// Quantizes `xs` in place (same semantics as
     /// [`Self::quantize_dequantize`] but reusing the buffer).
     pub fn quantize_dequantize_in_place(&self, xs: &mut [f32]) {
-        for start in (0..xs.len()).step_by(self.k1) {
-            let end = (start + self.k1).min(xs.len());
-            let block: Vec<f32> = xs[start..end].to_vec();
-            self.quantize_dequantize_block_into(&block, &mut xs[start..end]);
-        }
+        QuantEngine::new(*self).quantize_dequantize_in_place(xs)
     }
 
     /// Quantizes one block (length at most [`Self::k1`]) down to raw integer
@@ -279,33 +282,7 @@ impl BdrFormat {
     /// ```
     pub fn quantize_block_codes(&self, block: &[f32]) -> QuantizedBlock {
         debug_assert!(block.len() <= self.k1);
-        let sub_blocks = block.len().div_ceil(self.k2);
-        let Some(plan) = self.plan_block(block) else {
-            return QuantizedBlock {
-                format: *self,
-                shared_exp: 0,
-                shifts: vec![0; sub_blocks],
-                signs: vec![false; block.len()],
-                codes: vec![0; block.len()],
-            };
-        };
-        let max_code = (1u64 << self.m) - 1;
-        let mut signs = Vec::with_capacity(block.len());
-        let mut codes = Vec::with_capacity(block.len());
-        for (i, sub) in block.chunks(self.k2).enumerate() {
-            let eff_exp = plan.shared_exp - plan.shifts[i] as i32;
-            let ulp = pow2(eff_exp - (self.m as i32 - 1));
-            for &x in sub {
-                signs.push(x.is_sign_negative());
-                let code = if x == 0.0 {
-                    0
-                } else {
-                    (round_half_even(x.abs() as f64 / ulp) as u64).min(max_code)
-                };
-                codes.push(code as u32);
-            }
-        }
-        QuantizedBlock { format: *self, shared_exp: plan.shared_exp, shifts: plan.shifts, signs, codes }
+        QuantEngine::new(*self).quantize_block_codes(block)
     }
 
     /// Worst-case absolute quantization error for an element in a sub-block
@@ -313,7 +290,7 @@ impl BdrFormat {
     /// `2^(E − τ − m)` (Eq. 8 of the paper). Exceeded only by saturation of
     /// the largest code, which the paper's bound also excludes.
     pub fn error_bound(&self, shared_exp: i32, shift: u32) -> f64 {
-        pow2(shared_exp - shift as i32 - self.m as i32)
+        crate::util::pow2(shared_exp - shift as i32 - self.m as i32)
     }
 }
 
@@ -368,7 +345,7 @@ impl QuantizedBlock {
             .enumerate()
             .map(|(i, (&code, &neg))| {
                 let shift = self.shifts[i / fmt.k2()];
-                let ulp = pow2(self.shared_exp - shift as i32 - (fmt.m() as i32 - 1));
+                let ulp = crate::engine::ulp_of(fmt, self.shared_exp, shift);
                 let mag = (code as f64 * ulp) as f32;
                 if neg {
                     -mag
@@ -584,7 +561,9 @@ mod tests {
     #[test]
     fn idempotent() {
         let fmt = BdrFormat::MX6;
-        let x: Vec<f32> = (0..64).map(|i| ((i * 37) % 101) as f32 * 0.013 - 0.6).collect();
+        let x: Vec<f32> = (0..64)
+            .map(|i| ((i * 37) % 101) as f32 * 0.013 - 0.6)
+            .collect();
         let q1 = fmt.quantize_dequantize(&x);
         let q2 = fmt.quantize_dequantize(&q1);
         assert_eq!(q1, q2);
@@ -637,8 +616,15 @@ mod tests {
 
     #[test]
     fn codes_dequantize_matches_quantize_dequantize() {
-        for fmt in [BdrFormat::MX4, BdrFormat::MX6, BdrFormat::MX9, BdrFormat::MSFP12] {
-            let x: Vec<f32> = (0..16).map(|i| ((i * 73) % 29) as f32 * 0.21 - 2.5).collect();
+        for fmt in [
+            BdrFormat::MX4,
+            BdrFormat::MX6,
+            BdrFormat::MX9,
+            BdrFormat::MSFP12,
+        ] {
+            let x: Vec<f32> = (0..16)
+                .map(|i| ((i * 73) % 29) as f32 * 0.21 - 2.5)
+                .collect();
             let qb = fmt.quantize_block_codes(&x);
             assert_eq!(qb.len(), 16);
             assert_eq!(qb.dequantize(), fmt.quantize_dequantize_block(&x), "{fmt}");

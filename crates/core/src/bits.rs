@@ -111,8 +111,15 @@ mod tests {
 
     #[test]
     fn round_trip_mixed_widths() {
-        let fields: Vec<(u64, u32)> =
-            vec![(0, 1), (1, 1), (0b1010, 4), (0xff, 8), (0x1234, 16), (7, 3), (0, 5)];
+        let fields: Vec<(u64, u32)> = vec![
+            (0, 1),
+            (1, 1),
+            (0b1010, 4),
+            (0xff, 8),
+            (0x1234, 16),
+            (7, 3),
+            (0, 5),
+        ];
         let mut w = BitWriter::new();
         for (v, width) in &fields {
             w.write(*v, *width);

@@ -1,0 +1,686 @@
+//! The unified block-quantization engine: one implementation of the BDR
+//! block plan serving every consumer in the workspace.
+//!
+//! The paper's central object is the two-level block plan of Fig. 4/5 — a
+//! shared `d1`-bit exponent per `k1`-block plus a `d2`-bit microexponent
+//! shift per `k2`-sub-block. The seed computed that plan in three
+//! independent places (the value path in [`crate::bdr`], a re-inlined copy
+//! in the packed encoder of [`crate::mx`], and a transpose-heavy wrapper in
+//! `mx-nn`). This module is now the *only* implementation; everything else
+//! is a thin client:
+//!
+//! - **Value path** — [`QuantEngine::quantize_dequantize`] /
+//!   [`QuantEngine::quantize_dequantize_in_place`] fake-quantize contiguous
+//!   vectors.
+//! - **Packed bit streams** — [`QuantEngine::encode`] /
+//!   [`QuantEngine::decode`] produce and consume the Fig. 4 layout;
+//!   [`crate::mx::MxTensor`] delegates here.
+//! - **Strided 2-D kernels** — [`QuantEngine::quantize_dequantize_rows`]
+//!   and [`QuantEngine::quantize_dequantize_cols`] quantize a row-major
+//!   matrix along either axis *in place*. The column kernel walks blocks
+//!   directly through a stride, replacing the seed's
+//!   transpose → quantize → transpose round trip.
+//! - **Integer codes** — [`QuantEngine::quantize_block_codes`] lowers a
+//!   block to the sign/magnitude codes the `mx-hw` datapath consumes.
+//!
+//! All value kernels have a chunked data-parallel front-end (see
+//! [`crate::parallel`]): construct the engine with
+//! [`QuantEngine::with_threads`] and large tensors are split into
+//! block-aligned spans across worker threads. Because blocks are
+//! independent, the parallel result is **bit-identical** to the serial one.
+//!
+//! # Examples
+//!
+//! ```
+//! use mx_core::bdr::BdrFormat;
+//! use mx_core::engine::QuantEngine;
+//!
+//! let engine = QuantEngine::new(BdrFormat::MX6);
+//! let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.3).sin()).collect();
+//!
+//! // Value path, packed path, and the format's own method all agree.
+//! let q = engine.quantize_dequantize(&x);
+//! assert_eq!(q, BdrFormat::MX6.quantize_dequantize(&x));
+//! let bytes = engine.encode(&x);
+//! assert_eq!(engine.decode(&bytes, x.len()), q);
+//! ```
+
+use crate::bdr::{BdrFormat, BlockPlan, QuantizedBlock};
+use crate::bits::{BitReader, BitWriter};
+use crate::parallel;
+use crate::util::{exponent_of, pow2, round_half_even};
+
+/// Minimum number of elements each worker thread must receive before the
+/// engine bothers spawning it; below `2×` this the kernels stay serial.
+/// Scoped threads are spawned per call, so tiny tensors must not pay the
+/// spawn cost.
+pub const PARALLEL_GRAIN: usize = 16 * 1024;
+
+/// Block-quantization engine for one [`BdrFormat`].
+///
+/// Construction is free; the engine is `Copy` and carries only the format
+/// and a thread-count knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantEngine {
+    format: BdrFormat,
+    threads: usize,
+}
+
+impl QuantEngine {
+    /// Serial engine for `format`.
+    pub fn new(format: BdrFormat) -> Self {
+        QuantEngine { format, threads: 1 }
+    }
+
+    /// Engine that uses every available core for large tensors
+    /// (equivalent to `new(format).with_threads(0)`).
+    pub fn auto(format: BdrFormat) -> Self {
+        Self::new(format).with_threads(0)
+    }
+
+    /// Sets the worker-thread budget. `0` means "all available cores"
+    /// ([`parallel::default_threads`]). Regardless of the budget, inputs
+    /// smaller than `2 ×` [`PARALLEL_GRAIN`] are processed serially, and
+    /// the parallel result is always bit-identical to the serial one.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            parallel::default_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// The engine's format.
+    pub fn format(&self) -> BdrFormat {
+        self.format
+    }
+
+    /// The configured worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn effective_threads(&self, len: usize) -> usize {
+        if self.threads <= 1 || len < 2 * PARALLEL_GRAIN {
+            1
+        } else {
+            self.threads.min(len / PARALLEL_GRAIN).max(1)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Planning
+    // ------------------------------------------------------------------
+
+    /// Computes the block plan for one contiguous block of at most `k1`
+    /// values, or `None` for an all-zero block.
+    pub fn plan_block(&self, block: &[f32]) -> Option<BlockPlan> {
+        self.plan_block_strided(block, 0, 1, block.len())
+    }
+
+    /// Computes the block plan for a strided block: elements
+    /// `data[base + i·stride]` for `i in 0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `len` exceeds `k1`; panics if the last
+    /// index is out of bounds.
+    pub fn plan_block_strided(
+        &self,
+        data: &[f32],
+        base: usize,
+        stride: usize,
+        len: usize,
+    ) -> Option<BlockPlan> {
+        let mut shifts = Vec::new();
+        let shared_exp = plan_into(&self.format, data, base, stride, len, &mut shifts)?;
+        Some(BlockPlan { shared_exp, shifts })
+    }
+
+    // ------------------------------------------------------------------
+    // (a) Value path
+    // ------------------------------------------------------------------
+
+    /// Quantizes `xs` (any length; the tail may form a partial block) and
+    /// returns the dequantized values.
+    pub fn quantize_dequantize(&self, xs: &[f32]) -> Vec<f32> {
+        let mut out = xs.to_vec();
+        self.quantize_dequantize_in_place(&mut out);
+        out
+    }
+
+    /// Quantizes `xs` in place.
+    pub fn quantize_dequantize_in_place(&self, xs: &mut [f32]) {
+        let threads = self.effective_threads(xs.len());
+        let fmt = self.format;
+        parallel::for_each_span_mut(xs, fmt.k1(), threads, |span| {
+            qdq_slice(&fmt, span, &mut Vec::new());
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // (c) Strided 2-D kernels
+    // ------------------------------------------------------------------
+
+    /// Quantizes each length-`cols` row of a row-major matrix
+    /// independently, in place (blocks restart at every row boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero or `data.len()` is not a multiple of it.
+    pub fn quantize_dequantize_rows(&self, data: &mut [f32], cols: usize) {
+        if data.is_empty() {
+            return;
+        }
+        assert!(
+            cols > 0 && data.len().is_multiple_of(cols),
+            "data length {} is not a whole number of rows of {cols} columns",
+            data.len()
+        );
+        let threads = self.effective_threads(data.len());
+        let fmt = self.format;
+        parallel::for_each_span_mut(data, cols, threads, |span| {
+            let mut shifts = Vec::new();
+            for row in span.chunks_mut(cols) {
+                qdq_slice(&fmt, row, &mut shifts);
+            }
+        });
+    }
+
+    /// Quantizes each column of a row-major `[rows, cols]` matrix
+    /// independently, in place: blocks of `k1` run *down* each column
+    /// (the reduction-dimension layout for the `W[K,N]` operand of `A·W`),
+    /// walked directly through the row stride — no transpose is
+    /// materialized.
+    ///
+    /// Equivalent to (but faster than) transposing, quantizing each row,
+    /// and transposing back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero or `data.len()` is not a multiple of it.
+    pub fn quantize_dequantize_cols(&self, data: &mut [f32], cols: usize) {
+        if data.is_empty() {
+            return;
+        }
+        assert!(
+            cols > 0 && data.len().is_multiple_of(cols),
+            "data length {} is not a whole number of rows of {cols} columns",
+            data.len()
+        );
+        let threads = self.effective_threads(data.len());
+        let fmt = self.format;
+        let k1 = fmt.k1();
+        // Split on bands of k1 rows: every column block lies entirely
+        // inside one band, so bands are independent (and parallel-safe).
+        parallel::for_each_span_mut(data, k1 * cols, threads, |band| {
+            let band_rows = band.len() / cols;
+            let mut shifts = Vec::new();
+            for block_start in (0..band_rows).step_by(k1) {
+                let block_len = k1.min(band_rows - block_start);
+                let row_base = block_start * cols;
+                for c in 0..cols {
+                    qdq_block_strided(&fmt, band, row_base + c, cols, block_len, &mut shifts);
+                }
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // (b) Packed bit streams + integer codes
+    // ------------------------------------------------------------------
+
+    /// Encodes `values` into the packed Fig. 4 bit stream: per block, one
+    /// `d1`-bit biased shared exponent, `k1/k2` microexponent shifts of
+    /// `d2` bits, then `k1` elements of (sign, `m`-bit magnitude).
+    ///
+    /// When the format's full-block footprint is byte-aligned and the
+    /// engine has a thread budget, blocks are encoded in parallel spans and
+    /// concatenated — bit-identical to the serial stream.
+    pub fn encode(&self, values: &[f32]) -> Vec<u8> {
+        let fmt = self.format;
+        let k1 = fmt.k1();
+        let threads = self.effective_threads(values.len());
+        let byte_aligned = fmt.block_bits(k1).is_multiple_of(8);
+        if threads > 1 && byte_aligned && values.len() > k1 {
+            let span = values.len().div_ceil(threads).div_ceil(k1) * k1;
+            let spans: Vec<&[f32]> = values.chunks(span).collect();
+            let parts = parallel::map(&spans, threads, |span| encode_slice(&fmt, span));
+            let mut bytes = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+            for part in parts {
+                bytes.extend_from_slice(&part);
+            }
+            bytes
+        } else {
+            encode_slice(&fmt, values)
+        }
+    }
+
+    /// Decodes `len` elements from a packed bit stream produced by
+    /// [`QuantEngine::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is truncated.
+    pub fn decode(&self, bytes: &[u8], len: usize) -> Vec<f32> {
+        let fmt = &self.format;
+        let mut r = BitReader::new(bytes);
+        let exp_bias = fmt.exp_bias();
+        let mut out = Vec::with_capacity(len);
+        let mut shifts = Vec::new();
+        let mut remaining = len;
+        while remaining > 0 {
+            let block_len = remaining.min(fmt.k1());
+            let exp_code = r.read(fmt.d1()).expect("truncated stream") as i64;
+            let shared_exp = (exp_code - exp_bias) as i32;
+            let sub_blocks = block_len.div_ceil(fmt.k2());
+            shifts.clear();
+            for _ in 0..sub_blocks {
+                shifts.push(r.read(fmt.d2()).expect("truncated stream") as u32);
+            }
+            for i in 0..block_len {
+                let ulp = ulp_of(fmt, shared_exp, shifts[i / fmt.k2()]);
+                let sign = r.read(1).expect("truncated stream");
+                let code = r.read(fmt.m()).expect("truncated stream");
+                let mag = (code as f64 * ulp) as f32;
+                out.push(if sign == 1 { -mag } else { mag });
+            }
+            remaining -= block_len;
+        }
+        out
+    }
+
+    /// Lowers one block (length at most `k1`) to raw integer codes — the
+    /// form a hardware datapath consumes. All-zero blocks return shared
+    /// exponent 0 and zero codes.
+    pub fn quantize_block_codes(&self, block: &[f32]) -> QuantizedBlock {
+        let fmt = self.format;
+        debug_assert!(block.len() <= fmt.k1());
+        let sub_blocks = block.len().div_ceil(fmt.k2());
+        let mut shifts = Vec::new();
+        let Some(shared_exp) = plan_into(&fmt, block, 0, 1, block.len(), &mut shifts) else {
+            return QuantizedBlock {
+                format: fmt,
+                shared_exp: 0,
+                shifts: vec![0; sub_blocks],
+                signs: vec![false; block.len()],
+                codes: vec![0; block.len()],
+            };
+        };
+        let max_code = fmt.max_code();
+        let mut signs = Vec::with_capacity(block.len());
+        let mut codes = Vec::with_capacity(block.len());
+        for (i, sub) in block.chunks(fmt.k2()).enumerate() {
+            let ulp = ulp_of(&fmt, shared_exp, shifts[i]);
+            for &x in sub {
+                // Zeros (including -0.0) carry sign 0 so code lowering,
+                // packed streams, and the value path dequantize to the
+                // same bit pattern (+0.0).
+                signs.push(x != 0.0 && x.is_sign_negative());
+                codes.push(quantize_code(x, ulp, max_code) as u32);
+            }
+        }
+        QuantizedBlock {
+            format: fmt,
+            shared_exp,
+            shifts,
+            signs,
+            codes,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The single implementation of the BDR block plan and its kernels.
+// ----------------------------------------------------------------------
+
+/// Largest exponent over the strided elements, `None` if all are zero.
+#[inline]
+fn max_exp_strided(data: &[f32], base: usize, stride: usize, len: usize) -> Option<i32> {
+    let mut best: Option<i32> = None;
+    let mut idx = base;
+    for _ in 0..len {
+        let x = data[idx];
+        if x != 0.0 && x.is_finite() {
+            let e = exponent_of(x);
+            best = Some(match best {
+                Some(b) if b >= e => b,
+                _ => e,
+            });
+        }
+        idx += stride;
+    }
+    best
+}
+
+/// Computes the shared exponent and fills `shifts` (one per `k2`-sub-block)
+/// for the strided block `data[base + i·stride], i in 0..len`. Returns
+/// `None` (leaving `shifts` empty) for an all-zero block.
+///
+/// This is the *only* implementation of the paper's two-level plan: the
+/// shared exponent is the clamped exponent of the block's largest
+/// magnitude, and each sub-block's shift is `min(E − Eᵢ, 2^d2 − 1)`
+/// (all-zero sub-blocks take the maximum shift).
+fn plan_into(
+    fmt: &BdrFormat,
+    data: &[f32],
+    base: usize,
+    stride: usize,
+    len: usize,
+    shifts: &mut Vec<u32>,
+) -> Option<i32> {
+    debug_assert!(len <= fmt.k1(), "block of {len} exceeds k1 = {}", fmt.k1());
+    shifts.clear();
+    let e_raw = max_exp_strided(data, base, stride, len)?;
+    let shared_exp = e_raw.clamp(fmt.min_shared_exp(), fmt.max_shared_exp());
+    let beta = fmt.max_shift();
+    let k2 = fmt.k2();
+    let mut sub_start = 0;
+    while sub_start < len {
+        let sub_len = k2.min(len - sub_start);
+        let shift = match max_exp_strided(data, base + sub_start * stride, stride, sub_len) {
+            Some(e_i) => (shared_exp.saturating_sub(e_i).max(0) as u32).min(beta),
+            None => beta,
+        };
+        shifts.push(shift);
+        sub_start += k2;
+    }
+    Some(shared_exp)
+}
+
+/// One unit in the last place for a sub-block at `shared_exp − shift` with
+/// an `m`-bit mantissa of the form `b0.b1…b(m−1)`.
+#[inline]
+pub(crate) fn ulp_of(fmt: &BdrFormat, shared_exp: i32, shift: u32) -> f64 {
+    pow2(shared_exp - shift as i32 - (fmt.m() as i32 - 1))
+}
+
+/// Quantizes one magnitude to its integer code (round-half-even, saturating
+/// at `max_code`).
+#[inline]
+fn quantize_code(x: f32, ulp: f64, max_code: u64) -> u64 {
+    if x == 0.0 {
+        0
+    } else {
+        (round_half_even(x.abs() as f64 / ulp) as u64).min(max_code)
+    }
+}
+
+/// Fake-quantizes one strided block in place.
+fn qdq_block_strided(
+    fmt: &BdrFormat,
+    data: &mut [f32],
+    base: usize,
+    stride: usize,
+    len: usize,
+    shifts: &mut Vec<u32>,
+) {
+    let Some(shared_exp) = plan_into(fmt, data, base, stride, len, shifts) else {
+        let mut idx = base;
+        for _ in 0..len {
+            data[idx] = 0.0;
+            idx += stride;
+        }
+        return;
+    };
+    let max_code = fmt.max_code();
+    let k2 = fmt.k2();
+    let mut idx = base;
+    let mut done = 0;
+    for &shift in shifts.iter() {
+        let ulp = ulp_of(fmt, shared_exp, shift);
+        let sub_len = k2.min(len - done);
+        for _ in 0..sub_len {
+            let x = data[idx];
+            data[idx] = if x == 0.0 {
+                0.0
+            } else {
+                let mag = (quantize_code(x, ulp, max_code) as f64 * ulp) as f32;
+                if x.is_sign_negative() {
+                    -mag
+                } else {
+                    mag
+                }
+            };
+            idx += stride;
+        }
+        done += sub_len;
+    }
+}
+
+/// Fake-quantizes a contiguous slice in place, block by block.
+fn qdq_slice(fmt: &BdrFormat, xs: &mut [f32], shifts: &mut Vec<u32>) {
+    let k1 = fmt.k1();
+    for start in (0..xs.len()).step_by(k1) {
+        let len = k1.min(xs.len() - start);
+        qdq_block_strided(fmt, xs, start, 1, len, shifts);
+    }
+}
+
+/// Serial packed encoding of a slice of whole blocks (plus an optional
+/// partial tail block).
+fn encode_slice(fmt: &BdrFormat, values: &[f32]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    let mut shifts = Vec::new();
+    let exp_bias = fmt.exp_bias();
+    let max_code = fmt.max_code();
+    for block in values.chunks(fmt.k1()) {
+        match plan_into(fmt, block, 0, 1, block.len(), &mut shifts) {
+            None => {
+                // All-zero block: exponent code 0, shifts 0, elements 0.
+                w.write(0, fmt.d1());
+                for _ in block.chunks(fmt.k2()) {
+                    w.write(0, fmt.d2());
+                }
+                for _ in block {
+                    w.write(0, 1 + fmt.m());
+                }
+            }
+            Some(shared_exp) => {
+                w.write((shared_exp as i64 + exp_bias) as u64, fmt.d1());
+                for &shift in &shifts {
+                    w.write(shift as u64, fmt.d2());
+                }
+                for (i, sub) in block.chunks(fmt.k2()).enumerate() {
+                    let ulp = ulp_of(fmt, shared_exp, shifts[i]);
+                    for &x in sub {
+                        // Sign 0 for zeros (incl. -0.0): keeps the packed
+                        // stream bit-identical to the value path.
+                        w.write(u64::from(x != 0.0 && x.is_sign_negative()), 1);
+                        w.write(quantize_code(x, ulp, max_code), fmt.m());
+                    }
+                }
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.037)
+            .collect()
+    }
+
+    const FORMATS: [BdrFormat; 5] = [
+        BdrFormat::MX4,
+        BdrFormat::MX6,
+        BdrFormat::MX9,
+        BdrFormat::MSFP12,
+        BdrFormat::MSFP16,
+    ];
+
+    #[test]
+    fn strided_plan_matches_gathered_plan() {
+        let fmt = BdrFormat::MX6;
+        let engine = QuantEngine::new(fmt);
+        let data = ramp(64);
+        // Stride-4 block starting at 1: elements 1, 5, 9, ...
+        let gathered: Vec<f32> = (0..16).map(|i| data[1 + 4 * i]).collect();
+        let strided = engine.plan_block_strided(&data, 1, 4, 16).unwrap();
+        let direct = engine.plan_block(&gathered).unwrap();
+        assert_eq!(strided, direct);
+    }
+
+    #[test]
+    fn value_path_matches_format_method() {
+        for fmt in FORMATS {
+            let x = ramp(100);
+            let engine = QuantEngine::new(fmt);
+            assert_eq!(
+                engine.quantize_dequantize(&x),
+                fmt.quantize_dequantize(&x),
+                "{fmt}"
+            );
+        }
+    }
+
+    #[test]
+    fn cols_kernel_matches_transpose_oracle() {
+        for fmt in [BdrFormat::MX6, BdrFormat::MX9, BdrFormat::MSFP12] {
+            for (rows, cols) in [(16, 3), (37, 5), (33, 7), (16, 16), (1, 4), (5, 1)] {
+                let engine = QuantEngine::new(fmt);
+                let data = ramp(rows * cols);
+                // Oracle: transpose, quantize each row, transpose back.
+                let mut expect = vec![0.0f32; rows * cols];
+                for c in 0..cols {
+                    let col: Vec<f32> = (0..rows).map(|r| data[r * cols + c]).collect();
+                    let q = fmt.quantize_dequantize(&col);
+                    for (r, v) in q.into_iter().enumerate() {
+                        expect[r * cols + c] = v;
+                    }
+                }
+                let mut got = data.clone();
+                engine.quantize_dequantize_cols(&mut got, cols);
+                assert_eq!(got, expect, "{fmt} {rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_kernel_matches_per_row_quantization() {
+        let fmt = BdrFormat::MX6;
+        let engine = QuantEngine::new(fmt);
+        let (rows, cols) = (5, 21);
+        let data = ramp(rows * cols);
+        let mut got = data.clone();
+        engine.quantize_dequantize_rows(&mut got, cols);
+        for r in 0..rows {
+            let expect = fmt.quantize_dequantize(&data[r * cols..(r + 1) * cols]);
+            assert_eq!(&got[r * cols..(r + 1) * cols], &expect[..], "row {r}");
+        }
+    }
+
+    #[test]
+    fn parallel_value_path_is_bit_identical_to_serial() {
+        let fmt = BdrFormat::MX9;
+        let n = 4 * PARALLEL_GRAIN + 7; // force the parallel path, ragged tail
+        let x = ramp(n);
+        let serial = QuantEngine::new(fmt).quantize_dequantize(&x);
+        for threads in [2, 3, 8] {
+            let par = QuantEngine::new(fmt)
+                .with_threads(threads)
+                .quantize_dequantize(&x);
+            let same_bits = serial
+                .iter()
+                .zip(par.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_bits, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_cols_kernel_is_bit_identical_to_serial() {
+        let fmt = BdrFormat::MX6;
+        let (rows, cols) = (512, 300); // > 2 * PARALLEL_GRAIN elements
+        let data = ramp(rows * cols);
+        let mut serial = data.clone();
+        QuantEngine::new(fmt).quantize_dequantize_cols(&mut serial, cols);
+        let mut par = data.clone();
+        QuantEngine::new(fmt)
+            .with_threads(4)
+            .quantize_dequantize_cols(&mut par, cols);
+        assert!(serial
+            .iter()
+            .zip(par.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn parallel_encode_matches_serial_bytes() {
+        for fmt in FORMATS {
+            let n = 2 * PARALLEL_GRAIN + 11;
+            let x = ramp(n);
+            let serial = QuantEngine::new(fmt).encode(&x);
+            let par = QuantEngine::new(fmt).with_threads(4).encode(&x);
+            assert_eq!(serial, par, "{fmt}");
+            assert_eq!(
+                QuantEngine::new(fmt).decode(&par, n),
+                fmt.quantize_dequantize(&x),
+                "{fmt}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_partial_blocks() {
+        for fmt in FORMATS {
+            for n in [1usize, 5, 15, 16, 17, 31, 33, 100] {
+                let x = ramp(n);
+                let engine = QuantEngine::new(fmt);
+                let bytes = engine.encode(&x);
+                assert_eq!(
+                    engine.decode(&bytes, n),
+                    fmt.quantize_dequantize(&x),
+                    "{fmt} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_codes_match_value_path() {
+        for fmt in FORMATS {
+            let x = ramp(16);
+            let engine = QuantEngine::new(fmt);
+            let qb = engine.quantize_block_codes(&x);
+            assert_eq!(qb.dequantize(), engine.quantize_dequantize(&x), "{fmt}");
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_zero_blocks() {
+        let engine = QuantEngine::new(BdrFormat::MX6);
+        let mut x = vec![0.0f32, -0.0, 0.0, -0.0];
+        let q = engine.quantize_dequantize(&x);
+        assert!(
+            q.iter().all(|v| v.to_bits() == 0),
+            "value path normalizes -0.0"
+        );
+        engine.quantize_dequantize_in_place(&mut x);
+        assert!(x.iter().all(|v| v.to_bits() == 0));
+    }
+
+    #[test]
+    fn threads_knob() {
+        let e = QuantEngine::new(BdrFormat::MX9);
+        assert_eq!(e.threads(), 1);
+        assert!(QuantEngine::auto(BdrFormat::MX9).threads() >= 1);
+        assert_eq!(e.with_threads(6).threads(), 6);
+        assert_eq!(e.format(), BdrFormat::MX9);
+    }
+
+    #[test]
+    fn small_inputs_stay_serial_even_with_thread_budget() {
+        // No observable difference, but exercises the effective_threads
+        // gate: a 100-element tensor with an 8-thread budget must not split.
+        let engine = QuantEngine::new(BdrFormat::MX4).with_threads(8);
+        assert_eq!(engine.effective_threads(100), 1);
+        assert!(engine.effective_threads(10 * PARALLEL_GRAIN) > 1);
+    }
+}

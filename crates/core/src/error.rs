@@ -54,10 +54,16 @@ impl fmt::Display for FormatError {
                 write!(f, "sub-block granularity k2={k2} must be nonzero and divide block granularity k1={k1}")
             }
             FormatError::InvalidMantissa { m, max } => {
-                write!(f, "mantissa bit-width m={m} outside supported range 1..={max}")
+                write!(
+                    f,
+                    "mantissa bit-width m={m} outside supported range 1..={max}"
+                )
             }
             FormatError::InvalidScaleWidth { level, bits, max } => {
-                write!(f, "level-{level} scale bit-width {bits} outside supported range 0..={max}")
+                write!(
+                    f,
+                    "level-{level} scale bit-width {bits} outside supported range 0..={max}"
+                )
             }
             FormatError::InvalidScalarLayout { exp_bits, man_bits } => {
                 write!(f, "scalar format E{exp_bits}M{man_bits} is not representable by this implementation")
@@ -92,8 +98,15 @@ mod tests {
         let variants = [
             FormatError::InvalidBlockStructure { k1: 0, k2: 0 },
             FormatError::InvalidMantissa { m: 99, max: 23 },
-            FormatError::InvalidScaleWidth { level: 2, bits: 9, max: 4 },
-            FormatError::InvalidScalarLayout { exp_bits: 9, man_bits: 30 },
+            FormatError::InvalidScaleWidth {
+                level: 2,
+                bits: 9,
+                max: 4,
+            },
+            FormatError::InvalidScalarLayout {
+                exp_bits: 9,
+                man_bits: 30,
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -42,7 +42,11 @@ impl FpScaledQuantizer {
     /// Creates a quantizer that scales each tensor (treated as one block) by
     /// `amax / max_finite` before casting to `format`.
     pub fn new(format: ScalarFormat, strategy: ScaleStrategy) -> Self {
-        FpScaledQuantizer { format, tracker: ScaleTracker::new(strategy), block: DEFAULT_TENSOR_BLOCK }
+        FpScaledQuantizer {
+            format,
+            tracker: ScaleTracker::new(strategy),
+            block: DEFAULT_TENSOR_BLOCK,
+        }
     }
 
     /// Overrides the nominal scale granularity used for bits-per-element
@@ -123,8 +127,9 @@ mod tests {
 
     #[test]
     fn delayed_scaling_saturates_new_outliers() {
-        let mut q = FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Delayed { window: 4 })
-            .with_block(4);
+        let mut q =
+            FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Delayed { window: 4 })
+                .with_block(4);
         let _ = q.quantize_dequantize(&[1.0, 0.5, 0.2, 0.1]);
         let y = q.quantize_dequantize(&[100.0, 0.0, 0.0, 0.0]);
         // Scale was set for amax 1.0 -> 100 clips to about 1.0.
@@ -155,8 +160,9 @@ mod tests {
 
     #[test]
     fn label_and_reset() {
-        let mut q = FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Delayed { window: 2 })
-            .with_block(2);
+        let mut q =
+            FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Delayed { window: 2 })
+                .with_block(2);
         assert_eq!(q.label(), "FP8-E4M3(delayed(2))");
         let _ = q.quantize_dequantize(&[50.0, 0.0]);
         q.reset();

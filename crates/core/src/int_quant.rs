@@ -39,9 +39,16 @@ impl IntQuantizer {
     ///
     /// Panics if `bits` is not in `2..=16` or `k1` is zero.
     pub fn new(bits: u32, k1: usize, strategy: ScaleStrategy) -> Self {
-        assert!((2..=16).contains(&bits), "INT bit-width {bits} outside 2..=16");
+        assert!(
+            (2..=16).contains(&bits),
+            "INT bit-width {bits} outside 2..=16"
+        );
         assert!(k1 > 0, "block granularity must be nonzero");
-        IntQuantizer { bits, k1, tracker: ScaleTracker::new(strategy) }
+        IntQuantizer {
+            bits,
+            k1,
+            tracker: ScaleTracker::new(strategy),
+        }
     }
 
     /// Integer bit-width (including sign).
@@ -76,7 +83,12 @@ impl IntQuantizer {
 
 impl VectorQuantizer for IntQuantizer {
     fn label(&self) -> String {
-        format!("INT{}(k1={},{})", self.bits, self.k1, self.tracker.strategy())
+        format!(
+            "INT{}(k1={},{})",
+            self.bits,
+            self.k1,
+            self.tracker.strategy()
+        )
     }
 
     fn bits_per_element(&self) -> f64 {
@@ -125,10 +137,15 @@ mod tests {
 
     #[test]
     fn int4_is_coarser_than_int8() {
-        let x: Vec<f32> = (0..1024).map(|i| ((i * 61) % 997) as f32 / 997.0 - 0.5).collect();
+        let x: Vec<f32> = (0..1024)
+            .map(|i| ((i * 61) % 997) as f32 / 997.0 - 0.5)
+            .collect();
         let n8 = crate::util::noise_power(&amax_int(8).quantize_dequantize(&x), &x);
         let n4 = crate::util::noise_power(&amax_int(4).quantize_dequantize(&x), &x);
-        assert!(n4 > 8.0 * n8, "INT4 noise {n4} should far exceed INT8 noise {n8}");
+        assert!(
+            n4 > 8.0 * n8,
+            "INT4 noise {n4} should far exceed INT8 noise {n8}"
+        );
     }
 
     #[test]

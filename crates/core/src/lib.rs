@@ -40,6 +40,8 @@
 //! | Module | Paper artifact |
 //! |---|---|
 //! | [`bdr`] | Fig. 5 — the BDR two-level scaling framework; MX/MSFP presets |
+//! | [`engine`] | The unified block-quantization engine: one block plan, value / packed / strided kernels |
+//! | [`parallel`] | Chunked data-parallel utilities behind every multi-core path |
 //! | [`mx`] | Fig. 4 — packed bit-stream encoding of MX tensors |
 //! | [`scalar`] | FP8/FP6/FP4/BF16/FP16 scalar formats |
 //! | [`fp_scaled`] | Table I row "FP8" — scalar floats under SW delayed scaling |
@@ -55,10 +57,12 @@
 
 pub mod bdr;
 pub mod bits;
+pub mod engine;
 pub mod error;
 pub mod fp_scaled;
 pub mod int_quant;
 pub mod mx;
+pub mod parallel;
 pub mod qsnr;
 pub mod scalar;
 pub mod scaling;
@@ -68,6 +72,7 @@ pub mod util;
 pub mod vsq;
 
 pub use bdr::{BdrFormat, BdrQuantizer};
+pub use engine::QuantEngine;
 pub use error::FormatError;
 pub use scalar::ScalarFormat;
 
@@ -120,7 +125,10 @@ mod tests {
             Box::new(BdrQuantizer::new(BdrFormat::MX9)),
             Box::new(BdrQuantizer::new(BdrFormat::MSFP12)),
             Box::new(IntQuantizer::new(8, 1024, ScaleStrategy::Amax)),
-            Box::new(FpScaledQuantizer::new(ScalarFormat::E4M3, ScaleStrategy::Amax)),
+            Box::new(FpScaledQuantizer::new(
+                ScalarFormat::E4M3,
+                ScaleStrategy::Amax,
+            )),
             Box::new(VsqQuantizer::new(4, 4, 1024, ScaleStrategy::Amax)),
         ];
         let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.21).sin()).collect();
@@ -138,7 +146,11 @@ mod tests {
     #[test]
     fn headline_qsnr_ordering() {
         use crate::qsnr::{measure_qsnr, Distribution, QsnrConfig};
-        let cfg = QsnrConfig { vectors: 128, vector_len: 1024, seed: 123 };
+        let cfg = QsnrConfig {
+            vectors: 128,
+            vector_len: 1024,
+            seed: 123,
+        };
         let d = Distribution::NormalVariableVariance;
         let mx9 = measure_qsnr(&mut BdrQuantizer::new(BdrFormat::MX9), d, cfg);
         let mx6 = measure_qsnr(&mut BdrQuantizer::new(BdrFormat::MX6), d, cfg);
@@ -152,8 +164,17 @@ mod tests {
             d,
             cfg,
         );
-        assert!(mx9 > e4m3 + 10.0, "MX9 ({mx9:.1} dB) well above FP8-E4M3 ({e4m3:.1} dB)");
-        assert!(mx6 > e5m2, "MX6 ({mx6:.1} dB) above FP8-E5M2 ({e5m2:.1} dB)");
-        assert!(mx6 < e4m3 + 3.0, "MX6 ({mx6:.1} dB) in the FP8 neighbourhood ({e4m3:.1} dB)");
+        assert!(
+            mx9 > e4m3 + 10.0,
+            "MX9 ({mx9:.1} dB) well above FP8-E4M3 ({e4m3:.1} dB)"
+        );
+        assert!(
+            mx6 > e5m2,
+            "MX6 ({mx6:.1} dB) above FP8-E5M2 ({e5m2:.1} dB)"
+        );
+        assert!(
+            mx6 < e4m3 + 3.0,
+            "MX6 ({mx6:.1} dB) in the FP8 neighbourhood ({e4m3:.1} dB)"
+        );
     }
 }

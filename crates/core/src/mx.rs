@@ -8,8 +8,7 @@
 //! self-contained (no hidden FP32 side-channel).
 
 use crate::bdr::BdrFormat;
-use crate::bits::{BitReader, BitWriter};
-use crate::util::{pow2, round_half_even};
+use crate::engine::QuantEngine;
 
 /// Re-export of the Table II formats for discoverability next to the packed
 /// encoder.
@@ -38,75 +37,26 @@ pub struct MxTensor {
 }
 
 impl MxTensor {
-    /// Quantizes `values` into a packed bit stream.
+    /// Quantizes `values` into a packed bit stream (serial engine; see
+    /// [`MxTensor::encode_with`] for the multi-core path).
     pub fn encode(format: BdrFormat, values: &[f32]) -> Self {
-        let mut w = BitWriter::new();
-        let exp_bias = (1i64 << (format.d1() - 1)) - 1;
-        let max_code = (1u64 << format.m()) - 1;
-        for block in values.chunks(format.k1()) {
-            match format.plan_block(block) {
-                None => {
-                    // All-zero block: exponent code 0, shifts 0, elements 0.
-                    w.write(0, format.d1());
-                    for _ in block.chunks(format.k2()) {
-                        w.write(0, format.d2());
-                    }
-                    for _ in block {
-                        w.write(0, 1 + format.m());
-                    }
-                }
-                Some(plan) => {
-                    w.write((plan.shared_exp as i64 + exp_bias) as u64, format.d1());
-                    for &shift in &plan.shifts {
-                        w.write(shift as u64, format.d2());
-                    }
-                    for (i, sub) in block.chunks(format.k2()).enumerate() {
-                        let eff_exp = plan.shared_exp - plan.shifts[i] as i32;
-                        let ulp = pow2(eff_exp - (format.m() as i32 - 1));
-                        for &x in sub {
-                            let sign = u64::from(x.is_sign_negative());
-                            let code = if x == 0.0 {
-                                0
-                            } else {
-                                let c = round_half_even(x.abs() as f64 / ulp) as u64;
-                                c.min(max_code)
-                            };
-                            w.write(sign, 1);
-                            w.write(code, format.m());
-                        }
-                    }
-                }
-            }
+        Self::encode_with(&QuantEngine::new(format), values)
+    }
+
+    /// Quantizes `values` into a packed bit stream with a caller-configured
+    /// [`QuantEngine`] (e.g. [`QuantEngine::auto`] to encode large tensors
+    /// across all cores; the stream is bit-identical either way).
+    pub fn encode_with(engine: &QuantEngine, values: &[f32]) -> Self {
+        MxTensor {
+            format: engine.format(),
+            len: values.len(),
+            bytes: engine.encode(values),
         }
-        MxTensor { format, len: values.len(), bytes: w.into_bytes() }
     }
 
     /// Decodes the packed stream back to `f32` values.
     pub fn decode(&self) -> Vec<f32> {
-        let mut r = BitReader::new(&self.bytes);
-        let exp_bias = (1i64 << (self.format.d1() - 1)) - 1;
-        let mut out = Vec::with_capacity(self.len);
-        let mut remaining = self.len;
-        while remaining > 0 {
-            let block_len = remaining.min(self.format.k1());
-            let exp_code = r.read(self.format.d1()).expect("truncated stream") as i64;
-            let shared_exp = (exp_code - exp_bias) as i32;
-            let sub_blocks = block_len.div_ceil(self.format.k2());
-            let shifts: Vec<u32> = (0..sub_blocks)
-                .map(|_| r.read(self.format.d2()).expect("truncated stream") as u32)
-                .collect();
-            for i in 0..block_len {
-                let sub = i / self.format.k2();
-                let eff_exp = shared_exp - shifts[sub] as i32;
-                let ulp = pow2(eff_exp - (self.format.m() as i32 - 1));
-                let sign = r.read(1).expect("truncated stream");
-                let code = r.read(self.format.m()).expect("truncated stream");
-                let mag = (code as f64 * ulp) as f32;
-                out.push(if sign == 1 { -mag } else { mag });
-            }
-            remaining -= block_len;
-        }
-        out
+        QuantEngine::new(self.format).decode(&self.bytes, self.len)
     }
 
     /// The format this tensor is packed in.
@@ -139,10 +89,7 @@ impl MxTensor {
         let mut remaining = self.len;
         while remaining > 0 {
             let block_len = remaining.min(self.format.k1());
-            let sub_blocks = block_len.div_ceil(self.format.k2());
-            bits += self.format.d1() as usize
-                + sub_blocks * self.format.d2() as usize
-                + block_len * (1 + self.format.m() as usize);
+            bits += self.format.block_bits(block_len);
             remaining -= block_len;
         }
         bits as f64 / self.len as f64
@@ -154,13 +101,20 @@ mod tests {
     use super::*;
 
     fn ramp(n: usize) -> Vec<f32> {
-        (0..n).map(|i| ((i as f32) - n as f32 / 2.0) * 0.37).collect()
+        (0..n)
+            .map(|i| ((i as f32) - n as f32 / 2.0) * 0.37)
+            .collect()
     }
 
     #[test]
     fn decode_matches_quantize_dequantize_all_formats() {
-        for fmt in [BdrFormat::MX4, BdrFormat::MX6, BdrFormat::MX9, BdrFormat::MSFP12, BdrFormat::MSFP16]
-        {
+        for fmt in [
+            BdrFormat::MX4,
+            BdrFormat::MX6,
+            BdrFormat::MX9,
+            BdrFormat::MSFP12,
+            BdrFormat::MSFP16,
+        ] {
             let x = ramp(64);
             let t = MxTensor::encode(fmt, &x);
             assert_eq!(t.decode(), fmt.quantize_dequantize(&x), "format {fmt}");

@@ -66,9 +66,7 @@ impl Distribution {
             Distribution::Normal { sigma } => {
                 (0..len).map(|_| sigma * standard_normal(rng)).collect()
             }
-            Distribution::Uniform { lo, hi } => {
-                (0..len).map(|_| rng.gen_range(lo..hi)).collect()
-            }
+            Distribution::Uniform { lo, hi } => (0..len).map(|_| rng.gen_range(lo..hi)).collect(),
             Distribution::LogNormalSigned { sigma } => (0..len)
                 .map(|_| {
                     let mag = (sigma * standard_normal(rng)).exp();
@@ -117,7 +115,11 @@ impl Default for QsnrConfig {
     /// A fast default suitable for tests; the Fig. 7 harness raises
     /// `vectors` to the paper's 10K.
     fn default() -> Self {
-        QsnrConfig { vectors: 256, vector_len: 1024, seed: 0x5eed }
+        QsnrConfig {
+            vectors: 256,
+            vector_len: 1024,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -152,7 +154,11 @@ pub fn qsnr_db(original: &[f32], quantized: &[f32]) -> f64 {
 ///
 /// Vectors are fed sequentially so that delayed-scaling quantizers build up
 /// realistic history; the quantizer is reset first.
-pub fn measure_qsnr(quantizer: &mut dyn VectorQuantizer, dist: Distribution, cfg: QsnrConfig) -> f64 {
+pub fn measure_qsnr(
+    quantizer: &mut dyn VectorQuantizer,
+    dist: Distribution,
+    cfg: QsnrConfig,
+) -> f64 {
     quantizer.reset();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut signal = 0.0f64;
@@ -209,7 +215,11 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = QsnrConfig { vectors: 16, vector_len: 256, seed: 42 };
+        let cfg = QsnrConfig {
+            vectors: 16,
+            vector_len: 256,
+            seed: 42,
+        };
         let mut q1 = BdrQuantizer::new(BdrFormat::MX6);
         let mut q2 = BdrQuantizer::new(BdrFormat::MX6);
         let a = measure_qsnr(&mut q1, Distribution::NormalVariableVariance, cfg);
@@ -219,7 +229,11 @@ mod tests {
 
     #[test]
     fn mx9_beats_mx6_beats_mx4() {
-        let cfg = QsnrConfig { vectors: 64, vector_len: 512, seed: 7 };
+        let cfg = QsnrConfig {
+            vectors: 64,
+            vector_len: 512,
+            seed: 7,
+        };
         let d = Distribution::NormalVariableVariance;
         let q9 = measure_qsnr(&mut BdrQuantizer::new(BdrFormat::MX9), d, cfg);
         let q6 = measure_qsnr(&mut BdrQuantizer::new(BdrFormat::MX6), d, cfg);
@@ -231,7 +245,11 @@ mod tests {
     #[test]
     fn mantissa_bit_adds_about_6db() {
         // Doubling mantissa resolution adds ~6.02 dB (Theorem 1's slope).
-        let cfg = QsnrConfig { vectors: 64, vector_len: 512, seed: 9 };
+        let cfg = QsnrConfig {
+            vectors: 64,
+            vector_len: 512,
+            seed: 9,
+        };
         let d = Distribution::Normal { sigma: 1.0 };
         let m5 = BdrFormat::new(5, 8, 1, 16, 2).unwrap();
         let m6 = BdrFormat::new(6, 8, 1, 16, 2).unwrap();
@@ -242,7 +260,11 @@ mod tests {
 
     #[test]
     fn samples_have_expected_count_and_spread() {
-        let cfg = QsnrConfig { vectors: 32, vector_len: 128, seed: 3 };
+        let cfg = QsnrConfig {
+            vectors: 32,
+            vector_len: 128,
+            seed: 3,
+        };
         let mut q = IntQuantizer::new(8, 128, ScaleStrategy::Amax);
         let samples = qsnr_samples(&mut q, Distribution::NormalVariableVariance, cfg);
         assert_eq!(samples.len(), 32);
@@ -261,9 +283,15 @@ mod tests {
         ] {
             let v = d.sample_vector(&mut rng, 1000);
             assert_eq!(v.len(), 1000);
-            assert!(v.iter().all(|x| x.is_finite()), "{d} produced non-finite values");
+            assert!(
+                v.iter().all(|x| x.is_finite()),
+                "{d} produced non-finite values"
+            );
             // Each has both signs except pathological draws.
-            assert!(v.iter().any(|x| *x > 0.0) && v.iter().any(|x| *x < 0.0), "{d}");
+            assert!(
+                v.iter().any(|x| *x > 0.0) && v.iter().any(|x| *x < 0.0),
+                "{d}"
+            );
         }
     }
 
@@ -271,7 +299,11 @@ mod tests {
     fn laplace_heavy_tail_hurts_block_formats_less_with_microexponents() {
         // Sanity: MX6 should still beat MSFP12-ish BFP at equal mantissa
         // under a heavy-tailed distribution.
-        let cfg = QsnrConfig { vectors: 64, vector_len: 512, seed: 11 };
+        let cfg = QsnrConfig {
+            vectors: 64,
+            vector_len: 512,
+            seed: 11,
+        };
         let d = Distribution::Laplace { scale: 1.0 };
         let bfp = BdrFormat::new(4, 8, 0, 16, 16).unwrap();
         let qmx = measure_qsnr(&mut BdrQuantizer::new(BdrFormat::MX6), d, cfg);

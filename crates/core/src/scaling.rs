@@ -54,7 +54,10 @@ pub struct ScaleTracker {
 impl ScaleTracker {
     /// Creates a tracker with the given strategy.
     pub fn new(strategy: ScaleStrategy) -> Self {
-        ScaleTracker { strategy, history: VecDeque::new() }
+        ScaleTracker {
+            strategy,
+            history: VecDeque::new(),
+        }
     }
 
     /// The configured strategy.

@@ -21,7 +21,10 @@
 /// assert_eq!(exponent_of(0.75), -1);
 /// ```
 pub fn exponent_of(x: f32) -> i32 {
-    debug_assert!(x.is_finite() && x != 0.0, "exponent_of requires finite nonzero input");
+    debug_assert!(
+        x.is_finite() && x != 0.0,
+        "exponent_of requires finite nonzero input"
+    );
     let bits = x.abs().to_bits();
     let exp_field = (bits >> 23) as i32;
     if exp_field > 0 {
@@ -92,7 +95,10 @@ pub fn round_half_even(v: f64) -> f64 {
 /// assert_eq!(pow2(-2), 0.25);
 /// ```
 pub fn pow2(e: i32) -> f64 {
-    debug_assert!((-1022..=1022).contains(&e), "pow2 exponent out of exact range");
+    debug_assert!(
+        (-1022..=1022).contains(&e),
+        "pow2 exponent out of exact range"
+    );
     f64::from_bits(((e + 1023) as u64) << 52)
 }
 

@@ -44,10 +44,24 @@ impl VsqQuantizer {
     /// Panics if `bits` is not in `2..=16`, `d2` not in `1..=10`, or `k1` is
     /// not a positive multiple of [`VSQ_VECTOR`].
     pub fn new(bits: u32, d2: u32, k1: usize, strategy: ScaleStrategy) -> Self {
-        assert!((2..=16).contains(&bits), "INT bit-width {bits} outside 2..=16");
-        assert!((1..=10).contains(&d2), "sub-scale width {d2} outside 1..=10");
-        assert!(k1 > 0 && k1 % VSQ_VECTOR == 0, "k1 must be a positive multiple of 16");
-        VsqQuantizer { bits, d2, k1, tracker: ScaleTracker::new(strategy) }
+        assert!(
+            (2..=16).contains(&bits),
+            "INT bit-width {bits} outside 2..=16"
+        );
+        assert!(
+            (1..=10).contains(&d2),
+            "sub-scale width {d2} outside 1..=10"
+        );
+        assert!(
+            k1 > 0 && k1.is_multiple_of(VSQ_VECTOR),
+            "k1 must be a positive multiple of 16"
+        );
+        VsqQuantizer {
+            bits,
+            d2,
+            k1,
+            tracker: ScaleTracker::new(strategy),
+        }
     }
 
     /// Integer data bit-width (including sign).
@@ -101,7 +115,13 @@ impl VsqQuantizer {
 
 impl VectorQuantizer for VsqQuantizer {
     fn label(&self) -> String {
-        format!("VSQ{}(d2={},k1={},{})", self.bits, self.d2, self.k1, self.tracker.strategy())
+        format!(
+            "VSQ{}(d2={},k1={},{})",
+            self.bits,
+            self.d2,
+            self.k1,
+            self.tracker.strategy()
+        )
     }
 
     fn bits_per_element(&self) -> f64 {
@@ -150,7 +170,10 @@ mod tests {
         // while VSQ preserves it with its own sub-scale.
         let nv = crate::util::noise_power(&yv[16..], &x[16..]);
         let nf = crate::util::noise_power(&yf[16..], &x[16..]);
-        assert!(nv < nf * 0.1, "VSQ small-vector noise {nv} should be well below flat INT {nf}");
+        assert!(
+            nv < nf * 0.1,
+            "VSQ small-vector noise {nv} should be well below flat INT {nf}"
+        );
     }
 
     #[test]
@@ -184,13 +207,16 @@ mod tests {
         let x: Vec<f32> = (0..256)
             .map(|i| {
                 let group = i / 16;
-                let base = 2.0f32.powi(-(group as i32 % 6));
+                let base = 2.0f32.powi(-(group % 6));
                 base * (1.0 + 0.05 * (i % 16) as f32)
             })
             .collect();
         let n4 = crate::util::noise_power(&vsq(4, 4).quantize_dequantize(&x), &x);
         let n8 = crate::util::noise_power(&vsq(4, 8).quantize_dequantize(&x), &x);
-        assert!(n8 <= n4, "d2=8 noise {n8} should not exceed d2=4 noise {n4}");
+        assert!(
+            n8 <= n4,
+            "d2=8 noise {n8} should not exceed d2=4 noise {n4}"
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ pub struct PipelineGeometry {
 
 impl Default for PipelineGeometry {
     fn default() -> Self {
-        PipelineGeometry { r: 64, io_registered: true }
+        PipelineGeometry {
+            r: 64,
+            io_registered: true,
+        }
     }
 }
 
@@ -230,7 +233,7 @@ impl AreaModel {
             block_tree: blocks * (k1 - 1) as f64 * self.adder(w_blk),
             exponent_logic: blocks * self.adder(exp_w)              // Ea + Eb
                 + (blocks - 1.0).max(0.0) * (self.comparator(exp_w) + self.costs.mux_bit * exp_w as f64) // Vector Max
-                + blocks * self.adder(exp_w),                        // Subtract
+                + blocks * self.adder(exp_w), // Subtract
             align_shift: blocks * self.shifter(f, f),
             fixed_sum: (blocks - 1.0).max(0.0) * self.adder(f + log2_blocks),
             fp32_tail: self.lzc(f + log2_blocks) + self.costs.fp32_tail,
@@ -408,7 +411,10 @@ mod tests {
         let m = AreaModel::new();
         let mx9 = m.bdr_unit(&BdrFormat::MX9, geom());
         let overhead = (mx9.cond_shift + mx9.scale_add) / mx9.total();
-        assert!(overhead < 0.15, "microexponent overhead {overhead:.3} should be small");
+        assert!(
+            overhead < 0.15,
+            "microexponent overhead {overhead:.3} should be small"
+        );
     }
 
     #[test]
@@ -432,8 +438,20 @@ mod tests {
     #[test]
     fn larger_r_amortizes_fixed_costs() {
         let m = AreaModel::new();
-        let small = m.bdr_unit(&BdrFormat::MX6, PipelineGeometry { r: 16, io_registered: true });
-        let large = m.bdr_unit(&BdrFormat::MX6, PipelineGeometry { r: 256, io_registered: true });
+        let small = m.bdr_unit(
+            &BdrFormat::MX6,
+            PipelineGeometry {
+                r: 16,
+                io_registered: true,
+            },
+        );
+        let large = m.bdr_unit(
+            &BdrFormat::MX6,
+            PipelineGeometry {
+                r: 256,
+                io_registered: true,
+            },
+        );
         let per_elem_small = small.total() / 16.0;
         let per_elem_large = large.total() / 256.0;
         assert!(per_elem_large < per_elem_small);
@@ -442,8 +460,20 @@ mod tests {
     #[test]
     fn registers_can_be_excluded() {
         let m = AreaModel::new();
-        let with = m.bdr_unit(&BdrFormat::MX6, PipelineGeometry { r: 64, io_registered: true });
-        let without = m.bdr_unit(&BdrFormat::MX6, PipelineGeometry { r: 64, io_registered: false });
+        let with = m.bdr_unit(
+            &BdrFormat::MX6,
+            PipelineGeometry {
+                r: 64,
+                io_registered: true,
+            },
+        );
+        let without = m.bdr_unit(
+            &BdrFormat::MX6,
+            PipelineGeometry {
+                r: 64,
+                io_registered: false,
+            },
+        );
         assert_eq!(without.registers, 0.0);
         assert!(with.total() > without.total());
         // Registers stay a modest slice, consistent with the paper's ~10%.

@@ -79,15 +79,27 @@ impl FormatConfig {
         match self {
             FormatConfig::Bdr(f) => f.bits_per_element(),
             FormatConfig::ScalarSw { format, k1 } => {
-                let scale = if *k1 <= tile { FP32_SCALE_BITS / *k1 as f64 } else { 0.0 };
+                let scale = if *k1 <= tile {
+                    FP32_SCALE_BITS / *k1 as f64
+                } else {
+                    0.0
+                };
                 format.total_bits() as f64 + scale
             }
             FormatConfig::Int { bits, k1 } => {
-                let scale = if *k1 <= tile { FP32_SCALE_BITS / *k1 as f64 } else { 0.0 };
+                let scale = if *k1 <= tile {
+                    FP32_SCALE_BITS / *k1 as f64
+                } else {
+                    0.0
+                };
                 *bits as f64 + scale
             }
             FormatConfig::Vsq { bits, d2, k1 } => {
-                let scale = if *k1 <= tile { FP32_SCALE_BITS / *k1 as f64 } else { 0.0 };
+                let scale = if *k1 <= tile {
+                    FP32_SCALE_BITS / *k1 as f64
+                } else {
+                    0.0
+                };
                 *bits as f64 + *d2 as f64 / VSQ_VECTOR as f64 + scale
             }
         }
@@ -189,7 +201,12 @@ impl CostModel {
         };
         let area_norm = area_gates / self.baseline_gates();
         let memory_norm = memory_cost_rel_fp8(config.tile_bits_per_element());
-        CostReport { area_gates, area_norm, memory_norm, product: area_norm * memory_norm }
+        CostReport {
+            area_gates,
+            area_norm,
+            memory_norm,
+            product: area_norm * memory_norm,
+        }
     }
 }
 
@@ -202,7 +219,10 @@ mod tests {
     }
 
     fn fp8_config() -> FormatConfig {
-        FormatConfig::ScalarSw { format: ScalarFormat::E4M3, k1: 10_000 }
+        FormatConfig::ScalarSw {
+            format: ScalarFormat::E4M3,
+            k1: 10_000,
+        }
     }
 
     /// The calibration targets from §IV-C of the paper: MX9 hardware
@@ -236,7 +256,11 @@ mod tests {
         let m = model();
         let r = m.evaluate(&fp8_config());
         // Single-mode E4M3 sits just below the dual-mode baseline.
-        assert!(r.area_norm > 0.8 && r.area_norm <= 1.0, "area_norm = {}", r.area_norm);
+        assert!(
+            r.area_norm > 0.8 && r.area_norm <= 1.0,
+            "area_norm = {}",
+            r.area_norm
+        );
         assert_eq!(r.memory_norm, 1.0);
     }
 
@@ -246,13 +270,20 @@ mod tests {
             FormatConfig::Bdr(BdrFormat::MX6),
             fp8_config(),
             FormatConfig::Int { bits: 8, k1: 1024 },
-            FormatConfig::Vsq { bits: 4, d2: 4, k1: 1024 },
+            FormatConfig::Vsq {
+                bits: 4,
+                d2: 4,
+                k1: 1024,
+            },
         ];
         let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.11).sin()).collect();
         for c in configs {
             let mut q = c.quantizer(ScaleStrategy::Amax);
             assert_eq!(q.quantize_dequantize(&x).len(), 64, "{c}");
-            assert!((q.bits_per_element() - c.bits_per_element()).abs() < 1e-9, "{c}");
+            assert!(
+                (q.bits_per_element() - c.bits_per_element()).abs() < 1e-9,
+                "{c}"
+            );
         }
     }
 
@@ -260,8 +291,19 @@ mod tests {
     fn labels() {
         assert_eq!(FormatConfig::Bdr(BdrFormat::MX9).label(), "MX9");
         assert_eq!(fp8_config().label(), "FP8-E4M3");
-        assert_eq!(FormatConfig::Int { bits: 4, k1: 1024 }.label(), "scaled INT4");
-        assert_eq!(FormatConfig::Vsq { bits: 6, d2: 4, k1: 1024 }.label(), "VSQ6(d2=4)");
+        assert_eq!(
+            FormatConfig::Int { bits: 4, k1: 1024 }.label(),
+            "scaled INT4"
+        );
+        assert_eq!(
+            FormatConfig::Vsq {
+                bits: 6,
+                d2: 4,
+                k1: 1024
+            }
+            .label(),
+            "VSQ6(d2=4)"
+        );
     }
 
     #[test]

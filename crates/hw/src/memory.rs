@@ -52,7 +52,11 @@ pub fn tile_footprint(bits_per_element: f64) -> MemoryFootprint {
     let payload_bits = (TILE_ELEMENTS as f64 * bits_per_element).ceil() as usize;
     let payload_bytes = payload_bits.div_ceil(8);
     let lines = payload_bytes.div_ceil(INTERFACE_BYTES);
-    MemoryFootprint { payload_bits, padded_bytes: lines * INTERFACE_BYTES, lines }
+    MemoryFootprint {
+        payload_bits,
+        padded_bytes: lines * INTERFACE_BYTES,
+        lines,
+    }
 }
 
 /// Memory cost of a format relative to FP8 (whose 256-element tile is

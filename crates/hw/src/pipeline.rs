@@ -89,7 +89,7 @@ impl DotProductPipeline {
     pub fn new(config: PipelineConfig, r: usize) -> Self {
         if let PipelineConfig::Bdr(fmt) = &config {
             assert!(
-                r % fmt.k1() == 0,
+                r.is_multiple_of(fmt.k1()),
                 "reduction dimension {r} must be a multiple of k1 = {}",
                 fmt.k1()
             );
@@ -102,7 +102,10 @@ impl DotProductPipeline {
     /// Overrides the fixed-point reduction width (e.g. to study truncation
     /// effects, or to make the pipeline lossless for verification).
     pub fn with_accumulator_bits(mut self, f: u32) -> Self {
-        assert!((4..=100).contains(&f), "accumulator width {f} outside 4..=100");
+        assert!(
+            (4..=100).contains(&f),
+            "accumulator width {f} outside 4..=100"
+        );
         self.f = f;
         self
     }
@@ -130,7 +133,11 @@ impl DotProductPipeline {
     ///
     /// Panics if the slices have different lengths.
     pub fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
-        assert_eq!(a.len(), b.len(), "dot product operands must have equal length");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot product operands must have equal length"
+        );
         let mut acc = 0.0f32;
         for (ca, cb) in a.chunks(self.r).zip(b.chunks(self.r)) {
             let chunk = self.chunk_value(ca, cb);
@@ -172,7 +179,10 @@ impl DotProductPipeline {
             }
             let exponent =
                 qa.shared_exp + qb.shared_exp - 2 * (fmt.m() as i32 - 1) - 2 * beta as i32;
-            out.push(BlockResult { significand: sum, exponent });
+            out.push(BlockResult {
+                significand: sum,
+                exponent,
+            });
         }
         out
     }
@@ -187,7 +197,10 @@ impl DotProductPipeline {
                 let (sb, cb, eb) = scalar_decompose(fmt, xb);
                 let mag = (ca as i128) * (cb as i128);
                 let signed = if sa ^ sb { -mag } else { mag };
-                BlockResult { significand: signed, exponent: ea + eb }
+                BlockResult {
+                    significand: signed,
+                    exponent: ea + eb,
+                }
             })
             .collect()
     }
@@ -251,7 +264,11 @@ mod tests {
     fn reference_dot(qa: &[f32], qb: &[f32], r: usize) -> f32 {
         let mut acc = 0.0f32;
         for (ca, cb) in qa.chunks(r).zip(qb.chunks(r)) {
-            let chunk: f64 = ca.iter().zip(cb.iter()).map(|(&x, &y)| x as f64 * y as f64).sum();
+            let chunk: f64 = ca
+                .iter()
+                .zip(cb.iter())
+                .map(|(&x, &y)| x as f64 * y as f64)
+                .sum();
             acc += chunk as f32;
         }
         acc
@@ -272,9 +289,14 @@ mod tests {
 
     #[test]
     fn lossless_pipeline_matches_reference_for_mx_formats() {
-        for fmt in [BdrFormat::MX4, BdrFormat::MX6, BdrFormat::MX9, BdrFormat::MSFP12] {
-            let engine = DotProductPipeline::new(PipelineConfig::Bdr(fmt), 64)
-                .with_accumulator_bits(90);
+        for fmt in [
+            BdrFormat::MX4,
+            BdrFormat::MX6,
+            BdrFormat::MX9,
+            BdrFormat::MSFP12,
+        ] {
+            let engine =
+                DotProductPipeline::new(PipelineConfig::Bdr(fmt), 64).with_accumulator_bits(90);
             let (a, b) = test_vectors(256, 7);
             let qa = fmt.quantize_dequantize(&a);
             let qb = fmt.quantize_dequantize(&b);
@@ -305,9 +327,13 @@ mod tests {
 
     #[test]
     fn scalar_pipeline_matches_cast_reference() {
-        for fmt in [ScalarFormat::E4M3, ScalarFormat::E5M2, ScalarFormat::FP6_E2M3] {
-            let engine = DotProductPipeline::new(PipelineConfig::Scalar(fmt), 32)
-                .with_accumulator_bits(90);
+        for fmt in [
+            ScalarFormat::E4M3,
+            ScalarFormat::E5M2,
+            ScalarFormat::FP6_E2M3,
+        ] {
+            let engine =
+                DotProductPipeline::new(PipelineConfig::Scalar(fmt), 32).with_accumulator_bits(90);
             let (a, b) = test_vectors(128, 11);
             let qa = fmt.cast_slice(&a);
             let qb = fmt.cast_slice(&b);
@@ -328,7 +354,10 @@ mod tests {
     #[test]
     fn orthogonal_vectors_cancel_exactly() {
         let engine = DotProductPipeline::new(PipelineConfig::Bdr(BdrFormat::MX9), 16);
-        let a = vec![1.0f32, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let a = vec![
+            1.0f32, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0,
+            -1.0,
+        ];
         let b = vec![1.0f32; 16];
         assert_eq!(engine.dot(&a, &b), 0.0);
     }
@@ -377,8 +406,14 @@ mod tests {
 
     #[test]
     fn natural_width() {
-        assert_eq!(PipelineConfig::Bdr(BdrFormat::MX9).natural_width(), 14 + 2 + 4 + 1);
+        assert_eq!(
+            PipelineConfig::Bdr(BdrFormat::MX9).natural_width(),
+            14 + 2 + 4 + 1
+        );
         // E4M3: mantissa product 8 bits + exponent span 2*(8 - (-6)) = 28.
-        assert_eq!(PipelineConfig::Scalar(ScalarFormat::E4M3).natural_width(), 36);
+        assert_eq!(
+            PipelineConfig::Scalar(ScalarFormat::E4M3).natural_width(),
+            36
+        );
     }
 }

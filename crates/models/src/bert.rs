@@ -67,7 +67,9 @@ impl BertQa {
         for b in &mut self.blocks {
             x = b.forward(&x, train);
         }
-        let h = self.ln.forward(&x.reshape(&[batch * t, self.d_model]), train);
+        let h = self
+            .ln
+            .forward(&x.reshape(&[batch * t, self.d_model]), train);
         self.span_head.forward(&h, train)
     }
 
@@ -77,13 +79,14 @@ impl BertQa {
         self.zero_grads();
         let b = batch.len();
         let t = batch[0].tokens.len();
-        let tokens: Vec<usize> = batch.iter().flat_map(|e| e.tokens.iter().copied()).collect();
+        let tokens: Vec<usize> = batch
+            .iter()
+            .flat_map(|e| e.tokens.iter().copied())
+            .collect();
         let logits = self.span_logits(&tokens, b, true);
         // Column 0 = start logits over positions, column 1 = end logits.
-        let start_logits = Tensor::from_vec(
-            (0..b * t).map(|i| logits.data()[i * 2]).collect(),
-            &[b, t],
-        );
+        let start_logits =
+            Tensor::from_vec((0..b * t).map(|i| logits.data()[i * 2]).collect(), &[b, t]);
         let end_logits = Tensor::from_vec(
             (0..b * t).map(|i| logits.data()[i * 2 + 1]).collect(),
             &[b, t],
@@ -121,12 +124,16 @@ impl BertQa {
         let logits = self.span_logits(tokens, 1, false);
         let start = (0..t)
             .max_by(|&a, &b| {
-                logits.data()[a * 2].partial_cmp(&logits.data()[b * 2]).expect("finite")
+                logits.data()[a * 2]
+                    .partial_cmp(&logits.data()[b * 2])
+                    .expect("finite")
             })
             .expect("nonempty");
         let end = (start..t)
             .max_by(|&a, &b| {
-                logits.data()[a * 2 + 1].partial_cmp(&logits.data()[b * 2 + 1]).expect("finite")
+                logits.data()[a * 2 + 1]
+                    .partial_cmp(&logits.data()[b * 2 + 1])
+                    .expect("finite")
             })
             .expect("nonempty");
         (start, end)
@@ -169,8 +176,9 @@ pub fn train_bert_qa(
     let mut opt = Adam::new(2e-3);
     let batch = 8;
     for i in 0..iters {
-        let refs: Vec<&data::QaExample> =
-            (0..batch).map(|k| &train_set[(i * batch + k) % train_set.len()]).collect();
+        let refs: Vec<&data::QaExample> = (0..batch)
+            .map(|k| &train_set[(i * batch + k) % train_set.len()])
+            .collect();
         let _ = model.train_step(&refs, &mut opt);
     }
     let result = evaluate_bert_qa(&mut model, seed);

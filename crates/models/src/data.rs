@@ -21,7 +21,7 @@ pub fn markov_corpus(seed: u64, len: usize, temperature: f32) -> Vec<usize> {
     for s in 0..LM_VOCAB {
         for _ in 0..4 {
             let t = rng.gen_range(0..LM_VOCAB);
-            logits[s * LM_VOCAB + t] = rng.gen_range(0.0..2.0) / temperature;
+            logits[s * LM_VOCAB + t] = rng.gen_range(0.0f32..2.0) / temperature;
         }
         // Guarantee at least one successor.
         let t = rng.gen_range(0..LM_VOCAB);
@@ -92,8 +92,9 @@ pub fn translation_pairs(seed: u64, n: usize, len: usize) -> Vec<TranslationPair
     }
     (0..n)
         .map(|_| {
-            let source: Vec<usize> =
-                (0..len).map(|_| rng.gen_range(0..TRANSLATE_VOCAB)).collect();
+            let source: Vec<usize> = (0..len)
+                .map(|_| rng.gen_range(0..TRANSLATE_VOCAB))
+                .collect();
             let target: Vec<usize> = source.iter().rev().map(|&s| perm[s]).collect();
             TranslationPair { source, target }
         })
@@ -131,10 +132,10 @@ pub fn shape_images(seed: u64, n: usize) -> Vec<LabeledImage> {
                     let dx = (x - cx).abs();
                     let dy = (y - cy).abs();
                     let on = match label {
-                        0 => dx <= r && dy <= r,                   // square
-                        1 => dx <= 1 || dy <= 1,                   // cross through centre
-                        2 => dx + dy <= r + 1,                     // diamond
-                        _ => y % 3 == 0,                           // stripes
+                        0 => dx <= r && dy <= r, // square
+                        1 => dx <= 1 || dy <= 1, // cross through centre
+                        2 => dx + dy <= r + 1,   // diamond
+                        _ => y % 3 == 0,         // stripes
                     };
                     if on {
                         px[(y * s as isize + x) as usize] = 1.0;
@@ -206,7 +207,11 @@ pub fn ctr_logs(seed: u64, n: usize) -> Vec<CtrRecord> {
                 + 0.4 * dense[2]
                 - 0.5;
             let p = 1.0 / (1.0 + (-logit).exp());
-            CtrRecord { categorical, dense, clicked: rng.gen_range(0.0f32..1.0) < p }
+            CtrRecord {
+                categorical,
+                dense,
+                clicked: rng.gen_range(0.0f32..1.0) < p,
+            }
         })
         .collect()
 }
@@ -221,7 +226,10 @@ pub fn gaussian_mixture_2d(seed: u64, n: usize) -> (Vec<[f32; 2]>, Vec<usize>) {
     for i in 0..n {
         let c = i % centers.len();
         let [cx, cy] = centers[c];
-        pts.push([cx + 0.35 * standard_normal(&mut rng), cy + 0.35 * standard_normal(&mut rng)]);
+        pts.push([
+            cx + 0.35 * standard_normal(&mut rng),
+            cy + 0.35 * standard_normal(&mut rng),
+        ]);
         labels.push(c);
     }
     (pts, labels)
@@ -274,16 +282,27 @@ pub fn qa_examples(seed: u64, n: usize, passage_len: usize) -> Vec<QaExample> {
                 let start = tokens.len();
                 for _ in 0..span_len {
                     // Key-specific value tokens.
-                    tokens.push(QA_KEYS + 2 * key + rng.gen_range(0..2));
+                    tokens.push(QA_KEYS + 2 * key + rng.gen_range(0..2usize));
                 }
                 spans.push((key, start, start + span_len - 1));
             }
             while tokens.len() < passage_len {
                 tokens.push(QA_FILLER + rng.gen_range(0..QA_VOCAB - QA_FILLER));
             }
-            assert!(tokens.len() == passage_len, "passage_len too short for the layout");
-            let (_, s, e) = spans.iter().find(|(k, _, _)| *k == q).copied().expect("span exists");
-            QaExample { tokens, start: s, end: e }
+            assert!(
+                tokens.len() == passage_len,
+                "passage_len too short for the layout"
+            );
+            let (_, s, e) = spans
+                .iter()
+                .find(|(k, _, _)| *k == q)
+                .copied()
+                .expect("span exists");
+            QaExample {
+                tokens,
+                start: s,
+                end: e,
+            }
         })
         .collect()
 }
@@ -316,7 +335,11 @@ pub const SPEECH_DIM: usize = 12;
 pub fn utterances(seed: u64, n: usize, transcript_len: usize) -> Vec<Utterance> {
     let mut template_rng = StdRng::seed_from_u64(0x7e3a_11ce);
     let templates: Vec<Vec<f32>> = (0..SPEECH_SYMBOLS)
-        .map(|_| (0..SPEECH_DIM).map(|_| 1.2 * standard_normal(&mut template_rng)).collect())
+        .map(|_| {
+            (0..SPEECH_DIM)
+                .map(|_| 1.2 * standard_normal(&mut template_rng))
+                .collect()
+        })
         .collect();
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
@@ -338,8 +361,8 @@ pub fn utterances(seed: u64, n: usize, transcript_len: usize) -> Vec<Utterance> 
             for &sym in &transcript {
                 let reps = rng.gen_range(1..=3);
                 for _ in 0..reps {
-                    for d in 0..SPEECH_DIM {
-                        frames.push(templates[sym][d] + 0.4 * standard_normal(&mut rng));
+                    for &f in templates[sym].iter().take(SPEECH_DIM) {
+                        frames.push(f + 0.4 * standard_normal(&mut rng));
                     }
                     frame_symbols.push(sym);
                     t += 1;
@@ -370,7 +393,10 @@ mod tests {
             counts[w[0] * LM_VOCAB + w[1]] += 1;
         }
         let nonzero = counts.iter().filter(|&&c| c > 0).count();
-        assert!(nonzero < LM_VOCAB * LM_VOCAB / 2, "transitions too dense: {nonzero}");
+        assert!(
+            nonzero < LM_VOCAB * LM_VOCAB / 2,
+            "transitions too dense: {nonzero}"
+        );
     }
 
     #[test]
@@ -410,7 +436,10 @@ mod tests {
         assert!(labels.iter().all(|&l| l < SHAPE_CLASSES));
         // Stripes (class 3) light up more pixels than squares (class 0).
         let mass = |l: usize| -> f32 {
-            imgs.iter().filter(|im| im.label == l).map(|im| im.pixels.iter().sum::<f32>()).sum()
+            imgs.iter()
+                .filter(|im| im.label == l)
+                .map(|im| im.pixels.iter().sum::<f32>())
+                .sum()
         };
         assert!(mass(3) > mass(0));
     }
@@ -420,7 +449,9 @@ mod tests {
         let logs = ctr_logs(11, 4000);
         let rate = logs.iter().filter(|r| r.clicked).count() as f64 / logs.len() as f64;
         assert!(rate > 0.15 && rate < 0.6, "click rate {rate}");
-        assert!(logs.iter().all(|r| r.categorical.iter().all(|&c| c < CTR_CARDINALITY)));
+        assert!(logs
+            .iter()
+            .all(|r| r.categorical.iter().all(|&c| c < CTR_CARDINALITY)));
     }
 
     #[test]

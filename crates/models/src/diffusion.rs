@@ -42,9 +42,15 @@ impl DiffusionModel {
         let d_in = input_dim(conditioned);
         let mut net = Sequential::new();
         net.push(Box::new(Linear::new(rng, d_in, hidden, true, qcfg)));
-        net.push(Box::new(ActivationLayer::new(Activation::Gelu, qcfg.elementwise)));
+        net.push(Box::new(ActivationLayer::new(
+            Activation::Gelu,
+            qcfg.elementwise,
+        )));
         net.push(Box::new(Linear::new(rng, hidden, hidden, true, qcfg)));
-        net.push(Box::new(ActivationLayer::new(Activation::Gelu, qcfg.elementwise)));
+        net.push(Box::new(ActivationLayer::new(
+            Activation::Gelu,
+            qcfg.elementwise,
+        )));
         net.push(Box::new(Linear::new(rng, hidden, 2, true, qcfg)));
         // Linear beta schedule.
         let betas: Vec<f32> = (0..DIFFUSION_STEPS)
@@ -56,7 +62,12 @@ impl DiffusionModel {
             prod *= 1.0 - b;
             alphas_cum.push(prod);
         }
-        DiffusionModel { net, conditioned, betas, alphas_cum }
+        DiffusionModel {
+            net,
+            conditioned,
+            betas,
+            alphas_cum,
+        }
     }
 
     fn features(&self, x: &[f32; 2], t: usize, label: usize) -> Vec<f32> {
@@ -125,11 +136,10 @@ impl DiffusionModel {
                     let beta = self.betas[t];
                     let alpha = 1.0 - beta;
                     let ac = self.alphas_cum[t];
-                    for d in 0..2 {
-                        x[d] = (x[d] - beta / (1.0 - ac).sqrt() * eps.data()[d])
-                            / alpha.sqrt();
+                    for (d, xd) in x.iter_mut().enumerate() {
+                        *xd = (*xd - beta / (1.0 - ac).sqrt() * eps.data()[d]) / alpha.sqrt();
                         if t > 0 {
-                            x[d] += beta.sqrt() * standard_normal(rng);
+                            *xd += beta.sqrt() * standard_normal(rng);
                         }
                     }
                 }
@@ -184,7 +194,10 @@ pub fn run_diffusion(
     }
     let samples = model.sample(&mut rng, 256);
     let (reference, _) = data::gaussian_mixture_2d(seed ^ 3, 256);
-    DiffusionResult { frechet: frechet_distance_2d(&samples, &reference), final_loss: loss }
+    DiffusionResult {
+        frechet: frechet_distance_2d(&samples, &reference),
+        final_loss: loss,
+    }
 }
 
 #[cfg(test)]

@@ -40,7 +40,12 @@ pub enum Task {
 impl Task {
     /// All four suites in Table IV order.
     pub fn all() -> [Task; 4] {
-        [Task::Continuation, Task::Disambiguation, Task::Adversarial, Task::Coherence]
+        [
+            Task::Continuation,
+            Task::Disambiguation,
+            Task::Adversarial,
+            Task::Coherence,
+        ]
     }
 
     /// Display name mapping to the paper's benchmark each suite stands in
@@ -116,9 +121,16 @@ pub fn build_items(task: Task, corpus: &[usize], n: usize, seed: u64) -> Vec<Cho
                 fake
             };
             let answer = rng.gen_range(0..2);
-            let choices =
-                if answer == 0 { vec![real, fake] } else { vec![fake, real] };
-            ChoiceItem { prompt, choices, answer }
+            let choices = if answer == 0 {
+                vec![real, fake]
+            } else {
+                vec![fake, real]
+            };
+            ChoiceItem {
+                prompt,
+                choices,
+                answer,
+            }
         })
         .collect()
 }
@@ -180,28 +192,55 @@ mod tests {
     #[test]
     fn trained_model_beats_chance_on_continuation() {
         let corpus = data::markov_corpus(2, 4000, 0.4);
-        let (mut model, _) =
-            train_lm(GptConfig::tiny(), QuantConfig::fp32(), &corpus, 100, 4, 3e-3, 3);
+        let (mut model, _) = train_lm(
+            GptConfig::tiny(),
+            QuantConfig::fp32(),
+            &corpus,
+            100,
+            4,
+            3e-3,
+            3,
+        );
         let items = build_items(Task::Continuation, &corpus, 40, 5);
         let acc = evaluate(&mut model, &items, 0);
-        assert!(acc > 0.6, "continuation accuracy {acc:.2} should beat chance");
+        assert!(
+            acc > 0.6,
+            "continuation accuracy {acc:.2} should beat chance"
+        );
     }
 
     #[test]
     fn disambiguation_is_near_chance() {
         let corpus = data::markov_corpus(2, 4000, 0.4);
-        let (mut model, _) =
-            train_lm(GptConfig::tiny(), QuantConfig::fp32(), &corpus, 60, 4, 3e-3, 3);
+        let (mut model, _) = train_lm(
+            GptConfig::tiny(),
+            QuantConfig::fp32(),
+            &corpus,
+            60,
+            4,
+            3e-3,
+            3,
+        );
         let items = build_items(Task::Disambiguation, &corpus, 40, 5);
         let acc = evaluate(&mut model, &items, 0);
-        assert!((0.2..=0.8).contains(&acc), "WIC-like accuracy {acc:.2} should hover near 0.5");
+        assert!(
+            (0.2..=0.8).contains(&acc),
+            "WIC-like accuracy {acc:.2} should hover near 0.5"
+        );
     }
 
     #[test]
     fn few_shot_uses_context() {
         let corpus = data::markov_corpus(2, 4000, 0.4);
-        let (mut model, _) =
-            train_lm(GptConfig::tiny(), QuantConfig::fp32(), &corpus, 40, 4, 3e-3, 3);
+        let (mut model, _) = train_lm(
+            GptConfig::tiny(),
+            QuantConfig::fp32(),
+            &corpus,
+            40,
+            4,
+            3e-3,
+            3,
+        );
         let items = build_items(Task::Continuation, &corpus, 20, 7);
         // Just verify the k-shot path runs and returns a valid accuracy.
         for shots in [0, 1, 2] {

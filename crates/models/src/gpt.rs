@@ -34,7 +34,14 @@ pub struct GptConfig {
 impl GptConfig {
     /// A tiny config for tests.
     pub fn tiny() -> Self {
-        GptConfig { vocab: data::LM_VOCAB, d_model: 32, n_heads: 2, n_layers: 2, seq_len: 16, experts: 0 }
+        GptConfig {
+            vocab: data::LM_VOCAB,
+            d_model: 32,
+            n_heads: 2,
+            n_layers: 2,
+            seq_len: 16,
+            experts: 0,
+        }
     }
 
     /// Scaled configs mirroring the paper's GPT size ladder (Table VII) at
@@ -47,12 +54,22 @@ impl GptConfig {
             3 => (48, 3, 3),
             _ => (64, 4, 4),
         };
-        GptConfig { vocab: data::LM_VOCAB, d_model: d, n_heads: h, n_layers: l, seq_len: 24, experts: 0 }
+        GptConfig {
+            vocab: data::LM_VOCAB,
+            d_model: d,
+            n_heads: h,
+            n_layers: l,
+            seq_len: 24,
+            experts: 0,
+        }
     }
 
     /// The MoE variant of the ladder (Table VII's last row).
     pub fn moe(step: usize, experts: usize) -> Self {
-        GptConfig { experts, ..Self::ladder(step) }
+        GptConfig {
+            experts,
+            ..Self::ladder(step)
+        }
     }
 }
 
@@ -71,7 +88,10 @@ impl MoeMlp {
             gate: Linear::new(rng, d, experts, true, QuantConfig::fp32()),
             experts: (0..experts)
                 .map(|_| {
-                    (Linear::new(rng, d, 2 * d, true, cfg), Linear::new(rng, 2 * d, d, true, cfg))
+                    (
+                        Linear::new(rng, d, 2 * d, true, cfg),
+                        Linear::new(rng, 2 * d, d, true, cfg),
+                    )
                 })
                 .collect(),
             cache: None,
@@ -269,7 +289,9 @@ impl Gpt {
                 x = x.add(&y.reshape(x.shape()));
             }
         }
-        let x = self.ln_f.forward(&x.reshape(&[batch * t, self.config.d_model]), train);
+        let x = self
+            .ln_f
+            .forward(&x.reshape(&[batch * t, self.config.d_model]), train);
         self.head.forward(&x, train)
     }
 
@@ -335,8 +357,12 @@ impl Gpt {
         for i in 0..t - 1 {
             let row = &logits.data()[i * v..(i + 1) * v];
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let logsum =
-                max as f64 + row.iter().map(|&l| ((l - max) as f64).exp()).sum::<f64>().ln();
+            let logsum = max as f64
+                + row
+                    .iter()
+                    .map(|&l| ((l - max) as f64).exp())
+                    .sum::<f64>()
+                    .ln();
             total += logits.data()[i * v + tokens[i + 1]] as f64 - logsum;
         }
         total
@@ -418,7 +444,14 @@ pub fn train_lm(
         final_loss = loss;
     }
     let eval_loss = model.evaluate(corpus, 16, seed ^ 0xbeef);
-    (model, TrainingRun { final_loss, eval_loss, curve })
+    (
+        model,
+        TrainingRun {
+            final_loss,
+            eval_loss,
+            curve,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -469,7 +502,12 @@ mod tests {
             11,
         );
         let gap = (fp32.eval_loss - mx9.eval_loss).abs();
-        assert!(gap < 0.25, "MX9 diverged from FP32: {} vs {}", fp32.eval_loss, mx9.eval_loss);
+        assert!(
+            gap < 0.25,
+            "MX9 diverged from FP32: {} vs {}",
+            fp32.eval_loss,
+            mx9.eval_loss
+        );
     }
 
     #[test]
@@ -498,9 +536,16 @@ mod tests {
     #[test]
     fn moe_variant_trains() {
         let c = corpus();
-        let cfg = GptConfig { experts: 4, ..GptConfig::tiny() };
+        let cfg = GptConfig {
+            experts: 4,
+            ..GptConfig::tiny()
+        };
         let (_, run) = train_lm(cfg, QuantConfig::fp32(), &c, 40, 4, 3e-3, 5);
-        assert!(run.eval_loss < (data::LM_VOCAB as f64).ln() + 0.1, "MoE loss {}", run.eval_loss);
+        assert!(
+            run.eval_loss < (data::LM_VOCAB as f64).ln() + 0.1,
+            "MoE loss {}",
+            run.eval_loss
+        );
     }
 
     #[test]
@@ -508,10 +553,19 @@ mod tests {
         let c = corpus();
         let (mut m, _) = train_lm(GptConfig::tiny(), QuantConfig::fp32(), &c, 40, 4, 3e-3, 17);
         let base = m.evaluate(&c, 8, 99);
-        m.set_quant(QuantConfig::weights_activations(TensorFormat::MX9, TensorFormat::MX9));
+        m.set_quant(QuantConfig::weights_activations(
+            TensorFormat::MX9,
+            TensorFormat::MX9,
+        ));
         let cast = m.evaluate(&c, 8, 99);
-        assert!((cast - base).abs() < 0.05, "MX9 direct cast moved loss {base} -> {cast}");
-        m.set_quant(QuantConfig::weights_activations(TensorFormat::MX4, TensorFormat::MX4));
+        assert!(
+            (cast - base).abs() < 0.05,
+            "MX9 direct cast moved loss {base} -> {cast}"
+        );
+        m.set_quant(QuantConfig::weights_activations(
+            TensorFormat::MX4,
+            TensorFormat::MX4,
+        ));
         let cast4 = m.evaluate(&c, 8, 99);
         assert!(cast4 > cast, "MX4 cast should be worse: {cast4} vs {cast}");
     }

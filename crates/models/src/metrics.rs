@@ -167,8 +167,14 @@ pub fn frechet_distance_2d(a: &[[f32; 2]], b: &[[f32; 2]]) -> f64 {
     // tr(C1 + C2 - 2 (C1 C2)^{1/2}) via the closed form for 2x2 SPD
     // matrices: tr(sqrt(M)) = sqrt(tr(M) + 2 sqrt(det M)).
     let prod = [
-        [c1[0][0] * c2[0][0] + c1[0][1] * c2[1][0], c1[0][0] * c2[0][1] + c1[0][1] * c2[1][1]],
-        [c1[1][0] * c2[0][0] + c1[1][1] * c2[1][0], c1[1][0] * c2[0][1] + c1[1][1] * c2[1][1]],
+        [
+            c1[0][0] * c2[0][0] + c1[0][1] * c2[1][0],
+            c1[0][0] * c2[0][1] + c1[0][1] * c2[1][1],
+        ],
+        [
+            c1[1][0] * c2[0][0] + c1[1][1] * c2[1][0],
+            c1[1][0] * c2[0][1] + c1[1][1] * c2[1][1],
+        ],
     ];
     let tr_prod = prod[0][0] + prod[1][1];
     let det_prod = (prod[0][0] * prod[1][1] - prod[0][1] * prod[1][0]).max(0.0);
@@ -302,7 +308,7 @@ mod tests {
     fn span_metrics() {
         let (em, f1) = span_em_f1(&[(2, 4), (5, 6)], &[(2, 4), (7, 8)]);
         assert_eq!(em, 50.0);
-        assert!(f1 >= 50.0 - 1e-9 && f1 < 100.0);
+        assert!((50.0 - 1e-9..100.0).contains(&f1));
         // Half-overlapping span gets partial F1.
         let (_, f1) = span_em_f1(&[(0, 3)], &[(2, 5)]);
         assert!((f1 - 50.0).abs() < 1.0, "{f1}");

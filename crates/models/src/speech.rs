@@ -119,7 +119,9 @@ pub fn run_speech(qcfg: QuantConfig, hidden: usize, iters: usize, seed: u64) -> 
         hyps.push(model.transcribe(utt));
         refs.push(utt.transcript.clone());
     }
-    SpeechResult { wer: word_error_rate(&hyps, &refs) }
+    SpeechResult {
+        wer: word_error_rate(&hyps, &refs),
+    }
 }
 
 #[cfg(test)]

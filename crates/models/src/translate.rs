@@ -177,7 +177,10 @@ pub fn run_gru_translation(
         cands.push(model.translate(&p.source, p.target.len()));
         refs.push(p.target.clone());
     }
-    TranslationResult { bleu: bleu(&cands, &refs), final_loss: loss }
+    TranslationResult {
+        bleu: bleu(&cands, &refs),
+        final_loss: loss,
+    }
 }
 
 /// Trains a decoder-only transformer translator (`source ⟨sep⟩ target`
@@ -234,7 +237,10 @@ pub fn run_transformer_translation(
         cands.push(full[prompt.len()..].to_vec());
         refs.push(p.target.clone());
     }
-    TranslationResult { bleu: bleu(&cands, &refs), final_loss: loss }
+    TranslationResult {
+        bleu: bleu(&cands, &refs),
+        final_loss: loss,
+    }
 }
 
 #[cfg(test)]

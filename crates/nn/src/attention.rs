@@ -50,8 +50,14 @@ impl MultiHeadAttention {
     /// # Panics
     ///
     /// Panics if `n_heads` does not divide `d_model`.
-    pub fn new(rng: &mut StdRng, d_model: usize, n_heads: usize, causal: bool, cfg: QuantConfig) -> Self {
-        assert!(d_model % n_heads == 0, "heads must divide d_model");
+    pub fn new(
+        rng: &mut StdRng,
+        d_model: usize,
+        n_heads: usize,
+        causal: bool,
+        cfg: QuantConfig,
+    ) -> Self {
+        assert!(d_model.is_multiple_of(n_heads), "heads must divide d_model");
         MultiHeadAttention {
             wq: Linear::new(rng, d_model, d_model, true, cfg),
             wk: Linear::new(rng, d_model, d_model, true, cfg),
@@ -112,7 +118,12 @@ impl MultiHeadAttention {
                     }
                 }
                 if train {
-                    caches.push(HeadCache { q: q_h, k: k_h, v: v_h, probs });
+                    caches.push(HeadCache {
+                        q: q_h,
+                        k: k_h,
+                        v: v_h,
+                        probs,
+                    });
                 }
             }
         }
@@ -196,7 +207,13 @@ pub struct TransformerBlock {
 
 impl TransformerBlock {
     /// Creates a block with a 4× MLP expansion.
-    pub fn new(rng: &mut StdRng, d_model: usize, n_heads: usize, causal: bool, cfg: QuantConfig) -> Self {
+    pub fn new(
+        rng: &mut StdRng,
+        d_model: usize,
+        n_heads: usize,
+        causal: bool,
+        cfg: QuantConfig,
+    ) -> Self {
         TransformerBlock {
             ln1: LayerNorm::new(d_model, cfg.elementwise),
             attn: MultiHeadAttention::new(rng, d_model, n_heads, causal, cfg),
@@ -261,7 +278,9 @@ mod tests {
 
     fn input(b: usize, t: usize, d: usize) -> Tensor {
         Tensor::from_vec(
-            (0..b * t * d).map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.05).collect(),
+            (0..b * t * d)
+                .map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.05)
+                .collect(),
             &[b, t, d],
         )
     }

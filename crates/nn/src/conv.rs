@@ -58,8 +58,7 @@ impl Conv2d {
                         let iy = oy as isize + ky as isize - pad;
                         for kx in 0..k {
                             let ix = ox as isize + kx as isize - pad;
-                            out[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
-                            {
+                            out[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                                 x[c * h * w + iy as usize * w + ix as usize]
                             } else {
                                 0.0
@@ -88,8 +87,7 @@ impl Conv2d {
                         for kx in 0..k {
                             let ix = ox as isize + kx as isize - pad;
                             if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                out[c * h * w + iy as usize * w + ix as usize] +=
-                                    cols.data()[idx];
+                                out[c * h * w + iy as usize * w + ix as usize] += cols.data()[idx];
                             }
                             idx += 1;
                         }
@@ -121,8 +119,13 @@ impl Layer for Conv2d {
             let xb = &x.data()[bi * c * h * w..(bi + 1) * c * h * w];
             let cols = self.im2col(xb, h, w);
             // y [oh*ow, out_ch] = quantized cols · W.
-            let y = crate::qflow::quantized_matmul_ab(&cols, &self.w.value, self.cfg.fwd, self.cfg.fwd_w)
-                .add_row(&self.b.value);
+            let y = crate::qflow::quantized_matmul_ab(
+                &cols,
+                &self.w.value,
+                self.cfg.fwd,
+                self.cfg.fwd_w,
+            )
+            .add_row(&self.b.value);
             // Reorder to [out_ch, h, w].
             for oc in 0..self.out_ch {
                 for p in 0..h * w {
@@ -225,7 +228,10 @@ mod tests {
         let mut conv = Conv2d::new(&mut rng(), 2, 2, 1, QuantConfig::fp32());
         conv.w.value = Tensor::eye(2);
         conv.b.value = Tensor::zeros(&[2]);
-        let x = Tensor::from_vec((0..2 * 2 * 3 * 3).map(|i| i as f32).collect(), &[2, 2, 3, 3]);
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 3 * 3).map(|i| i as f32).collect(),
+            &[2, 2, 3, 3],
+        );
         let y = conv.forward(&x, false);
         assert_eq!(y, x);
     }
@@ -255,7 +261,9 @@ mod tests {
     fn conv_gradcheck() {
         let mut conv = Conv2d::new(&mut rng(), 2, 3, 3, QuantConfig::fp32());
         let x = Tensor::from_vec(
-            (0..2 * 2 * 4 * 4).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect(),
+            (0..2 * 2 * 4 * 4)
+                .map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1)
+                .collect(),
             &[2, 2, 4, 4],
         );
         let y = conv.forward(&x, true);
@@ -291,7 +299,9 @@ mod tests {
     #[test]
     fn quantized_conv_close_to_fp32() {
         let x = Tensor::from_vec(
-            (0..1 * 2 * 6 * 6).map(|i| ((i * 11 % 23) as f32 - 11.0) * 0.08).collect(),
+            (0..2 * 6 * 6)
+                .map(|i| ((i * 11 % 23) as f32 - 11.0) * 0.08)
+                .collect(),
             &[1, 2, 6, 6],
         );
         let mut c32 = Conv2d::new(&mut rng(), 2, 4, 3, QuantConfig::fp32());

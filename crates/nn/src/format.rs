@@ -5,9 +5,18 @@
 //! transposition non-commutative (§V of the paper). [`TensorFormat`]
 //! abstracts over the formats a tensor operation can run in, and
 //! [`quantize_along`] implements axis-aware quantization for 2-D tensors.
+//!
+//! Block (BDR) formats route through the unified
+//! [`mx_core::engine::QuantEngine`]: row-axis quantization uses the
+//! engine's row kernel and column-axis quantization uses the *strided*
+//! column kernel, which walks `k1`-blocks directly down each column —
+//! the seed's transpose → quantize → transpose round trip is gone. Large
+//! tensors are split across cores by the engine's chunked parallel
+//! front-end (bit-identical to serial).
 
 use crate::tensor::Tensor;
 use mx_core::bdr::BdrFormat;
+use mx_core::engine::QuantEngine;
 use mx_core::scalar::ScalarFormat;
 use std::fmt;
 
@@ -101,24 +110,16 @@ pub fn quantize_along(t: &Tensor, format: TensorFormat, axis: Axis) -> Tensor {
             let s = amax as f64 / f.max_finite() as f64;
             t.map(|x| (f.cast((x as f64 / s) as f32) as f64 * s) as f32)
         }
-        TensorFormat::Bdr(fmt) => match axis {
-            Axis::Row => {
-                let mut out = t.clone();
-                let n = t.cols();
-                for row in out.data_mut().chunks_mut(n) {
-                    fmt.quantize_dequantize_in_place(row);
-                }
-                out
+        TensorFormat::Bdr(fmt) => {
+            let engine = QuantEngine::auto(fmt);
+            let cols = t.cols();
+            let mut out = t.clone();
+            match axis {
+                Axis::Row => engine.quantize_dequantize_rows(out.data_mut(), cols),
+                Axis::Col => engine.quantize_dequantize_cols(out.data_mut(), cols),
             }
-            Axis::Col => {
-                let mut tt = t.transpose2d();
-                let m = tt.cols();
-                for row in tt.data_mut().chunks_mut(m) {
-                    fmt.quantize_dequantize_in_place(row);
-                }
-                tt.transpose2d()
-            }
-        },
+            out
+        }
     }
 }
 
@@ -127,9 +128,8 @@ pub fn quantize_along(t: &Tensor, format: TensorFormat, axis: Axis) -> Tensor {
 pub fn cast_elementwise(t: &Tensor, format: TensorFormat) -> Tensor {
     match format {
         TensorFormat::Fp32 => t.clone(),
-        // Element-wise casting has no reduction direction; treat BDR formats
-        // as row-blocked.
-        TensorFormat::Bdr(_) => quantize_along(t, format, Axis::Row),
+        // Element-wise casting has no reduction direction; BDR formats are
+        // treated as row-blocked and hit the engine's row kernel.
         other => quantize_along(t, other, Axis::Row),
     }
 }
@@ -140,7 +140,9 @@ mod tests {
 
     fn ramp(rows: usize, cols: usize) -> Tensor {
         Tensor::from_vec(
-            (0..rows * cols).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.037).collect(),
+            (0..rows * cols)
+                .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.037)
+                .collect(),
             &[rows, cols],
         )
     }
@@ -171,8 +173,8 @@ mod tests {
         for c in 0..3 {
             let col = tt.slice_rows(c, c + 1);
             let expect = BdrFormat::MX6.quantize_dequantize(col.data());
-            for r in 0..32 {
-                assert_eq!(q.data()[r * 3 + c], expect[r]);
+            for (r, &e) in expect.iter().enumerate() {
+                assert_eq!(q.data()[r * 3 + c], e);
             }
         }
     }
@@ -198,7 +200,11 @@ mod tests {
     #[test]
     fn scalar_scaled_maps_amax_to_max_finite() {
         let t = Tensor::from_vec(vec![3.0, -1.5, 0.75, 0.0], &[2, 2]);
-        let q = quantize_along(&t, TensorFormat::ScalarScaled(ScalarFormat::E4M3), Axis::Row);
+        let q = quantize_along(
+            &t,
+            TensorFormat::ScalarScaled(ScalarFormat::E4M3),
+            Axis::Row,
+        );
         // Max element and power-of-two fractions of it survive exactly.
         assert_eq!(q.data(), t.data());
     }
@@ -221,7 +227,10 @@ mod tests {
         assert_eq!(TensorFormat::Fp32.bits_per_element(), 32.0);
         assert_eq!(TensorFormat::Bf16.bits_per_element(), 16.0);
         assert_eq!(TensorFormat::MX9.bits_per_element(), 9.0);
-        assert_eq!(TensorFormat::ScalarScaled(ScalarFormat::E4M3).bits_per_element(), 8.0);
+        assert_eq!(
+            TensorFormat::ScalarScaled(ScalarFormat::E4M3).bits_per_element(),
+            8.0
+        );
     }
 
     #[test]

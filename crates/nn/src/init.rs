@@ -10,7 +10,9 @@ use rand::Rng;
 /// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
 pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Tensor {
     let limit = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
-    let data = (0..fan_in * fan_out).map(|_| rng.gen_range(-limit..limit)).collect();
+    let data = (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
     Tensor::from_vec(data, &[fan_in, fan_out])
 }
 
@@ -57,7 +59,10 @@ mod tests {
         let t = he_normal(&mut rng, 128, &[128, 128]);
         let var = t.sq_norm() / t.numel() as f64;
         let expect = 2.0 / 128.0;
-        assert!((var - expect).abs() / expect < 0.15, "var {var} vs {expect}");
+        assert!(
+            (var - expect).abs() / expect < 0.15,
+            "var {var} vs {expect}"
+        );
     }
 
     #[test]

@@ -180,7 +180,11 @@ pub struct ActivationLayer {
 impl ActivationLayer {
     /// Creates an activation layer computing in `elem` precision.
     pub fn new(act: Activation, elem: TensorFormat) -> Self {
-        ActivationLayer { act, elem, cached_x: None }
+        ActivationLayer {
+            act,
+            elem,
+            cached_x: None,
+        }
     }
 }
 
@@ -343,7 +347,10 @@ impl Embedding {
 
     /// Scatter-adds `grad` (shape `[n, dim]`) into the table gradient.
     pub fn backward(&mut self, grad: &Tensor) {
-        let indices = self.cached_indices.as_ref().expect("backward before forward");
+        let indices = self
+            .cached_indices
+            .as_ref()
+            .expect("backward before forward");
         let dim = self.table.value.shape()[1];
         assert_eq!(grad.rows(), indices.len());
         for (i, &idx) in indices.iter().enumerate() {
@@ -516,14 +523,26 @@ mod tests {
     fn linear_quantized_forward_differs_from_fp32() {
         let x = Tensor::from_vec((0..32).map(|i| (i as f32 * 0.33).sin()).collect(), &[2, 16]);
         let mut l32 = Linear::new(&mut rng(), 16, 4, false, QuantConfig::fp32());
-        let mut l4 = Linear::new(&mut rng(), 16, 4, false, QuantConfig::uniform(TensorFormat::MX4));
+        let mut l4 = Linear::new(
+            &mut rng(),
+            16,
+            4,
+            false,
+            QuantConfig::uniform(TensorFormat::MX4),
+        );
         // Same weights (same seed).
         assert_eq!(l32.w.value, l4.w.value);
         let y32 = l32.forward(&x, false);
         let y4 = l4.forward(&x, false);
         assert_ne!(y32.data(), y4.data());
         // But MX9 stays close.
-        let mut l9 = Linear::new(&mut rng(), 16, 4, false, QuantConfig::uniform(TensorFormat::MX9));
+        let mut l9 = Linear::new(
+            &mut rng(),
+            16,
+            4,
+            false,
+            QuantConfig::uniform(TensorFormat::MX9),
+        );
         let y9 = l9.forward(&x, false);
         let e9 = y9.sub(&y32).sq_norm();
         let e4 = y4.sub(&y32).sq_norm();
@@ -532,12 +551,14 @@ mod tests {
 
     #[test]
     fn activations_gradcheck() {
-        for act in [Activation::Relu, Activation::Gelu, Activation::Sigmoid, Activation::Tanh] {
+        for act in [
+            Activation::Relu,
+            Activation::Gelu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
             let mut l = ActivationLayer::new(act, TensorFormat::Fp32);
-            let x = Tensor::from_vec(
-                vec![0.5, -0.3, 1.2, -1.7, 0.01, 2.5, -0.9, 0.33],
-                &[2, 4],
-            );
+            let x = Tensor::from_vec(vec![0.5, -0.3, 1.2, -1.7, 0.01, 2.5, -0.9, 0.33], &[2, 4]);
             check_input_grad(&mut l, &x, 2e-2);
         }
     }
@@ -588,9 +609,24 @@ mod tests {
     fn sequential_mlp_gradcheck() {
         let mut rng = rng();
         let mut seq = Sequential::new();
-        seq.push(Box::new(Linear::new(&mut rng, 4, 8, true, QuantConfig::fp32())));
-        seq.push(Box::new(ActivationLayer::new(Activation::Tanh, TensorFormat::Fp32)));
-        seq.push(Box::new(Linear::new(&mut rng, 8, 2, true, QuantConfig::fp32())));
+        seq.push(Box::new(Linear::new(
+            &mut rng,
+            4,
+            8,
+            true,
+            QuantConfig::fp32(),
+        )));
+        seq.push(Box::new(ActivationLayer::new(
+            Activation::Tanh,
+            TensorFormat::Fp32,
+        )));
+        seq.push(Box::new(Linear::new(
+            &mut rng,
+            8,
+            2,
+            true,
+            QuantConfig::fp32(),
+        )));
         let x = Tensor::from_vec((0..8).map(|i| (i as f32 * 0.31).cos()).collect(), &[2, 4]);
         check_input_grad(&mut seq, &x, 2e-2);
         assert_eq!(seq.len(), 3);
@@ -601,8 +637,13 @@ mod tests {
     fn qat_config_uses_full_precision_backward() {
         // With fwd=MX4, bwd=FP32: forward is noisy but the backward matmuls
         // match the FP32 gradients of the quantized forward graph.
-        let mut l =
-            Linear::new(&mut rng(), 16, 2, false, QuantConfig::qat(TensorFormat::MX4));
+        let mut l = Linear::new(
+            &mut rng(),
+            16,
+            2,
+            false,
+            QuantConfig::qat(TensorFormat::MX4),
+        );
         let x = Tensor::from_vec((0..16).map(|i| (i as f32 * 0.3).sin()).collect(), &[1, 16]);
         let y = l.forward(&x, true);
         let dx = l.backward(&y);

@@ -83,12 +83,12 @@ mod tests {
                 let mut rng = StdRng::seed_from_u64(3);
                 let mut model = Sequential::new();
                 model.push(Box::new(Linear::new(&mut rng, 2, 16, true, cfg)));
-                model.push(Box::new(ActivationLayer::new(Activation::Tanh, cfg.elementwise)));
+                model.push(Box::new(ActivationLayer::new(
+                    Activation::Tanh,
+                    cfg.elementwise,
+                )));
                 model.push(Box::new(Linear::new(&mut rng, 16, 2, true, cfg)));
-                let x = Tensor::from_vec(
-                    vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-                    &[4, 2],
-                );
+                let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
                 let t = [0usize, 1, 1, 0];
                 let mut opt = Adam::new(0.02);
                 let mut last = f64::NAN;
@@ -105,7 +105,12 @@ mod tests {
             .collect();
         assert!(losses[0] < 0.05, "FP32 failed to learn XOR: {}", losses[0]);
         assert!(losses[1] < 0.05, "MX9 failed to learn XOR: {}", losses[1]);
-        assert!((losses[0] - losses[1]).abs() < 0.05, "FP32 {} vs MX9 {}", losses[0], losses[1]);
+        assert!(
+            (losses[0] - losses[1]).abs() < 0.05,
+            "FP32 {} vs MX9 {}",
+            losses[0],
+            losses[1]
+        );
     }
 
     /// MX4 forward + FP32 backward (QAT config) still trains, just noisier.
@@ -115,7 +120,10 @@ mod tests {
         let cfg = QuantConfig::qat(TensorFormat::MX4);
         let mut model = Sequential::new();
         model.push(Box::new(Linear::new(&mut rng, 2, 32, true, cfg)));
-        model.push(Box::new(ActivationLayer::new(Activation::Relu, cfg.elementwise)));
+        model.push(Box::new(ActivationLayer::new(
+            Activation::Relu,
+            cfg.elementwise,
+        )));
         model.push(Box::new(Linear::new(&mut rng, 32, 2, true, cfg)));
         let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
         let t = [0usize, 1, 1, 0];
@@ -133,6 +141,9 @@ mod tests {
             }
             last = loss;
         }
-        assert!(last < first * 0.5, "QAT-MX4 did not improve: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "QAT-MX4 did not improve: {first} -> {last}"
+        );
     }
 }

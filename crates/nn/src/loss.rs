@@ -64,7 +64,11 @@ pub fn bce_with_logits(logits: &Tensor, targets: &[f32]) -> (f64, Tensor) {
     let n = targets.len().max(1);
     let mut grad = logits.clone();
     let mut loss = 0.0f64;
-    for (g, (&x, &y)) in grad.data_mut().iter_mut().zip(logits.data().iter().zip(targets)) {
+    for (g, (&x, &y)) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(logits.data().iter().zip(targets))
+    {
         // Numerically stable: log(1+e^-|x|) + max(x,0) - x*y.
         let max_part = x.max(0.0) as f64;
         loss += max_part + ((-(x.abs() as f64)).exp() + 1.0).ln() - (x as f64) * y as f64;
@@ -97,8 +101,7 @@ mod tests {
 
     #[test]
     fn cross_entropy_gradcheck() {
-        let logits =
-            Tensor::from_vec(vec![0.2, -0.5, 1.0, 0.7, 0.1, -0.3, 0.9, -1.1], &[2, 4]);
+        let logits = Tensor::from_vec(vec![0.2, -0.5, 1.0, 0.7, 0.1, -0.3, 0.9, -1.1], &[2, 4]);
         let targets = [2usize, 0];
         let (_, grad) = softmax_cross_entropy(&logits, &targets);
         let eps = 1e-3;
@@ -110,7 +113,11 @@ mod tests {
             let (a, _) = softmax_cross_entropy(&lp, &targets);
             let (b, _) = softmax_cross_entropy(&lm, &targets);
             let num = ((a - b) / (2.0 * eps as f64)) as f32;
-            assert!((num - grad.data()[i]).abs() < 1e-4, "at {i}: {num} vs {}", grad.data()[i]);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-4,
+                "at {i}: {num} vs {}",
+                grad.data()[i]
+            );
         }
     }
 
@@ -128,7 +135,8 @@ mod tests {
         let logits = Tensor::from_vec(vec![0.0, 3.0, -3.0], &[3]);
         let (loss, grad) = bce_with_logits(&logits, &[1.0, 1.0, 0.0]);
         // Manual: -ln(sigmoid(0)) = ln 2; -ln(sigmoid(3)); -ln(1-sigmoid(-3)).
-        let expect = (2.0f64.ln() + (1.0 + (-3.0f64).exp()).ln() + (1.0 + (-3.0f64).exp()).ln()) / 3.0;
+        let expect =
+            (2.0f64.ln() + (1.0 + (-3.0f64).exp()).ln() + (1.0 + (-3.0f64).exp()).ln()) / 3.0;
         assert!((loss - expect).abs() < 1e-9, "{loss} vs {expect}");
         // Gradient signs: wrong-confidence positive targets get negative grads.
         assert!(grad.data()[0] < 0.0 && grad.data()[1] < 0.0 && grad.data()[2] > 0.0);

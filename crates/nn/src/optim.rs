@@ -18,7 +18,11 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0 }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
     }
 
     /// Applies one update to every parameter of `model`.
@@ -72,7 +76,14 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, step_count: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step_count: 0,
+        }
     }
 
     /// Sets decoupled weight decay.
@@ -150,7 +161,9 @@ mod tests {
 
     #[test]
     fn sgd_converges_on_quadratic() {
-        let mut m = One { p: Param::new(Tensor::from_vec(vec![0.0, 10.0], &[2])) };
+        let mut m = One {
+            p: Param::new(Tensor::from_vec(vec![0.0, 10.0], &[2])),
+        };
         let opt = Sgd::new(0.1);
         for _ in 0..200 {
             quadratic_grad(&mut m);
@@ -163,10 +176,18 @@ mod tests {
 
     #[test]
     fn sgd_momentum_accelerates() {
-        let mut plain = One { p: Param::new(Tensor::from_vec(vec![10.0], &[1])) };
-        let mut mom = One { p: Param::new(Tensor::from_vec(vec![10.0], &[1])) };
+        let mut plain = One {
+            p: Param::new(Tensor::from_vec(vec![10.0], &[1])),
+        };
+        let mut mom = One {
+            p: Param::new(Tensor::from_vec(vec![10.0], &[1])),
+        };
         let o1 = Sgd::new(0.01);
-        let o2 = Sgd { lr: 0.01, momentum: 0.9, weight_decay: 0.0 };
+        let o2 = Sgd {
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
         for _ in 0..50 {
             quadratic_grad(&mut plain);
             o1.step(&mut plain);
@@ -180,7 +201,9 @@ mod tests {
 
     #[test]
     fn adam_converges_on_quadratic() {
-        let mut m = One { p: Param::new(Tensor::from_vec(vec![-5.0, 20.0], &[2])) };
+        let mut m = One {
+            p: Param::new(Tensor::from_vec(vec![-5.0, 20.0], &[2])),
+        };
         let mut opt = Adam::new(0.1);
         for _ in 0..500 {
             quadratic_grad(&mut m);
@@ -196,7 +219,9 @@ mod tests {
 
     #[test]
     fn adam_reset_clears_moments() {
-        let mut m = One { p: Param::new(Tensor::from_vec(vec![1.0], &[1])) };
+        let mut m = One {
+            p: Param::new(Tensor::from_vec(vec![1.0], &[1])),
+        };
         let mut opt = Adam::new(0.1);
         quadratic_grad(&mut m);
         opt.step(&mut m);
@@ -208,7 +233,9 @@ mod tests {
 
     #[test]
     fn weight_decay_shrinks_weights() {
-        let mut m = One { p: Param::new(Tensor::from_vec(vec![1.0], &[1])) };
+        let mut m = One {
+            p: Param::new(Tensor::from_vec(vec![1.0], &[1])),
+        };
         let mut opt = Adam::new(0.1).with_weight_decay(0.1);
         // Zero gradient: only the (decoupled, lr-scaled) decay acts.
         m.p.zero_grad();

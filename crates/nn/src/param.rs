@@ -21,7 +21,12 @@ impl Param {
     /// Wraps a value tensor as a trainable parameter with a zero gradient.
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape());
-        Param { value, grad, moment1: None, moment2: None }
+        Param {
+            value,
+            grad,
+            moment1: None,
+            moment2: None,
+        }
     }
 
     /// Clears the gradient accumulator.

@@ -43,20 +43,35 @@ impl QuantConfig {
     /// operand in forward and backward, element-wise ops left in full
     /// precision.
     pub fn uniform(format: TensorFormat) -> Self {
-        QuantConfig { fwd: format, fwd_w: format, bwd: format, elementwise: TensorFormat::Fp32 }
+        QuantConfig {
+            fwd: format,
+            fwd_w: format,
+            bwd: format,
+            elementwise: TensorFormat::Fp32,
+        }
     }
 
     /// Quantization-aware fine-tuning: narrow forward, full-precision
     /// backward (§V "the forward pass might use MX6 or MX4 and the backward
     /// pass a higher bit-width format").
     pub fn qat(fwd: TensorFormat) -> Self {
-        QuantConfig { fwd, fwd_w: fwd, bwd: TensorFormat::Fp32, elementwise: TensorFormat::Fp32 }
+        QuantConfig {
+            fwd,
+            fwd_w: fwd,
+            bwd: TensorFormat::Fp32,
+            elementwise: TensorFormat::Fp32,
+        }
     }
 
     /// Inference-style config with separate weight and activation formats —
     /// the `(w, a)` tuples of Table IV.
     pub fn weights_activations(w: TensorFormat, a: TensorFormat) -> Self {
-        QuantConfig { fwd: a, fwd_w: w, bwd: TensorFormat::Fp32, elementwise: TensorFormat::Fp32 }
+        QuantConfig {
+            fwd: a,
+            fwd_w: w,
+            bwd: TensorFormat::Fp32,
+            elementwise: TensorFormat::Fp32,
+        }
     }
 
     /// Overrides the element-wise format (e.g. BF16 to match the paper's
@@ -83,7 +98,11 @@ impl Default for QuantConfig {
 
 impl fmt::Display for QuantConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fwd={} bwd={} elem={}", self.fwd, self.bwd, self.elementwise)
+        write!(
+            f,
+            "fwd={} bwd={} elem={}",
+            self.fwd, self.bwd, self.elementwise
+        )
     }
 }
 
@@ -157,8 +176,14 @@ mod tests {
 
     #[test]
     fn narrow_formats_add_more_noise() {
-        let a = Tensor::from_vec((0..256).map(|i| (i as f32 * 0.37).sin()).collect(), &[16, 16]);
-        let b = Tensor::from_vec((0..256).map(|i| (i as f32 * 0.29).cos()).collect(), &[16, 16]);
+        let a = Tensor::from_vec(
+            (0..256).map(|i| (i as f32 * 0.37).sin()).collect(),
+            &[16, 16],
+        );
+        let b = Tensor::from_vec(
+            (0..256).map(|i| (i as f32 * 0.29).cos()).collect(),
+            &[16, 16],
+        );
         let exact = a.matmul(&b);
         let err = |fmt| {
             let y = quantized_matmul(&a, &b, TensorFormat::Bdr(fmt));

@@ -2,10 +2,10 @@
 //! recurrent-topology substrate for the GNMT-style translation row of
 //! Table III. All six gate matmuls are quantized per the Fig. 8 rules.
 
+use crate::init;
 use crate::param::{HasParams, Param};
 use crate::qflow::{quantized_matmul, QuantConfig};
 use crate::tensor::Tensor;
-use crate::init;
 use rand::rngs::StdRng;
 
 fn sigmoid(x: f32) -> f32 {
@@ -100,8 +100,9 @@ impl Gru {
         let r = r_pre.map(sigmoid);
         let z = z_pre.map(sigmoid);
         let hn_term = qmm(h, &self.whn.value, fa, fw).add_row(&self.bhn.value);
-        let n_pre =
-            qmm(x, &self.wxn.value, fa, fw).add_row(&self.bxn.value).add(&r.mul(&hn_term));
+        let n_pre = qmm(x, &self.wxn.value, fa, fw)
+            .add_row(&self.bxn.value)
+            .add(&r.mul(&hn_term));
         let n = n_pre.map(f32::tanh);
         let h_new = z.mul(h).add(&n.sub(&z.mul(&n)));
         if train {
@@ -138,9 +139,7 @@ impl Gru {
         }
         for bi in 0..b {
             for step in per_step.iter() {
-                outs.extend_from_slice(
-                    &step.data()[bi * self.hidden..(bi + 1) * self.hidden],
-                );
+                outs.extend_from_slice(&step.data()[bi * self.hidden..(bi + 1) * self.hidden]);
             }
         }
         Tensor::from_vec(outs, &[b, t, self.hidden])
@@ -187,12 +186,32 @@ impl Gru {
             self.br.accumulate(&dr_pre.sum_rows());
             // Input and hidden-state gradients.
             let dx = quantized_matmul(&dn_pre, &self.wxn.value.transpose2d(), bq)
-                .add(&quantized_matmul(&dz_pre, &self.wxz.value.transpose2d(), bq))
-                .add(&quantized_matmul(&dr_pre, &self.wxr.value.transpose2d(), bq));
+                .add(&quantized_matmul(
+                    &dz_pre,
+                    &self.wxz.value.transpose2d(),
+                    bq,
+                ))
+                .add(&quantized_matmul(
+                    &dr_pre,
+                    &self.wxr.value.transpose2d(),
+                    bq,
+                ));
             dh_prev = dh_prev
-                .add(&quantized_matmul(&dhn_term, &self.whn.value.transpose2d(), bq))
-                .add(&quantized_matmul(&dz_pre, &self.whz.value.transpose2d(), bq))
-                .add(&quantized_matmul(&dr_pre, &self.whr.value.transpose2d(), bq));
+                .add(&quantized_matmul(
+                    &dhn_term,
+                    &self.whn.value.transpose2d(),
+                    bq,
+                ))
+                .add(&quantized_matmul(
+                    &dz_pre,
+                    &self.whz.value.transpose2d(),
+                    bq,
+                ))
+                .add(&quantized_matmul(
+                    &dr_pre,
+                    &self.whr.value.transpose2d(),
+                    bq,
+                ));
             for bi in 0..b {
                 for j in 0..d_in {
                     dx_all[(bi * t + ti) * d_in + j] = dx.data()[bi * d_in + j];
@@ -235,7 +254,9 @@ mod tests {
 
     fn seq(b: usize, t: usize, d: usize) -> Tensor {
         Tensor::from_vec(
-            (0..b * t * d).map(|i| ((i * 13 % 19) as f32 - 9.0) * 0.08).collect(),
+            (0..b * t * d)
+                .map(|i| ((i * 13 % 19) as f32 - 9.0) * 0.08)
+                .collect(),
             &[b, t, d],
         )
     }

@@ -29,7 +29,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{:.4}, {:.4}, ... ({} values)]", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                " [{:.4}, {:.4}, ... ({} values)]",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -42,18 +48,33 @@ impl Tensor {
     /// Panics if `data.len()` does not equal the product of `shape`.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        assert_eq!(data.len(), numel, "data length {} != shape {:?}", data.len(), shape);
-        Tensor { shape: shape.to_vec(), data }
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} != shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// All-zeros tensor.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
     }
 
     /// Tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![value; shape.iter().product()] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; shape.iter().product()],
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -103,7 +124,10 @@ impl Tensor {
 
     /// Size of the last dimension.
     pub fn cols(&self) -> usize {
-        *self.shape.last().expect("tensor must have at least one dimension")
+        *self
+            .shape
+            .last()
+            .expect("tensor must have at least one dimension")
     }
 
     /// Returns a reshaped copy (same data, new shape).
@@ -185,7 +209,10 @@ impl Tensor {
 
     /// Applies `f` element-wise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` pairwise.
@@ -197,7 +224,12 @@ impl Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch");
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -214,7 +246,10 @@ impl Tensor {
         for (i, v) in out.iter_mut().enumerate() {
             *v += row.data[i % n];
         }
-        Tensor { shape: self.shape.clone(), data: out }
+        Tensor {
+            shape: self.shape.clone(),
+            data: out,
+        }
     }
 
     /// Sums over all rows, returning a 1-D tensor of length `cols()`.
@@ -260,7 +295,10 @@ impl Tensor {
                 *v /= sum;
             }
         }
-        Tensor { shape: self.shape.clone(), data: out }
+        Tensor {
+            shape: self.shape.clone(),
+            data: out,
+        }
     }
 
     /// Extracts rows `start..end` (2-D view).

@@ -40,9 +40,13 @@ pub struct SweepSettings {
 impl Default for SweepSettings {
     fn default() -> Self {
         SweepSettings {
-            qsnr: QsnrConfig { vectors: 256, vector_len: 1024, seed: 0xf1e7 },
+            qsnr: QsnrConfig {
+                vectors: 256,
+                vector_len: 1024,
+                seed: 0xf1e7,
+            },
             distribution: Distribution::NormalVariableVariance,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: mx_core::parallel::default_threads(),
         }
     }
 }
@@ -69,23 +73,15 @@ pub fn evaluate_point(
 }
 
 /// Evaluates a list of configurations in parallel (order preserved).
+///
+/// Work is distributed by the shared [`mx_core::parallel::map`] utility —
+/// the same chunked front-end the quantization engine uses — so the result
+/// is deterministic and identical to a serial evaluation.
 pub fn evaluate_all(configs: &[FormatConfig], settings: &SweepSettings) -> Vec<SweepPoint> {
     let model = CostModel::new();
-    let chunk = configs.len().div_ceil(settings.threads.max(1)).max(1);
-    let mut results: Vec<Option<SweepPoint>> = vec![None; configs.len()];
-    crossbeam::thread::scope(|s| {
-        for (slot, cfgs) in results.chunks_mut(chunk).zip(configs.chunks(chunk)) {
-            let model = &model;
-            let settings = &settings;
-            s.spawn(move |_| {
-                for (out, cfg) in slot.iter_mut().zip(cfgs.iter()) {
-                    *out = Some(evaluate_point(cfg, cfg.label(), model, settings));
-                }
-            });
-        }
+    mx_core::parallel::map(configs, settings.threads, |cfg| {
+        evaluate_point(cfg, cfg.label(), &model, settings)
     })
-    .expect("sweep worker panicked");
-    results.into_iter().map(|p| p.expect("all slots filled")).collect()
 }
 
 /// Evaluates the full Fig. 7 space.
@@ -100,7 +96,11 @@ mod tests {
 
     fn fast_settings() -> SweepSettings {
         SweepSettings {
-            qsnr: QsnrConfig { vectors: 24, vector_len: 256, seed: 1 },
+            qsnr: QsnrConfig {
+                vectors: 24,
+                vector_len: 256,
+                seed: 1,
+            },
             distribution: Distribution::NormalVariableVariance,
             threads: 4,
         }
@@ -108,8 +108,10 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let configs: Vec<FormatConfig> =
-            vec![FormatConfig::Bdr(BdrFormat::MX9), FormatConfig::Bdr(BdrFormat::MX4)];
+        let configs: Vec<FormatConfig> = vec![
+            FormatConfig::Bdr(BdrFormat::MX9),
+            FormatConfig::Bdr(BdrFormat::MX4),
+        ];
         let settings = fast_settings();
         let par = evaluate_all(&configs, &settings);
         let model = CostModel::new();
@@ -127,7 +129,12 @@ mod tests {
         ];
         let pts = evaluate_all(&configs, &fast_settings());
         for p in &pts {
-            assert!(p.qsnr_db > 5.0 && p.qsnr_db < 80.0, "{}: {}", p.label, p.qsnr_db);
+            assert!(
+                p.qsnr_db > 5.0 && p.qsnr_db < 80.0,
+                "{}: {}",
+                p.label,
+                p.qsnr_db
+            );
             assert!(p.product > 0.0 && p.product < 3.0);
             assert!(p.bits_per_element > 0.0);
         }

@@ -67,7 +67,11 @@ mod tests {
 
     fn settings() -> SweepSettings {
         SweepSettings {
-            qsnr: QsnrConfig { vectors: 128, vector_len: 1024, seed: 5 },
+            qsnr: QsnrConfig {
+                vectors: 128,
+                vector_len: 1024,
+                seed: 5,
+            },
             distribution: Distribution::NormalVariableVariance,
             threads: 1,
         }

@@ -53,7 +53,11 @@ mod tests {
     #[test]
     fn mx_points_near_frontier_fp8_below() {
         let settings = SweepSettings {
-            qsnr: QsnrConfig { vectors: 64, vector_len: 512, seed: 3 },
+            qsnr: QsnrConfig {
+                vectors: 64,
+                vector_len: 512,
+                seed: 3,
+            },
             distribution: Distribution::NormalVariableVariance,
             threads: 4,
         };
@@ -70,10 +74,16 @@ mod tests {
             }
         }
         let points = evaluate_all(&configs, &settings);
-        let fp8 = points.iter().find(|p| p.label == "FP8-E4M3").expect("fp8 present");
+        let fp8 = points
+            .iter()
+            .find(|p| p.label == "FP8-E4M3")
+            .expect("fp8 present");
         for mx in [BdrFormat::MX6, BdrFormat::MX9] {
             let target = FormatConfig::Bdr(mx);
-            let p = points.iter().find(|p| p.config == target).expect("mx present");
+            let p = points
+                .iter()
+                .find(|p| p.config == target)
+                .expect("mx present");
             let below = pareto::db_below_frontier(&points, p);
             assert!(below < 3.0, "{mx} sits {below:.1} dB below the frontier");
         }

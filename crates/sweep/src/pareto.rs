@@ -13,7 +13,12 @@ pub fn pareto_indices(points: &[SweepPoint]) -> Vec<usize> {
             .product
             .partial_cmp(&points[b].product)
             .expect("finite products")
-            .then(points[b].qsnr_db.partial_cmp(&points[a].qsnr_db).expect("finite qsnr"))
+            .then(
+                points[b]
+                    .qsnr_db
+                    .partial_cmp(&points[a].qsnr_db)
+                    .expect("finite qsnr"),
+            )
     });
     let mut frontier = Vec::new();
     let mut best_qsnr = f64::NEG_INFINITY;
@@ -60,7 +65,7 @@ mod tests {
     fn dominated_points_are_excluded() {
         let pts = vec![
             point("cheap-good", 0.3, 20.0),
-            point("cheap-bad", 0.3, 10.0),   // dominated by cheap-good
+            point("cheap-bad", 0.3, 10.0), // dominated by cheap-good
             point("mid", 0.5, 25.0),
             point("pricey-worse", 0.7, 24.0), // dominated by mid
             point("pricey-best", 0.9, 40.0),

@@ -56,16 +56,28 @@ pub fn named_formats() -> Vec<(String, FormatConfig)> {
         ("FP4-E1M2", ScalarFormat::FP4_E1M2),
         ("FP4-E3M0", ScalarFormat::FP4_E3M0),
     ] {
-        out.push((name.into(), FormatConfig::ScalarSw { format: fmt, k1: 10_000 }));
+        out.push((
+            name.into(),
+            FormatConfig::ScalarSw {
+                format: fmt,
+                k1: 10_000,
+            },
+        ));
     }
     for bits in [4u32, 8] {
-        out.push((format!("scaled INT{bits}"), FormatConfig::Int { bits, k1: 1024 }));
+        out.push((
+            format!("scaled INT{bits}"),
+            FormatConfig::Int { bits, k1: 1024 },
+        ));
     }
     // VSQ variants: the paper plots the best of d2 ∈ {4, 6, 8, 10} per
     // bit-width; we enumerate all and let the caller pick.
     for bits in [4u32, 6, 8] {
         for d2 in [4u32, 6, 8, 10] {
-            out.push((format!("VSQ{bits}-d{d2}"), FormatConfig::Vsq { bits, d2, k1: 1024 }));
+            out.push((
+                format!("VSQ{bits}-d{d2}"),
+                FormatConfig::Vsq { bits, d2, k1: 1024 },
+            ));
         }
     }
     out
@@ -113,10 +125,20 @@ mod tests {
     #[test]
     fn named_formats_cover_the_fig7_legend() {
         let names: Vec<String> = named_formats().into_iter().map(|(n, _)| n).collect();
-        for expect in
-            ["MX9", "MX6", "MX4", "FP8-E4M3", "FP8-E5M2", "MSFP16", "MSFP12", "scaled INT8"]
-        {
-            assert!(names.iter().any(|n| n == expect), "{expect} missing from legend");
+        for expect in [
+            "MX9",
+            "MX6",
+            "MX4",
+            "FP8-E4M3",
+            "FP8-E5M2",
+            "MSFP16",
+            "MSFP12",
+            "scaled INT8",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expect),
+                "{expect} missing from legend"
+            );
         }
         assert!(names.iter().filter(|n| n.starts_with("VSQ")).count() == 12);
     }

@@ -12,8 +12,15 @@ use mx::nn::{QuantConfig, TensorFormat};
 fn main() {
     let corpus = markov_corpus(3, 20_000, 0.4);
     println!("pretraining a small GPT in FP32...");
-    let (mut model, run) =
-        train_lm(GptConfig::ladder(1), QuantConfig::fp32(), &corpus, 200, 8, 3e-3, 42);
+    let (mut model, run) = train_lm(
+        GptConfig::ladder(1),
+        QuantConfig::fp32(),
+        &corpus,
+        200,
+        8,
+        3e-3,
+        42,
+    );
     println!("  FP32 eval loss: {:.3}\n", run.eval_loss);
 
     println!("direct-casting the same weights (no fine-tuning):");
@@ -25,11 +32,17 @@ fn main() {
     ] {
         model.set_quant(QuantConfig::weights_activations(w, a));
         let loss = model.evaluate(&corpus, 24, 99);
-        println!("  {name:10} eval loss {loss:.3}  (delta {:+.3})", loss - run.eval_loss);
+        println!(
+            "  {name:10} eval loss {loss:.3}  (delta {:+.3})",
+            loss - run.eval_loss
+        );
     }
 
-    model.set_quant(QuantConfig::weights_activations(TensorFormat::MX9, TensorFormat::MX9));
-    let sample = model.generate(&corpus[..8].to_vec(), 16);
+    model.set_quant(QuantConfig::weights_activations(
+        TensorFormat::MX9,
+        TensorFormat::MX9,
+    ));
+    let sample = model.generate(&corpus[..8], 16);
     println!("\nMX9 greedy sample (token ids): {sample:?}");
     println!("\nExpected shape (Table IV): near-zero deltas until both operands");
     println!("reach MX4, where quality falls off a cliff.");

@@ -14,7 +14,10 @@ use mx::sweep::eval::{evaluate_all, SweepSettings};
 use mx::sweep::pareto::{db_below_frontier, pareto_indices};
 
 fn main() {
-    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let (m, d2, k1, k2) = match args.as_slice() {
         [m, d2, k1, k2] => (*m as u32, *d2 as u32, *k1, *k2),
         _ => {
@@ -36,18 +39,28 @@ fn main() {
         .collect();
     configs.push(FormatConfig::Bdr(custom));
     let settings = SweepSettings {
-        qsnr: QsnrConfig { vectors: 128, vector_len: 1024, seed: 5 },
+        qsnr: QsnrConfig {
+            vectors: 128,
+            vector_len: 1024,
+            seed: 5,
+        },
         ..SweepSettings::default()
     };
     let points = evaluate_all(&configs, &settings);
     let frontier = pareto_indices(&points);
-    println!("{:<28} {:>9} {:>9} {:>14}", "format", "QSNR dB", "product", "status");
+    println!(
+        "{:<28} {:>9} {:>9} {:>14}",
+        "format", "QSNR dB", "product", "status"
+    );
     for (i, p) in points.iter().enumerate() {
         let status = if frontier.contains(&i) {
             "frontier".to_string()
         } else {
             format!("{:.1} dB below", db_below_frontier(&points, p))
         };
-        println!("{:<28} {:>9.1} {:>9.3} {:>14}", p.label, p.qsnr_db, p.product, status);
+        println!(
+            "{:<28} {:>9.1} {:>9.3} {:>14}",
+            p.label, p.qsnr_db, p.product, status
+        );
     }
 }

@@ -8,7 +8,6 @@
 use mx::core::bdr::{BdrFormat, BdrQuantizer};
 use mx::core::mx::MxTensor;
 use mx::core::qsnr::{measure_qsnr, qsnr_db, Distribution, QsnrConfig};
-use mx::core::VectorQuantizer;
 use mx::hw::cost::{CostModel, FormatConfig};
 use mx::hw::pipeline::{DotProductPipeline, PipelineConfig};
 
@@ -21,7 +20,10 @@ fn main() {
     println!("== 1. Quantize with the Table II formats ==");
     let cost = CostModel::new();
     let fp8_area = cost
-        .evaluate(&FormatConfig::ScalarSw { format: mx::core::scalar::ScalarFormat::E4M3, k1: 10_000 })
+        .evaluate(&FormatConfig::ScalarSw {
+            format: mx::core::scalar::ScalarFormat::E4M3,
+            k1: 10_000,
+        })
         .area_norm;
     for fmt in [BdrFormat::MX9, BdrFormat::MX6, BdrFormat::MX4] {
         let q = fmt.quantize_dequantize(&activations);
@@ -36,8 +38,17 @@ fn main() {
     }
 
     println!("\n== 2. Statistical fidelity over a training-like distribution ==");
-    let cfg = QsnrConfig { vectors: 128, vector_len: 1024, seed: 1 };
-    for fmt in [BdrFormat::MX9, BdrFormat::MX6, BdrFormat::MX4, BdrFormat::MSFP12] {
+    let cfg = QsnrConfig {
+        vectors: 128,
+        vector_len: 1024,
+        seed: 1,
+    };
+    for fmt in [
+        BdrFormat::MX9,
+        BdrFormat::MX6,
+        BdrFormat::MX4,
+        BdrFormat::MSFP12,
+    ] {
         let mut q = BdrQuantizer::new(fmt);
         let db = measure_qsnr(&mut q, Distribution::NormalVariableVariance, cfg);
         let bound = mx::core::theory::qsnr_lower_bound_db(fmt, 1024);

@@ -14,8 +14,13 @@ use mx::nn::{QuantConfig, TensorFormat};
 fn main() {
     println!("training DLRM on synthetic CTR logs...");
     let fp32 = run_recsys(Interaction::DotProduct, QuantConfig::fp32(), false, 90, 7);
-    let mx9 =
-        run_recsys(Interaction::DotProduct, QuantConfig::uniform(TensorFormat::MX9), false, 90, 7);
+    let mx9 = run_recsys(
+        Interaction::DotProduct,
+        QuantConfig::uniform(TensorFormat::MX9),
+        false,
+        90,
+        7,
+    );
     println!("  FP32: AUC {:.4}  NE {:.4}", fp32.auc, fp32.ne);
     println!(
         "  MX9:  AUC {:.4}  NE {:.4}  (dNE {:+.2}%)",
@@ -35,6 +40,10 @@ fn main() {
         (256.0 * 4.0) / packed.as_bytes().len() as f64
     );
     let restored = packed.decode();
-    let err: f32 = row.iter().zip(&restored).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max);
+    let err: f32 = row
+        .iter()
+        .zip(&restored)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f32::max);
     println!("  max abs reconstruction error: {err:.2e}");
 }

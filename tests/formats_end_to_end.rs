@@ -10,8 +10,12 @@ use mx::nn::format::{quantize_along, Axis, TensorFormat};
 use mx::nn::tensor::Tensor;
 
 fn vectors(n: usize) -> (Vec<f32>, Vec<f32>) {
-    let a = (0..n).map(|i| ((i * 37) % 101) as f32 * 0.021 - 1.0).collect();
-    let b = (0..n).map(|i| ((i * 53) % 97) as f32 * 0.019 - 0.9).collect();
+    let a = (0..n)
+        .map(|i| ((i * 37) % 101) as f32 * 0.021 - 1.0)
+        .collect();
+    let b = (0..n)
+        .map(|i| ((i * 53) % 97) as f32 * 0.019 - 0.9)
+        .collect();
     (a, b)
 }
 
@@ -29,7 +33,11 @@ fn three_stacks_agree_on_quantized_values() {
             Axis::Row,
         );
         assert_eq!(direct, packed, "{fmt}: packed round-trip diverged");
-        assert_eq!(direct, tensor.into_data(), "{fmt}: nn quantization diverged");
+        assert_eq!(
+            direct,
+            tensor.into_data(),
+            "{fmt}: nn quantization diverged"
+        );
     }
 }
 
@@ -40,8 +48,8 @@ fn three_stacks_agree_on_quantized_values() {
 fn pipeline_matches_nn_quantized_matmul() {
     let (a, b) = vectors(256);
     for fmt in [BdrFormat::MX6, BdrFormat::MX9] {
-        let engine = DotProductPipeline::new(PipelineConfig::Bdr(fmt), 64)
-            .with_accumulator_bits(90);
+        let engine =
+            DotProductPipeline::new(PipelineConfig::Bdr(fmt), 64).with_accumulator_bits(90);
         let hw = engine.dot(&a, &b);
         // nn path: 1xN times Nx1 quantized matmul, chunked FP32 accumulate
         // to mirror the engine's r-chunking.
@@ -61,10 +69,19 @@ fn pipeline_matches_nn_quantized_matmul() {
 /// arithmetic.
 #[test]
 fn storage_accounting_is_consistent() {
-    for fmt in [BdrFormat::MX4, BdrFormat::MX6, BdrFormat::MX9, BdrFormat::MSFP12] {
+    for fmt in [
+        BdrFormat::MX4,
+        BdrFormat::MX6,
+        BdrFormat::MX9,
+        BdrFormat::MSFP12,
+    ] {
         let x = vec![0.5f32; 256];
         let packed = MxTensor::encode(fmt, &x);
-        assert_eq!(packed.measured_bits_per_element(), fmt.bits_per_element(), "{fmt}");
+        assert_eq!(
+            packed.measured_bits_per_element(),
+            fmt.bits_per_element(),
+            "{fmt}"
+        );
         // 256 elements are whole blocks for every preset, so the packed
         // stream is byte-aligned and matches the memory model's payload.
         let tile = mx::hw::memory::tile_footprint(fmt.bits_per_element());
@@ -84,6 +101,9 @@ fn theorem_bound_holds_on_nn_tensors() {
         let q = fmt.quantize_dequantize(&a);
         let measured = qsnr_db(&a, &q);
         let bound = qsnr_lower_bound_db(fmt, a.len());
-        assert!(measured >= bound, "{fmt}: measured {measured} below bound {bound}");
+        assert!(
+            measured >= bound,
+            "{fmt}: measured {measured} below bound {bound}"
+        );
     }
 }

@@ -11,7 +11,11 @@ use mx::sweep::space;
 
 fn settings() -> SweepSettings {
     SweepSettings {
-        qsnr: QsnrConfig { vectors: 96, vector_len: 1024, seed: 9 },
+        qsnr: QsnrConfig {
+            vectors: 96,
+            vector_len: 1024,
+            seed: 9,
+        },
         ..SweepSettings::default()
     }
 }
@@ -21,8 +25,12 @@ fn compact_fig7_shape() {
     // MX ladder + BFP ladder + named scalar/INT/VSQ formats.
     let mut configs = Vec::new();
     for m in 1..=8u32 {
-        configs.push(FormatConfig::Bdr(BdrFormat::new(m, 8, 1, 16, 2).expect("valid")));
-        configs.push(FormatConfig::Bdr(BdrFormat::new(m, 8, 0, 16, 16).expect("valid")));
+        configs.push(FormatConfig::Bdr(
+            BdrFormat::new(m, 8, 1, 16, 2).expect("valid"),
+        ));
+        configs.push(FormatConfig::Bdr(
+            BdrFormat::new(m, 8, 0, 16, 16).expect("valid"),
+        ));
     }
     for (_, c) in space::named_formats() {
         if !configs.contains(&c) {
@@ -31,10 +39,17 @@ fn compact_fig7_shape() {
     }
     let points = evaluate_all(&configs, &settings());
     let frontier = pareto_indices(&points);
-    assert!(frontier.len() >= 4, "frontier too small: {}", frontier.len());
+    assert!(
+        frontier.len() >= 4,
+        "frontier too small: {}",
+        frontier.len()
+    );
 
     let find = |f: BdrFormat| {
-        points.iter().find(|p| p.config == FormatConfig::Bdr(f)).expect("present")
+        points
+            .iter()
+            .find(|p| p.config == FormatConfig::Bdr(f))
+            .expect("present")
     };
     let by_label = |l: &str| points.iter().find(|p| p.label == l).expect("present");
 
@@ -44,18 +59,40 @@ fn compact_fig7_shape() {
     let fp8 = by_label("FP8-E4M3");
 
     // Headline orderings from §IV-C.
-    assert!(mx9.qsnr_db > fp8.qsnr_db + 10.0, "MX9 {} vs FP8 {}", mx9.qsnr_db, fp8.qsnr_db);
-    assert!(mx9.qsnr_db > msfp16.qsnr_db + 2.0, "MX9 should clear MSFP16 by >2 dB");
-    assert!(mx9.product <= fp8.product * 1.15, "MX9 cost should be near FP8");
-    assert!(mx6.product < fp8.product * 0.6, "MX6 should cost well under FP8");
+    assert!(
+        mx9.qsnr_db > fp8.qsnr_db + 10.0,
+        "MX9 {} vs FP8 {}",
+        mx9.qsnr_db,
+        fp8.qsnr_db
+    );
+    assert!(
+        mx9.qsnr_db > msfp16.qsnr_db + 2.0,
+        "MX9 should clear MSFP16 by >2 dB"
+    );
+    assert!(
+        mx9.product <= fp8.product * 1.15,
+        "MX9 cost should be near FP8"
+    );
+    assert!(
+        mx6.product < fp8.product * 0.6,
+        "MX6 should cost well under FP8"
+    );
     // MX points hug the frontier.
     for p in [mx9, mx6] {
-        assert!(db_below_frontier(&points, p) < 3.0, "{} off-frontier", p.label);
+        assert!(
+            db_below_frontier(&points, p) < 3.0,
+            "{} off-frontier",
+            p.label
+        );
     }
 }
 
 #[test]
 fn full_space_is_large_and_unique() {
     let space = space::full_space();
-    assert!(space.len() >= 800, "need the paper's 800+ configs, got {}", space.len());
+    assert!(
+        space.len() >= 800,
+        "need the paper's 800+ configs, got {}",
+        space.len()
+    );
 }

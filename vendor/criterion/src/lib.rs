@@ -1,0 +1,326 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock sampler: each benchmark is warmed up, then timed over batches
+//! until a budget elapses, and the best/mean iteration times are printed.
+//!
+//! Control the per-benchmark measurement budget with the
+//! `MX_BENCH_MEASURE_MS` environment variable (default 300 ms).
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group; reported as elements or
+/// bytes per second next to the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Types accepted as benchmark names by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Converts to the printed identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("MX_BENCH_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    best: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            best: Duration::MAX,
+        }
+    }
+
+    /// Times repeated calls of `f` until the measurement budget elapses.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: let caches/allocator settle and estimate the cost of one
+        // call so batches amortize timer overhead.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(30) && warm_iters < 1_000_000 {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters.max(1) as u32);
+        let batch = match per_iter {
+            Some(d) if d > Duration::ZERO => {
+                (Duration::from_millis(5).as_nanos() / d.as_nanos().max(1)).clamp(1, 65_536) as u64
+            }
+            _ => 1_000,
+        };
+
+        let budget = measure_budget();
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let elapsed = batch_start.elapsed();
+            self.total += elapsed;
+            self.iters += batch;
+            let per = elapsed / batch as u32;
+            if per < self.best {
+                self.best = per;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters == 0 {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mean = bencher.total / bencher.iters as u32;
+    let mut line = format!(
+        "{name:<48} time: [best {} / mean {}]",
+        fmt_duration(bencher.best),
+        fmt_duration(mean)
+    );
+    if let Some(tp) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line += &format!("  thrpt: {:.1} Melem/s", n as f64 / secs / 1e6);
+                }
+                Throughput::Bytes(n) => {
+                    line += &format!("  thrpt: {:.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Benchmark registry; mirrors `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts and ignores the CLI arguments `cargo bench` forwards.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the wall-clock sampler sizes batches
+    /// automatically.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.into_benchmark_id()),
+            &b,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_samples() {
+        std::env::set_var("MX_BENCH_MEASURE_MS", "5");
+        let mut b = Bencher::new();
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert!(b.iters > 0);
+        assert!(b.best < Duration::MAX);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("quant", "MX9").to_string(), "quant/MX9");
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("MX_BENCH_MEASURE_MS", "2");
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(4)).sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1)));
+    }
+}

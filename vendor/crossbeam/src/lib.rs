@@ -1,0 +1,96 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, exposing the scoped-thread API this workspace uses
+//! ([`thread::scope`]) implemented over [`std::thread::scope`] (stable since
+//! Rust 1.63 — upstream crossbeam's scoped threads predate it).
+
+/// Scoped threads (mirrors `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// Error payload of a panicked scope, matching `std::thread::Result`.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle that can spawn threads borrowing from the environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// itself so workers can spawn nested workers (crossbeam's
+        /// signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// joins every spawned thread before returning. Returns `Err` with the
+    /// first panic payload if the closure or any spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let mut data = vec![0u32; 8];
+        thread::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *slot = i as u32 + 1;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_reports_panics() {
+        let result = thread::scope(|s| {
+            s.spawn(|_| panic!("worker failure"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let result = thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().map(|v| v * 2).unwrap_or(0))
+                .join()
+                .unwrap_or(0)
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+}

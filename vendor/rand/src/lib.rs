@@ -1,0 +1,285 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no crates.io access, so this
+//! vendored crate provides the subset of the `rand` 0.8 API the workspace
+//! actually uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] extension methods `gen`, `gen_range`, and `gen_bool`.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64 — not the ChaCha12 stream of upstream `rand`, so seeded
+//! sequences differ from upstream, but every consumer in this repository only
+//! relies on determinism-given-seed and on basic statistical quality, both of
+//! which xoshiro256++ provides.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of uniformly distributed 64-bit values.
+pub trait RngCore {
+    /// Returns the next value in the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit value (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A seedable generator (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Distributions that can produce a `T` from raw random bits.
+pub trait Distribution<T> {
+    /// Samples one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform floats in `[0, 1)`, uniform integers
+/// over the full domain, fair booleans.
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let u: f32 = Standard.sample(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let u: f64 = Standard.sample(rng);
+        let v = self.start + u * (self.end - self.start);
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+/// Maps a raw 64-bit draw onto `[0, span)` via the widening-multiply trick.
+fn bounded(rng_value: u64, span: u128) -> u128 {
+    (rng_value as u128 * span) >> 64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + bounded(rng.next_u64(), span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + bounded(rng.next_u64(), span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let u: f64 = Standard.sample(self);
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (the workspace's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in s.iter_mut() {
+                *slot = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; SplitMix64 cannot
+            // produce four consecutive zeros, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<f64>() == b.gen::<f64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3..17);
+            assert!((3..17).contains(&i));
+            let j: usize = rng.gen_range(0..=4);
+            assert!(j <= 4);
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let n: isize = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mean_of_unit_uniform_is_half() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn bools_are_fair() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues));
+        let p_trues = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&p_trues));
+    }
+}
