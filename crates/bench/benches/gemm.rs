@@ -1,0 +1,50 @@
+//! Acceptance benchmark for the integer code-domain GEMM: a 512×512×512
+//! MX6 quantized matrix product, the dequantize path (fake-quantize both
+//! operands, then naive `f32` matmul — the seed's `quantized_matmul`) vs
+//! the fused integer path, serial and row-parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mx_core::bdr::BdrFormat;
+use mx_core::gemm::quantized_gemm;
+use mx_nn::format::{quantize_along, Axis, TensorFormat};
+use mx_nn::tensor::Tensor;
+use std::hint::black_box;
+
+const N: usize = 512;
+
+fn test_matrix(salt: usize) -> Vec<f32> {
+    (0..N * N)
+        .map(|i| {
+            ((i.wrapping_mul(2654435761).wrapping_add(salt * 911)) % 10_007) as f32 / 10_007.0 - 0.5
+        })
+        .collect()
+}
+
+fn quantized_gemm_512(c: &mut Criterion) {
+    let fmt = BdrFormat::MX6;
+    let a = test_matrix(1);
+    let b = test_matrix(2);
+    let mut group = c.benchmark_group("quantized_gemm_512");
+    group.sample_size(10);
+    // One multiply-accumulate per element of the M×N×K iteration space.
+    group.throughput(Throughput::Elements((N * N * N) as u64));
+    group.bench_function("dequantize_f32", |bench| {
+        let at = Tensor::from_vec(a.clone(), &[N, N]);
+        let bt = Tensor::from_vec(b.clone(), &[N, N]);
+        bench.iter(|| {
+            let aq = quantize_along(&at, TensorFormat::Bdr(fmt), Axis::Row);
+            let bq = quantize_along(&bt, TensorFormat::Bdr(fmt), Axis::Col);
+            black_box(aq.matmul(&bq))
+        })
+    });
+    group.bench_function("code_domain", |bench| {
+        bench.iter(|| black_box(quantized_gemm(&a, &b, N, N, N, fmt, fmt, 1).unwrap()))
+    });
+    group.bench_function("code_domain_parallel", |bench| {
+        bench.iter(|| black_box(quantized_gemm(&a, &b, N, N, N, fmt, fmt, 0).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, quantized_gemm_512);
+criterion_main!(benches);

@@ -260,35 +260,41 @@ impl QuantEngine {
     /// Decodes `len` elements from a packed bit stream produced by
     /// [`QuantEngine::encode`].
     ///
+    /// When the format's full-block footprint is byte-aligned and the
+    /// engine has a thread budget, the stream is split on block boundaries
+    /// and the spans are decoded in parallel, mirroring
+    /// [`QuantEngine::encode`] — bit-identical to the serial decode.
+    ///
     /// # Panics
     ///
     /// Panics if the stream is truncated.
     pub fn decode(&self, bytes: &[u8], len: usize) -> Vec<f32> {
-        let fmt = &self.format;
-        let mut r = BitReader::new(bytes);
-        let exp_bias = fmt.exp_bias();
-        let mut out = Vec::with_capacity(len);
-        let mut shifts = Vec::new();
-        let mut remaining = len;
-        while remaining > 0 {
-            let block_len = remaining.min(fmt.k1());
-            let exp_code = r.read(fmt.d1()).expect("truncated stream") as i64;
-            let shared_exp = (exp_code - exp_bias) as i32;
-            let sub_blocks = block_len.div_ceil(fmt.k2());
-            shifts.clear();
-            for _ in 0..sub_blocks {
-                shifts.push(r.read(fmt.d2()).expect("truncated stream") as u32);
+        let fmt = self.format;
+        let k1 = fmt.k1();
+        let threads = self.effective_threads(len);
+        let block_bits = fmt.block_bits(k1);
+        if threads > 1 && block_bits.is_multiple_of(8) && len > k1 {
+            let block_bytes = block_bits / 8;
+            let span = len.div_ceil(threads).div_ceil(k1) * k1;
+            let tasks: Vec<(&[u8], usize)> = (0..len.div_ceil(span))
+                .map(|s| {
+                    let start = s * span;
+                    let byte_off = (start / k1) * block_bytes;
+                    assert!(byte_off <= bytes.len(), "truncated stream");
+                    (&bytes[byte_off..], span.min(len - start))
+                })
+                .collect();
+            let parts = parallel::map(&tasks, threads, |&(span_bytes, n)| {
+                decode_slice(&fmt, span_bytes, n)
+            });
+            let mut out = Vec::with_capacity(len);
+            for part in parts {
+                out.extend_from_slice(&part);
             }
-            for i in 0..block_len {
-                let ulp = ulp_of(fmt, shared_exp, shifts[i / fmt.k2()]);
-                let sign = r.read(1).expect("truncated stream");
-                let code = r.read(fmt.m()).expect("truncated stream");
-                let mag = (code as f64 * ulp) as f32;
-                out.push(if sign == 1 { -mag } else { mag });
-            }
-            remaining -= block_len;
+            out
+        } else {
+            decode_slice(&fmt, bytes, len)
         }
-        out
     }
 
     /// Lowers one block (length at most `k1`) to raw integer codes — the
@@ -361,8 +367,10 @@ fn max_exp_strided(data: &[f32], base: usize, stride: usize, len: usize) -> Opti
 /// This is the *only* implementation of the paper's two-level plan: the
 /// shared exponent is the clamped exponent of the block's largest
 /// magnitude, and each sub-block's shift is `min(E − Eᵢ, 2^d2 − 1)`
-/// (all-zero sub-blocks take the maximum shift).
-fn plan_into(
+/// (all-zero sub-blocks take the maximum shift). `pub(crate)` so the
+/// integer-domain GEMM ([`crate::gemm`]) lowers its operands through the
+/// exact same plan without per-block allocations.
+pub(crate) fn plan_into(
     fmt: &BdrFormat,
     data: &[f32],
     base: usize,
@@ -397,9 +405,10 @@ pub(crate) fn ulp_of(fmt: &BdrFormat, shared_exp: i32, shift: u32) -> f64 {
 }
 
 /// Quantizes one magnitude to its integer code (round-half-even, saturating
-/// at `max_code`).
+/// at `max_code`). Shared with [`crate::gemm`] so code-domain operands are
+/// lowered by the identical rounding rule.
 #[inline]
-fn quantize_code(x: f32, ulp: f64, max_code: u64) -> u64 {
+pub(crate) fn quantize_code(x: f32, ulp: f64, max_code: u64) -> u64 {
     if x == 0.0 {
         0
     } else {
@@ -456,6 +465,35 @@ fn qdq_slice(fmt: &BdrFormat, xs: &mut [f32], shifts: &mut Vec<u32>) {
         let len = k1.min(xs.len() - start);
         qdq_block_strided(fmt, xs, start, 1, len, shifts);
     }
+}
+
+/// Serial packed decoding of `len` elements from the head of a bit stream
+/// (whole blocks plus an optional partial tail block).
+fn decode_slice(fmt: &BdrFormat, bytes: &[u8], len: usize) -> Vec<f32> {
+    let mut r = BitReader::new(bytes);
+    let exp_bias = fmt.exp_bias();
+    let mut out = Vec::with_capacity(len);
+    let mut shifts = Vec::new();
+    let mut remaining = len;
+    while remaining > 0 {
+        let block_len = remaining.min(fmt.k1());
+        let exp_code = r.read(fmt.d1()).expect("truncated stream") as i64;
+        let shared_exp = (exp_code - exp_bias) as i32;
+        let sub_blocks = block_len.div_ceil(fmt.k2());
+        shifts.clear();
+        for _ in 0..sub_blocks {
+            shifts.push(r.read(fmt.d2()).expect("truncated stream") as u32);
+        }
+        for i in 0..block_len {
+            let ulp = ulp_of(fmt, shared_exp, shifts[i / fmt.k2()]);
+            let sign = r.read(1).expect("truncated stream");
+            let code = r.read(fmt.m()).expect("truncated stream");
+            let mag = (code as f64 * ulp) as f32;
+            out.push(if sign == 1 { -mag } else { mag });
+        }
+        remaining -= block_len;
+    }
+    out
 }
 
 /// Serial packed encoding of a slice of whole blocks (plus an optional

@@ -1,0 +1,757 @@
+//! Integer-domain quantized GEMM fused with the quantization engine.
+//!
+//! The point of the paper's Fig. 8 compute flow is that a BDR datapath never
+//! multiplies wide floats: each operand element is a narrow sign/magnitude
+//! *code*, each `k2`-sub-block carries a microexponent shift, and each
+//! `k1`-block carries one shared exponent. A dot product over a block pair
+//! is then
+//!
+//! 1. **shift alignment** — every code is left-shifted by `β − τ` (its
+//!    sub-block's headroom under the maximum microexponent shift `β`),
+//!    putting all magnitudes of the block on one fixed-point grid;
+//! 2. **integer MACs** — the aligned codes multiply and accumulate in plain
+//!    integer arithmetic (`i64` here, `i32` when the format pair is narrow
+//!    enough to never overflow);
+//! 3. **shared exponent add + one scale-out** — the block-pair total `T` is
+//!    an exact integer in units of `2^(E_a + E_b + c)`, where `E_a`/`E_b`
+//!    are the two shared exponents and
+//!    `c = −(m_a − 1) − β_a − (m_b − 1) − β_b` accounts for the mantissa
+//!    binary points and the alignment shifts; a single `f32` scale-out per
+//!    block pair converts `T` back to a float, which is accumulated across
+//!    the K blocks.
+//!
+//! [`quantized_gemm`] implements exactly that: it lowers A's rows and B's
+//! columns to aligned integer codes **once** (through the same
+//! [`crate::engine`] block plan and rounding rule as
+//! [`crate::engine::QuantEngine::quantize_block_codes`]), then runs a
+//! cache-tiled, row-parallel integer GEMM over the codes.
+//!
+//! # Exactness
+//!
+//! For every supported format pair (see [`code_domain_supported`]) the
+//! integer path is **bit-identical** to the quantize → dequantize → `f32`
+//! matmul reference ([`reference_gemm`]): dequantized values are exact
+//! integer multiples of their block's ulp, block-pair products and sums fit
+//! in the 52-bit exact-integer range of `f64`, and both paths round once
+//! per block pair before accumulating in `f32` in the same K-block order.
+//! This is an equality, not a tolerance — the consistency suite asserts it
+//! bit for bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use mx_core::bdr::BdrFormat;
+//! use mx_core::gemm::{code_domain_supported, quantized_gemm, reference_gemm};
+//!
+//! let fmt = BdrFormat::MX6;
+//! assert!(code_domain_supported(&fmt, &fmt));
+//! let a: Vec<f32> = (0..2 * 32).map(|i| (i as f32 * 0.17).sin()).collect();
+//! let b: Vec<f32> = (0..32 * 3).map(|i| (i as f32 * 0.13).cos()).collect();
+//! let y = quantized_gemm(&a, &b, 2, 32, 3, fmt, fmt, 1).unwrap();
+//! assert_eq!(y, reference_gemm(&a, &b, 2, 32, 3, fmt, fmt));
+//! ```
+
+use crate::bdr::BdrFormat;
+use crate::engine::{self, QuantEngine, PARALLEL_GRAIN};
+use crate::parallel;
+use crate::util::pow2;
+
+/// Rows of A processed per tile: each loaded B column-block is reused for
+/// this many output rows, cutting B-code traffic by the tile height.
+const TILE_M: usize = 8;
+
+/// Whether the `(fa, fb)` operand pair can run on the integer code-domain
+/// path with an exactness guarantee. Requires:
+///
+/// - matching first-level block size (`k1`), so A-row and B-column blocks
+///   tile the reduction dimension identically;
+/// - per operand, `m + β ≤ 30`: shift-aligned codes fit an `i32`;
+/// - `(m_a + β_a) + (m_b + β_b) + ⌈log2 k1⌉ ≤ 52`: block-pair dot products
+///   accumulate without `i64` overflow *and* convert to `f64` exactly;
+/// - per operand, the smallest representable ulp stays at or above `2^-149`,
+///   so dequantized values are exact `f32`s and the dequantize reference
+///   sees the same numbers the codes encode.
+///
+/// Every preset in the repository (MX4/MX6/MX9, MSFP12/MSFP16) qualifies;
+/// exotic custom formats fall back to the dequantize path.
+pub fn code_domain_supported(fa: &BdrFormat, fb: &BdrFormat) -> bool {
+    if fa.k1() != fb.k1() {
+        return false;
+    }
+    let wa = fa.m() + fa.max_shift();
+    let wb = fb.m() + fb.max_shift();
+    if wa > 30 || wb > 30 {
+        return false;
+    }
+    if wa + wb + ceil_log2(fa.k1()) > 52 {
+        return false;
+    }
+    exact_dequantize(fa) && exact_dequantize(fb)
+}
+
+/// The format's smallest ulp (`2^(E_min − β − (m − 1))`) is representable in
+/// `f32` subnormal space, so every code dequantizes to an exact `f32`.
+fn exact_dequantize(fmt: &BdrFormat) -> bool {
+    fmt.min_shared_exp() - fmt.max_shift() as i32 - (fmt.m() as i32 - 1) >= -149
+}
+
+fn ceil_log2(n: usize) -> u32 {
+    debug_assert!(n > 0);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// Storage type for shift-aligned signed codes. Narrow format pairs (every
+/// MX/MSFP preset) use `i16`, whose widening multiply-accumulate maps onto
+/// the CPU's packed 16-bit MAC instructions; wide pairs fall back to `i32`
+/// codes with an `i64` accumulator.
+trait Code: Copy + Send + Sync {
+    /// Lossless narrowing from the aligned `i32` code (guaranteed to fit by
+    /// the [`code_domain_supported`] width gates).
+    fn encode(aligned: i32) -> Self;
+    /// Exact integer dot product of two equal-length blocks.
+    fn dot(a: &[Self], b: &[Self]) -> i64;
+    /// All-zero code (block padding).
+    const ZERO: Self;
+}
+
+impl Code for i16 {
+    const ZERO: Self = 0;
+
+    #[inline(always)]
+    fn encode(aligned: i32) -> Self {
+        debug_assert!(i32::from(aligned as i16) == aligned);
+        aligned as i16
+    }
+
+    #[inline(always)]
+    fn dot(a: &[Self], b: &[Self]) -> i64 {
+        // The i32 accumulator cannot overflow: pairwise i16 products are
+        // below 2^31 because `w_a + w_b ≤ 30`, and the block total is
+        // bounded by the `w_a + w_b + ⌈log2 k1⌉ ≤ 31` dispatch gate.
+        let mut acc = 0i32;
+        let mut done = 0;
+        // `pmaddwd` (SSE2, part of the x86-64 baseline ABI) is the exact
+        // hardware form of this datapath: packed 16-bit multiplies with
+        // pairwise 32-bit accumulation — one instruction per 8 codes.
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{
+                __m128i, _mm_add_epi32, _mm_cvtsi128_si32, _mm_loadu_si128, _mm_madd_epi16,
+                _mm_setzero_si128, _mm_shuffle_epi32,
+            };
+            let vecs = a.len() / 8;
+            if vecs > 0 {
+                // SAFETY: SSE2 is unconditionally available on x86_64, and
+                // each unaligned 16-byte load reads lanes `8·i .. 8·i + 8`,
+                // in bounds for both slices by the `vecs` bound.
+                unsafe {
+                    let mut vacc = _mm_setzero_si128();
+                    for i in 0..vecs {
+                        let va = _mm_loadu_si128(a.as_ptr().add(8 * i) as *const __m128i);
+                        let vb = _mm_loadu_si128(b.as_ptr().add(8 * i) as *const __m128i);
+                        vacc = _mm_add_epi32(vacc, _mm_madd_epi16(va, vb));
+                    }
+                    let high = _mm_add_epi32(vacc, _mm_shuffle_epi32(vacc, 0b01_00_11_10));
+                    let total = _mm_add_epi32(high, _mm_shuffle_epi32(high, 0b10_11_00_01));
+                    acc = _mm_cvtsi128_si32(total);
+                }
+                done = 8 * vecs;
+            }
+        }
+        for (&x, &y) in a[done..].iter().zip(b[done..].iter()) {
+            acc += i32::from(x) * i32::from(y);
+        }
+        acc as i64
+    }
+}
+
+impl Code for i32 {
+    const ZERO: Self = 0;
+
+    #[inline(always)]
+    fn encode(aligned: i32) -> Self {
+        aligned
+    }
+
+    #[inline(always)]
+    fn dot(a: &[Self], b: &[Self]) -> i64 {
+        let mut acc = 0i64;
+        for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+            let mut lane = 0i64;
+            for e in 0..8 {
+                lane += i64::from(ca[e]) * i64::from(cb[e]);
+            }
+            acc += lane;
+        }
+        let (ra, rb) = (a.chunks_exact(8).remainder(), b.chunks_exact(8).remainder());
+        for (&x, &y) in ra.iter().zip(rb.iter()) {
+            acc += i64::from(x) * i64::from(y);
+        }
+        acc
+    }
+}
+
+/// One GEMM operand lowered to shift-aligned integer codes: `vectors`
+/// reduction-dimension vectors (A rows or B columns), each split into
+/// `blocks` `k1`-blocks, zero-padded so every block is exactly `k1` codes.
+struct CodePlane<C> {
+    /// Signed, shift-aligned codes `± code · 2^(β − τ)`, laid out
+    /// `[vector][block][k1]` — contiguous along the reduction dimension.
+    codes: Vec<C>,
+    /// Shared exponent per `[vector][block]` (0 for all-zero blocks, whose
+    /// codes are all zero anyway).
+    exps: Vec<i32>,
+    blocks: usize,
+    k1: usize,
+}
+
+/// Lowers `vectors` strided vectors of `len` elements to aligned codes.
+/// Vector `v` reads `data[base_of(v) + i·stride]` — rows use
+/// `(|i| i·len, 1)`, columns of a `[len, vectors]` matrix use
+/// `(|j| j, vectors)`. `slot_of(v, kb)` picks the storage layout: the
+/// generic kernels use vector-major `v·blocks + kb`, the column-vectorized
+/// kernel packs B block-major `kb·vectors + v` so the blocks of adjacent
+/// columns sit next to each other.
+fn pack<C: Code>(
+    data: &[f32],
+    vectors: usize,
+    len: usize,
+    base_of: impl Fn(usize) -> usize,
+    stride: usize,
+    slot_of: impl Fn(usize, usize) -> usize,
+    fmt: &BdrFormat,
+) -> CodePlane<C> {
+    let k1 = fmt.k1();
+    let k2 = fmt.k2();
+    let beta = fmt.max_shift();
+    let max_code = fmt.max_code();
+    let blocks = len.div_ceil(k1);
+    let mut codes = vec![C::ZERO; vectors * blocks * k1];
+    let mut exps = vec![0i32; vectors * blocks];
+    let mut shifts = Vec::new();
+    for v in 0..vectors {
+        for kb in 0..blocks {
+            let start = kb * k1;
+            let blen = k1.min(len - start);
+            let base = base_of(v) + start * stride;
+            let Some(e) = engine::plan_into(fmt, data, base, stride, blen, &mut shifts) else {
+                continue;
+            };
+            let slot = slot_of(v, kb);
+            exps[slot] = e;
+            let out = &mut codes[slot * k1..][..blen];
+            for (i, slot) in out.iter_mut().enumerate() {
+                let x = data[base + i * stride];
+                let tau = shifts[i / k2];
+                let ulp = engine::ulp_of(fmt, e, tau);
+                let aligned = (engine::quantize_code(x, ulp, max_code) as i32) << (beta - tau);
+                // Zeros (incl. -0.0) carry sign 0, matching the engine's
+                // value and packed paths.
+                *slot = C::encode(if x != 0.0 && x.is_sign_negative() {
+                    -aligned
+                } else {
+                    aligned
+                });
+            }
+        }
+    }
+    CodePlane {
+        codes,
+        exps,
+        blocks,
+        k1,
+    }
+}
+
+/// Computes output rows `r0 .. r0 + rows` into `out` (a `rows × n` slice):
+/// for each block pair, one integer dot product and one `f32` scale-out
+/// `T · 2^(E_a + E_b + c)`, accumulated across K blocks in `f32`.
+///
+/// Rows are processed [`TILE_M`] at a time so each loaded B column (and its
+/// exponents) is reused for the whole tile; per output element the K loop
+/// walks two contiguous code arrays.
+fn gemm_rows<C: Code>(
+    ap: &CodePlane<C>,
+    r0: usize,
+    rows: usize,
+    bp: &CodePlane<C>,
+    n: usize,
+    c: i32,
+    out: &mut [f32],
+) {
+    let k1 = ap.k1;
+    let blocks = ap.blocks;
+    let kcodes = blocks * k1;
+    let mut i0 = 0;
+    while i0 < rows {
+        let tm = TILE_M.min(rows - i0);
+        for j in 0..n {
+            let bcol = &bp.codes[j * kcodes..][..kcodes];
+            let bexps = &bp.exps[j * blocks..][..blocks];
+            for t in 0..tm {
+                let row = r0 + i0 + t;
+                let arow = &ap.codes[row * kcodes..][..kcodes];
+                let aexps = &ap.exps[row * blocks..][..blocks];
+                let mut acc = 0.0f32;
+                for ((ab, bb), (&ea, &eb)) in arow
+                    .chunks_exact(k1)
+                    .zip(bcol.chunks_exact(k1))
+                    .zip(aexps.iter().zip(bexps.iter()))
+                {
+                    let dot = C::dot(ab, bb);
+                    if dot != 0 {
+                        acc += (dot as f64 * pow2(ea + eb + c)) as f32;
+                    }
+                }
+                out[(i0 + t) * n + j] = acc;
+            }
+        }
+        i0 += tm;
+    }
+}
+
+/// Runs `kernel(start_row, rows, out_span)` over row spans, serially or on
+/// `workers` threads; spans are whole rows, so the output is bit-identical
+/// either way.
+fn dispatch_rows(
+    m: usize,
+    n: usize,
+    workers: usize,
+    out: &mut Vec<f32>,
+    kernel: impl Fn(usize, usize, &mut [f32]) + Sync,
+) {
+    if workers <= 1 {
+        kernel(0, m, out);
+    } else {
+        let rows_per = m.div_ceil(workers);
+        let spans: Vec<(usize, usize)> = (0..m.div_ceil(rows_per))
+            .map(|w| (w * rows_per, rows_per.min(m - w * rows_per)))
+            .collect();
+        let parts = parallel::map(&spans, workers, |&(start, rows)| {
+            let mut part = vec![0.0f32; rows * n];
+            kernel(start, rows, &mut part);
+            part
+        });
+        out.clear();
+        for part in parts {
+            out.extend_from_slice(&part);
+        }
+    }
+}
+
+/// Packs both operands as `C` codes and runs the tiled, row-parallel GEMM.
+#[allow(clippy::too_many_arguments)] // a GEMM is dims + operands + formats
+fn run<C: Code>(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    fa: &BdrFormat,
+    fb: &BdrFormat,
+    c: i32,
+    workers: usize,
+    out: &mut Vec<f32>,
+) {
+    let blocks = k.div_ceil(fa.k1());
+    let ap = pack::<C>(a, m, k, |i| i * k, 1, |v, kb| v * blocks + kb, fa);
+    let bp = pack::<C>(b, n, k, |j| j, n, |v, kb| v * blocks + kb, fb);
+    dispatch_rows(m, n, workers, out, |start, rows, part| {
+        gemm_rows(&ap, start, rows, &bp, n, c, part);
+    });
+}
+
+/// Runtime-dispatched AVX2 kernel for the `i16` code path with the preset
+/// block size `k1 = 16`: one `vpmaddwd` covers a whole block, four output
+/// columns are produced per step (B is packed block-major so their code
+/// blocks are contiguous), and the per-block-pair scale-out — exponent add,
+/// `2^e` bit construction, `f64` multiply, one `f32` rounding — runs four
+/// lanes wide. The per-output accumulation order and rounding points are
+/// identical to [`gemm_rows`], so the result is bit-identical to the
+/// generic path (and to [`reference_gemm`]).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{dispatch_rows, pack, Code, CodePlane, TILE_M};
+    use crate::bdr::BdrFormat;
+    use crate::util::pow2;
+
+    /// The preset first-level block size this kernel is specialized for.
+    pub(super) const K1: usize = 16;
+
+    /// Whether the running CPU supports the kernel.
+    pub(super) fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    /// Packs A row-major / B block-major and runs the kernel row-parallel.
+    #[allow(clippy::too_many_arguments)] // a GEMM is dims + operands + formats
+    pub(super) fn run(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        fa: &BdrFormat,
+        fb: &BdrFormat,
+        c: i32,
+        workers: usize,
+        out: &mut Vec<f32>,
+    ) {
+        debug_assert!(fa.k1() == K1 && fb.k1() == K1);
+        let blocks = k.div_ceil(K1);
+        let ap = pack::<i16>(a, m, k, |i| i * k, 1, |v, kb| v * blocks + kb, fa);
+        let bp = pack::<i16>(b, n, k, |j| j, n, |v, kb| kb * n + v, fb);
+        dispatch_rows(m, n, workers, out, |start, rows, part| {
+            // SAFETY: `available()` verified AVX2 support at dispatch.
+            unsafe { gemm_rows_avx2(&ap, start, rows, &bp, n, c, part) }
+        });
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (checked by [`available`] before dispatch).
+    #[target_feature(enable = "avx2")]
+    unsafe fn gemm_rows_avx2(
+        ap: &CodePlane<i16>,
+        r0: usize,
+        rows: usize,
+        bp: &CodePlane<i16>,
+        n: usize,
+        c: i32,
+        out: &mut [f32],
+    ) {
+        use std::arch::x86_64::*;
+        let blocks = ap.blocks;
+        let n4 = n & !3;
+        let mut i0 = 0;
+        while i0 < rows {
+            let tm = TILE_M.min(rows - i0);
+            for kb in 0..blocks {
+                let brow_codes = &bp.codes[kb * n * K1..][..n * K1];
+                let brow_exps = &bp.exps[kb * n..][..n];
+                for t in 0..tm {
+                    let row = r0 + i0 + t;
+                    let slot = row * blocks + kb;
+                    let va = _mm256_loadu_si256(ap.codes[slot * K1..].as_ptr() as *const __m256i);
+                    let ea_c = ap.exps[slot] + c;
+                    let vea_c = _mm_set1_epi32(ea_c);
+                    let out_row = &mut out[(i0 + t) * n..][..n];
+                    let mut j = 0;
+                    while j < n4 {
+                        // Four block dots: vpmaddwd gives pairwise i32
+                        // sums; two hadd rounds + a cross-lane add reduce
+                        // them to [s0, s1, s2, s3].
+                        let bptr = brow_codes[j * K1..].as_ptr() as *const __m256i;
+                        let m0 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr));
+                        let m1 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(1)));
+                        let m2 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(2)));
+                        let m3 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(3)));
+                        let q =
+                            _mm256_hadd_epi32(_mm256_hadd_epi32(m0, m1), _mm256_hadd_epi32(m2, m3));
+                        let dots = _mm_add_epi32(
+                            _mm256_castsi256_si128(q),
+                            _mm256_extracti128_si256(q, 1),
+                        );
+                        // Scale-out: 2^(E_a + E_b + c) per lane, built as
+                        // f64 bit patterns ((e + 1023) << 52), times the
+                        // exact dot, rounded to f32 once.
+                        let e4 = _mm_add_epi32(
+                            vea_c,
+                            _mm_loadu_si128(brow_exps[j..].as_ptr() as *const __m128i),
+                        );
+                        let bits = _mm256_slli_epi64(
+                            _mm256_add_epi64(_mm256_cvtepi32_epi64(e4), _mm256_set1_epi64x(1023)),
+                            52,
+                        );
+                        let contrib = _mm256_cvtpd_ps(_mm256_mul_pd(
+                            _mm256_cvtepi32_pd(dots),
+                            _mm256_castsi256_pd(bits),
+                        ));
+                        let acc = _mm_add_ps(_mm_loadu_ps(out_row[j..].as_ptr()), contrib);
+                        _mm_storeu_ps(out_row[j..].as_mut_ptr(), acc);
+                        j += 4;
+                    }
+                    // Ragged column tail: same dot, same scale-out.
+                    for j in n4..n {
+                        let dot = <i16 as Code>::dot(
+                            &ap.codes[slot * K1..][..K1],
+                            &brow_codes[j * K1..][..K1],
+                        );
+                        if dot != 0 {
+                            out_row[j] += (dot as f64 * pow2(ea_c + brow_exps[j])) as f32;
+                        }
+                    }
+                }
+            }
+            i0 += tm;
+        }
+    }
+}
+
+/// Quantized matrix product `A[m,k] × B[k,n]` computed entirely in the
+/// integer code domain (see the module docs for the datapath mapping).
+///
+/// A's rows and B's columns are quantized to aligned integer codes once;
+/// the GEMM then runs over codes, tiled [`TILE_M`] output rows at a time
+/// and dispatched row-parallel across `threads` workers (`0` = all cores;
+/// the split is block-aligned, so the result is bit-identical regardless
+/// of thread count).
+///
+/// Returns `None` when [`code_domain_supported`] rejects the format pair —
+/// callers fall back to the dequantize path.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m·k` or `b.len() != k·n`.
+#[allow(clippy::too_many_arguments)] // a GEMM is dims + operands + formats
+pub fn quantized_gemm(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    fa: BdrFormat,
+    fb: BdrFormat,
+    threads: usize,
+) -> Option<Vec<f32>> {
+    if !code_domain_supported(&fa, &fb) {
+        return None;
+    }
+    assert_eq!(a.len(), m * k, "A is not {m}x{k}");
+    assert_eq!(b.len(), k * n, "B is not {k}x{n}");
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return Some(out);
+    }
+    let wa = fa.m() + fa.max_shift();
+    let wb = fb.m() + fb.max_shift();
+    let c = -((fa.m() as i32 - 1)
+        + fa.max_shift() as i32
+        + (fb.m() as i32 - 1)
+        + (fb.max_shift() as i32));
+
+    let threads = if threads == 0 {
+        parallel::default_threads()
+    } else {
+        threads
+    };
+    // Same grain policy as the engine's kernels: every worker must receive
+    // at least PARALLEL_GRAIN multiply-accumulates, so a small layer never
+    // pays scoped-thread spawn cost for microseconds of work.
+    let macs = m.saturating_mul(n).saturating_mul(k);
+    let workers = if threads <= 1 || macs < 2 * PARALLEL_GRAIN {
+        1
+    } else {
+        threads.min(m).min(macs / PARALLEL_GRAIN).max(1)
+    };
+    // Narrow pairs (all MX/MSFP presets): i16 codes, i32 block accumulator.
+    if wa <= 15 && wb <= 15 && wa + wb + ceil_log2(fa.k1()) <= 31 {
+        #[cfg(target_arch = "x86_64")]
+        if fa.k1() == avx2::K1 && avx2::available() {
+            avx2::run(a, b, m, k, n, &fa, &fb, c, workers, &mut out);
+            return Some(out);
+        }
+        run::<i16>(a, b, m, k, n, &fa, &fb, c, workers, &mut out);
+    } else {
+        run::<i32>(a, b, m, k, n, &fa, &fb, c, workers, &mut out);
+    }
+    Some(out)
+}
+
+/// The quantize → dequantize → `f32` matmul reference the code-domain path
+/// is proven against: A's rows and B's columns are fake-quantized through
+/// the engine's strided kernels, then multiplied block by block — each
+/// `k1`-block pair's products summed exactly in `f64`, rounded to `f32`
+/// once, and accumulated across K blocks in `f32`, the same order and
+/// rounding points as [`quantized_gemm`].
+///
+/// # Panics
+///
+/// Panics if the operand lengths disagree with `m·k` / `k·n`, or if the two
+/// formats have different `k1` (the block tilings would not line up).
+pub fn reference_gemm(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    fa: BdrFormat,
+    fb: BdrFormat,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A is not {m}x{k}");
+    assert_eq!(b.len(), k * n, "B is not {k}x{n}");
+    assert_eq!(fa.k1(), fb.k1(), "mismatched block sizes");
+    let mut aq = a.to_vec();
+    let mut bq = b.to_vec();
+    if !aq.is_empty() {
+        QuantEngine::new(fa).quantize_dequantize_rows(&mut aq, k);
+    }
+    if !bq.is_empty() {
+        QuantEngine::new(fb).quantize_dequantize_cols(&mut bq, n);
+    }
+    let k1 = fa.k1();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k0 in (0..k).step_by(k1) {
+                let blen = k1.min(k - k0);
+                let mut s = 0.0f64;
+                for p in k0..k0 + blen {
+                    s += aq[i * k + p] as f64 * bq[p * n + j] as f64;
+                }
+                acc += s as f32;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, salt: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i.wrapping_mul(37).wrapping_add(salt * 13) % 101) as f32 - 50.0) * 0.037)
+            .collect()
+    }
+
+    #[test]
+    fn presets_are_supported() {
+        for fa in [
+            BdrFormat::MX4,
+            BdrFormat::MX6,
+            BdrFormat::MX9,
+            BdrFormat::MSFP12,
+            BdrFormat::MSFP16,
+        ] {
+            for fb in [BdrFormat::MX4, BdrFormat::MX9, BdrFormat::MSFP16] {
+                assert!(code_domain_supported(&fa, &fb), "{fa} x {fb}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_pairs_are_rejected() {
+        // Mismatched k1.
+        let k32 = BdrFormat::new(4, 8, 1, 32, 2).unwrap();
+        assert!(!code_domain_supported(&BdrFormat::MX6, &k32));
+        assert!(quantized_gemm(&[0.0; 16], &[0.0; 16], 1, 16, 1, BdrFormat::MX6, k32, 1).is_none());
+        // m + β too wide for an i32 aligned code.
+        let wide = BdrFormat::new(23, 8, 4, 16, 2).unwrap();
+        assert!(!code_domain_supported(&wide, &wide));
+        // Ulp below f32's subnormal floor: dequantize would round.
+        let deep = BdrFormat::new(20, 8, 4, 16, 2).unwrap();
+        assert!(!exact_dequantize(&deep));
+    }
+
+    #[test]
+    fn matches_reference_exactly() {
+        for fmt in [BdrFormat::MX4, BdrFormat::MX6, BdrFormat::MX9] {
+            let (m, k, n) = (5, 48, 7);
+            let a = ramp(m * k, 1);
+            let b = ramp(k * n, 2);
+            let got = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
+            let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+            assert!(
+                got.iter()
+                    .zip(want.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{fmt}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_format_operands() {
+        let (m, k, n) = (3, 40, 4);
+        let a = ramp(m * k, 3);
+        let b = ramp(k * n, 4);
+        let got = quantized_gemm(&a, &b, m, k, n, BdrFormat::MX9, BdrFormat::MX4, 1).unwrap();
+        let want = reference_gemm(&a, &b, m, k, n, BdrFormat::MX9, BdrFormat::MX4);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_block_matches_naive_f32_matmul() {
+        // With K ≤ k1 every f32 partial sum is exact, so the code path, the
+        // blocked reference, and a plain f32 triple loop all agree exactly.
+        let fmt = BdrFormat::MX6;
+        let (m, k, n) = (4, 16, 4);
+        let a = ramp(m * k, 5);
+        let b = ramp(k * n, 6);
+        let got = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
+        let e = QuantEngine::new(fmt);
+        let mut aq = a.clone();
+        e.quantize_dequantize_rows(&mut aq, k);
+        let mut bq = b.clone();
+        e.quantize_dequantize_cols(&mut bq, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += aq[i * k + p] * bq[p * n + j];
+                }
+                assert_eq!(got[i * n + j], acc, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_dims() {
+        let fmt = BdrFormat::MX6;
+        assert_eq!(
+            quantized_gemm(&[], &[], 0, 16, 0, fmt, fmt, 1).unwrap(),
+            vec![]
+        );
+        let a = ramp(16, 7);
+        assert_eq!(
+            quantized_gemm(&a, &[], 1, 16, 0, fmt, fmt, 1).unwrap(),
+            vec![]
+        );
+        // k = 0: all-zero output.
+        assert_eq!(
+            quantized_gemm(&[], &[], 2, 0, 3, fmt, fmt, 1).unwrap(),
+            vec![0.0; 6]
+        );
+    }
+
+    #[test]
+    fn zero_operand_gives_zero_output() {
+        let fmt = BdrFormat::MX9;
+        let a = vec![0.0f32; 3 * 33];
+        let b = ramp(33 * 5, 9);
+        let got = quantized_gemm(&a, &b, 3, 33, 5, fmt, fmt, 1).unwrap();
+        assert!(got.iter().all(|v| v.to_bits() == 0));
+    }
+
+    #[test]
+    fn parallel_dispatch_is_bit_identical() {
+        let fmt = BdrFormat::MX6;
+        // Large enough to cross the parallel work threshold.
+        let (m, k, n) = (64, 96, 48);
+        let a = ramp(m * k, 11);
+        let b = ramp(k * n, 12);
+        let serial = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
+        for threads in [2usize, 3, 7, 0] {
+            let par = quantized_gemm(&a, &b, m, k, n, fmt, fmt, threads).unwrap();
+            assert!(
+                serial
+                    .iter()
+                    .zip(par.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(16), 4);
+        assert_eq!(ceil_log2(17), 5);
+    }
+}

@@ -13,6 +13,13 @@
 //! the seed's transpose → quantize → transpose round trip is gone. Large
 //! tensors are split across cores by the engine's chunked parallel
 //! front-end (bit-identical to serial).
+//!
+//! Note that [`quantize_along`] is the *fake-quantization* view (values
+//! come back as `f32`). Matrix products between two BDR-format operands
+//! never materialize that view: [`crate::qflow::quantized_matmul_ab`]
+//! routes them through [`mx_core::gemm`], which consumes the integer block
+//! codes directly and is bit-identical to fake-quantize + blocked `f32`
+//! matmul.
 
 use crate::tensor::Tensor;
 use mx_core::bdr::BdrFormat;

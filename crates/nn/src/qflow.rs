@@ -11,6 +11,7 @@
 
 use crate::format::{quantize_along, Axis, TensorFormat};
 use crate::tensor::Tensor;
+use mx_core::{gemm, parallel};
 use std::fmt;
 
 /// Format assignment for a model's tensor and vector operations.
@@ -100,8 +101,8 @@ impl fmt::Display for QuantConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fwd={} bwd={} elem={}",
-            self.fwd, self.bwd, self.elementwise
+            "fwd={} fwd_w={} bwd={} elem={}",
+            self.fwd, self.fwd_w, self.bwd, self.elementwise
         )
     }
 }
@@ -129,9 +130,40 @@ pub fn quantized_matmul(a: &Tensor, b: &Tensor, format: TensorFormat) -> Tensor 
 
 /// [`quantized_matmul`] with distinct operand formats: `a` (activations)
 /// quantizes in `fa`, `b` (weights) in `fb`.
+///
+/// When both operands are block (BDR) formats the product runs on
+/// [`mx_core::gemm`]'s integer code-domain path: operands are lowered to
+/// sign/magnitude codes once and every K-block dot product is computed in
+/// integer arithmetic with a single `f32` scale-out per block pair —
+/// bit-identical to the dequantize reference with blocked accumulation
+/// (and exactly equal to the naive `f32` product whenever `K ≤ k1`).
+/// Identity (`FP32`) and scalar formats fall back to fake-quantize +
+/// `f32` matmul.
 pub fn quantized_matmul_ab(a: &Tensor, b: &Tensor, fa: TensorFormat, fb: TensorFormat) -> Tensor {
     if fa.is_identity() && fb.is_identity() {
         return a.matmul(b);
+    }
+    if let (TensorFormat::Bdr(ba), TensorFormat::Bdr(bb)) = (fa, fb) {
+        if gemm::code_domain_supported(&ba, &bb) {
+            let (m, k) = (a.rows(), a.cols());
+            assert_eq!(b.shape().len(), 2, "rhs of matmul must be 2-D");
+            let (kb, n) = (b.shape()[0], b.shape()[1]);
+            assert_eq!(k, kb, "inner dims: {k} vs {kb}");
+            let out = gemm::quantized_gemm(
+                a.data(),
+                b.data(),
+                m,
+                k,
+                n,
+                ba,
+                bb,
+                parallel::default_threads(),
+            )
+            .expect("format pair passed the support gate");
+            let mut shape = a.shape()[..a.shape().len() - 1].to_vec();
+            shape.push(n);
+            return Tensor::from_vec(out, &shape);
+        }
     }
     let aq = quantize_along(a, fa, Axis::Row);
     let bq = quantize_along(b, fb, Axis::Col);
@@ -164,6 +196,8 @@ mod tests {
 
     #[test]
     fn quantized_matmul_matches_manual_quantization() {
+        // K = 16 is a single k1-block, where the code-domain GEMM is exactly
+        // equal to the dequantize + naive f32 matmul composition.
         let a = Tensor::from_vec((0..64).map(|i| (i as f32 * 0.17).sin()).collect(), &[4, 16]);
         let b = Tensor::from_vec((0..64).map(|i| (i as f32 * 0.13).cos()).collect(), &[16, 4]);
         let y = quantized_matmul(&a, &b, TensorFormat::MX6);
@@ -172,6 +206,53 @@ mod tests {
         assert_eq!(y, aq.matmul(&bq));
         // And it differs from the unquantized product.
         assert_ne!(y, a.matmul(&b));
+    }
+
+    #[test]
+    fn quantized_matmul_routes_through_code_domain_gemm() {
+        use mx_core::gemm;
+        // Multi-block K: the result is the integer-domain GEMM output
+        // (bit-identical to the blocked dequantize reference).
+        let (m, k, n) = (3, 40, 5);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| (i as f32 * 0.19).sin()).collect(),
+            &[m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| (i as f32 * 0.23).cos()).collect(),
+            &[k, n],
+        );
+        for (fa, fb) in [
+            (TensorFormat::MX6, TensorFormat::MX6),
+            (TensorFormat::MX9, TensorFormat::MX4),
+        ] {
+            let y = quantized_matmul_ab(&a, &b, fa, fb);
+            let (TensorFormat::Bdr(ba), TensorFormat::Bdr(bb)) = (fa, fb) else {
+                unreachable!()
+            };
+            let want = gemm::reference_gemm(a.data(), b.data(), m, k, n, ba, bb);
+            assert!(
+                y.data()
+                    .iter()
+                    .zip(want.iter())
+                    .all(|(x, w)| x.to_bits() == w.to_bits()),
+                "{fa}/{fb}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_matmul_3d_lhs_keeps_leading_dims() {
+        let a = Tensor::from_vec(
+            (0..2 * 2 * 24).map(|i| (i as f32 * 0.11).sin()).collect(),
+            &[2, 2, 24],
+        );
+        let b = Tensor::from_vec(
+            (0..24 * 3).map(|i| (i as f32 * 0.07).cos()).collect(),
+            &[24, 3],
+        );
+        let y = quantized_matmul(&a, &b, TensorFormat::MX9);
+        assert_eq!(y.shape(), &[2, 2, 3]);
     }
 
     #[test]
@@ -198,6 +279,12 @@ mod tests {
     #[test]
     fn display() {
         let cfg = QuantConfig::uniform(TensorFormat::MX9);
-        assert_eq!(cfg.to_string(), "fwd=MX9 bwd=MX9 elem=FP32");
+        assert_eq!(cfg.to_string(), "fwd=MX9 fwd_w=MX9 bwd=MX9 elem=FP32");
+        // Table IV-style (w, a) configs with different weight formats must
+        // not print identically.
+        let w4a6 = QuantConfig::weights_activations(TensorFormat::MX4, TensorFormat::MX6);
+        let w9a6 = QuantConfig::weights_activations(TensorFormat::MX9, TensorFormat::MX6);
+        assert_eq!(w4a6.to_string(), "fwd=MX6 fwd_w=MX4 bwd=FP32 elem=FP32");
+        assert_ne!(w4a6.to_string(), w9a6.to_string());
     }
 }

@@ -152,11 +152,19 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "inner dims: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
+        // Skipping zero lhs rows is only sound when the rhs is all finite:
+        // IEEE requires 0.0 × ∞ and 0.0 × NaN to propagate NaN, and for a
+        // finite rhs adding the exact ±0.0 products is a no-op. The scan is
+        // memoized and deferred to the first zero so zero-free inputs never
+        // pay for it.
+        let mut rhs_finite: Option<bool> = None;
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let o_row = &mut out[i * n..(i + 1) * n];
             for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if a == 0.0
+                    && *rhs_finite.get_or_insert_with(|| other.data.iter().all(|v| v.is_finite()))
+                {
                     continue;
                 }
                 let b_row = &other.data[p * n..(p + 1) * n];
@@ -420,6 +428,20 @@ mod tests {
         let a = Tensor::from_vec((0..9).map(|i| i as f32 * 0.3).collect(), &[3, 3]);
         assert_eq!(a.matmul(&Tensor::eye(3)), a);
         assert_eq!(Tensor::eye(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_zero_rows_propagate_non_finite_rhs() {
+        // 0·∞ and 0·NaN must reach the output as NaN; the zero-skip
+        // shortcut used to silently drop them.
+        let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![f32::INFINITY, 2.0], &[2, 1]);
+        assert!(a.matmul(&b).data()[0].is_nan(), "0 x inf must be NaN");
+        let bn = Tensor::from_vec(vec![f32::NAN, 2.0], &[2, 1]);
+        assert!(a.matmul(&bn).data()[0].is_nan(), "0 x NaN must be NaN");
+        // A fully finite rhs still takes the fast path and stays exact.
+        let bf = Tensor::from_vec(vec![3.0, 2.0], &[2, 1]);
+        assert_eq!(a.matmul(&bf).data(), &[2.0]);
     }
 
     #[test]

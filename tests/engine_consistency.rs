@@ -175,6 +175,31 @@ fn parallel_quantization_is_deterministic() {
     }
 }
 
+/// Parallel span decoding of byte-aligned packed streams is bit-identical
+/// to the serial decode, for every preset format (all of which have
+/// byte-aligned full-block footprints) and a ragged tail block.
+#[test]
+fn parallel_decode_is_bit_identical_to_serial() {
+    for fmt in FORMATS {
+        let n = 3 * PARALLEL_GRAIN + 13; // past the threshold, ragged tail
+        let x = stress_vector(n, 41);
+        let bytes = QuantEngine::new(fmt).encode(&x);
+        let serial = QuantEngine::new(fmt).decode(&bytes, n);
+        for threads in [2usize, 3, 8, 0] {
+            let par = QuantEngine::new(fmt)
+                .with_threads(threads)
+                .decode(&bytes, n);
+            assert!(
+                serial
+                    .iter()
+                    .zip(par.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{fmt} decode diverged at threads={threads}"
+            );
+        }
+    }
+}
+
 /// The engine's packed stream is byte-for-byte what the seed's encoder
 /// produced: spot-check the exact layout of one known block.
 #[test]

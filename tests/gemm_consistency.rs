@@ -1,0 +1,206 @@
+//! Consistency suite for the integer code-domain GEMM: on every supported
+//! format pair and shape — including ragged K tails, all-zero blocks, and
+//! degenerate 1×N / M×1 edges — the integer path must be **bit-identical**
+//! to the quantize → dequantize → `f32` matmul reference, and the nn-layer
+//! `quantized_matmul` must route through it without call-site changes.
+
+use mx::core::bdr::BdrFormat;
+use mx::core::gemm::{code_domain_supported, quantized_gemm, reference_gemm};
+use mx::nn::format::TensorFormat;
+use mx::nn::qflow::quantized_matmul_ab;
+use mx::nn::tensor::Tensor;
+
+const FORMATS: [BdrFormat; 4] = [
+    BdrFormat::MX4,
+    BdrFormat::MX6,
+    BdrFormat::MX9,
+    BdrFormat::MSFP12,
+];
+
+/// Deterministic pseudo-random data with outliers, sign changes, zeros, and
+/// a wide magnitude spread — the shapes block formats find hardest.
+fn stress_vector(n: usize, salt: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i.wrapping_mul(2654435761).wrapping_add(salt * 97)) % 10_007;
+            let base = h as f32 / 10_007.0 - 0.5;
+            match i % 7 {
+                0 => 0.0,
+                1 => base * 1e4,
+                2 => -base * 1e-4,
+                3 => -0.0,
+                _ => base,
+            }
+        })
+        .collect()
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{ctx}: element {i} differs: {g} ({:#x}) vs {w} ({:#x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+/// Random shapes across every preset format pair (including mixed weight /
+/// activation formats): code domain == dequantize reference, bit for bit.
+#[test]
+fn code_domain_matches_dequantize_reference() {
+    for fa in FORMATS {
+        for fb in FORMATS {
+            assert!(code_domain_supported(&fa, &fb), "{fa} x {fb}");
+            for (m, k, n) in [(4, 64, 8), (3, 48, 5), (8, 512, 2)] {
+                let a = stress_vector(m * k, m + k);
+                let b = stress_vector(k * n, k + n + 1);
+                let got = quantized_gemm(&a, &b, m, k, n, fa, fb, 1).unwrap();
+                let want = reference_gemm(&a, &b, m, k, n, fa, fb);
+                assert_bits_eq(&got, &want, &format!("{fa}x{fb} {m}x{k}x{n}"));
+            }
+        }
+    }
+}
+
+/// K values that are not multiples of `k1` (and smaller than one block)
+/// leave ragged tail blocks on both operands; the integer path must pad
+/// and scale them identically to the reference.
+#[test]
+fn ragged_k_tail_blocks() {
+    for fmt in [BdrFormat::MX4, BdrFormat::MX6, BdrFormat::MX9] {
+        for k in [1usize, 2, 7, 15, 17, 21, 33, 47, 100] {
+            let (m, n) = (3, 4);
+            let a = stress_vector(m * k, k);
+            let b = stress_vector(k * n, k + 3);
+            let got = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
+            let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+            assert_bits_eq(&got, &want, &format!("{fmt} K={k}"));
+        }
+    }
+}
+
+/// All-zero operand blocks exercise the shared-exponent-0 path: zero A,
+/// zero B, and inputs whose zeros tile exactly one block.
+#[test]
+fn all_zero_blocks() {
+    let fmt = BdrFormat::MX6;
+    let (m, k, n) = (2, 48, 3);
+    // Whole operands zero.
+    let zeros = vec![0.0f32; m * k];
+    let b = stress_vector(k * n, 5);
+    let got = quantized_gemm(&zeros, &b, m, k, n, fmt, fmt, 1).unwrap();
+    assert!(got.iter().all(|v| v.to_bits() == 0), "0 * B must be +0.0");
+    // Zeros covering exactly the middle k1-block of each row/column.
+    let mut a = stress_vector(m * k, 7);
+    for r in 0..m {
+        for p in 16..32 {
+            a[r * k + p] = if p % 2 == 0 { 0.0 } else { -0.0 };
+        }
+    }
+    let mut bz = stress_vector(k * n, 9);
+    for p in 16..32 {
+        for j in 0..n {
+            bz[p * n + j] = 0.0;
+        }
+    }
+    let got = quantized_gemm(&a, &bz, m, k, n, fmt, fmt, 1).unwrap();
+    let want = reference_gemm(&a, &bz, m, k, n, fmt, fmt);
+    assert_bits_eq(&got, &want, "zero middle block");
+}
+
+/// Degenerate output shapes: single-row, single-column, and 1×1 products.
+#[test]
+fn row_and_column_vector_shapes() {
+    for fmt in [BdrFormat::MX6, BdrFormat::MX9] {
+        for (m, k, n) in [(1, 40, 9), (7, 33, 1), (1, 16, 1), (1, 5, 1)] {
+            let a = stress_vector(m * k, m + 11);
+            let b = stress_vector(k * n, n + 13);
+            let got = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
+            let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+            assert_bits_eq(&got, &want, &format!("{fmt} {m}x{k}x{n}"));
+        }
+    }
+}
+
+/// Row-parallel dispatch is bit-identical to the serial GEMM for every
+/// thread count, including the "all cores" knob.
+#[test]
+fn parallel_gemm_is_bit_identical() {
+    let fmt = BdrFormat::MX9;
+    let (m, k, n) = (48, 80, 32);
+    let a = stress_vector(m * k, 17);
+    let b = stress_vector(k * n, 19);
+    let serial = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
+    for threads in [2usize, 3, 5, 8, 0] {
+        let par = quantized_gemm(&a, &b, m, k, n, fmt, fmt, threads).unwrap();
+        assert_bits_eq(&par, &serial, &format!("threads={threads}"));
+    }
+}
+
+/// The nn-layer entry point routes BDR format pairs through the integer
+/// path (bit-identical to the reference) and leaves identity formats on
+/// the exact `f32` matmul.
+#[test]
+fn nn_matmul_routes_through_code_domain() {
+    let (m, k, n) = (5, 37, 6);
+    let a = Tensor::from_vec(stress_vector(m * k, 23), &[m, k]);
+    let b = Tensor::from_vec(stress_vector(k * n, 29), &[k, n]);
+    for (fa, fb) in [
+        (TensorFormat::MX4, TensorFormat::MX4),
+        (TensorFormat::MX6, TensorFormat::MX9),
+        (TensorFormat::Bdr(BdrFormat::MSFP12), TensorFormat::MX6),
+    ] {
+        let y = quantized_matmul_ab(&a, &b, fa, fb);
+        let (TensorFormat::Bdr(ba), TensorFormat::Bdr(bb)) = (fa, fb) else {
+            unreachable!()
+        };
+        let want = reference_gemm(a.data(), b.data(), m, k, n, ba, bb);
+        assert_bits_eq(y.data(), &want, &format!("{fa}/{fb}"));
+        assert_eq!(y.shape(), &[m, n]);
+    }
+    // Identity formats short-circuit to the exact product.
+    let exact = quantized_matmul_ab(&a, &b, TensorFormat::Fp32, TensorFormat::Fp32);
+    assert_eq!(exact, a.matmul(&b));
+}
+
+/// Formats that cannot take the AVX2 kernel (block size ≠ 16, or operand
+/// codes wider than `i16`) dispatch to the portable generic kernels; those
+/// must honor the same bit-identity guarantee. Covers `run::<i16>` via a
+/// `k1 = 32` narrow format and `run::<i32>` via a 16-bit-mantissa format.
+#[test]
+fn generic_fallback_kernels_match_reference() {
+    // k1 = 32, d2 = 2: narrow i16 codes, but not the AVX2 block size.
+    let k32 = BdrFormat::new(4, 8, 2, 32, 4).unwrap();
+    // m = 16: aligned codes exceed 15 bits, forcing the i32/i64 path.
+    let wide = BdrFormat::new(16, 4, 0, 16, 2).unwrap();
+    for fmt in [k32, wide] {
+        assert!(code_domain_supported(&fmt, &fmt), "{fmt}");
+        for (m, k, n) in [(3, 80, 5), (2, 37, 4), (1, 100, 1)] {
+            let a = stress_vector(m * k, m + k + 41);
+            let b = stress_vector(k * n, k + n + 43);
+            let got = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
+            let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+            assert_bits_eq(&got, &want, &format!("{fmt} {m}x{k}x{n}"));
+        }
+    }
+}
+
+/// For K within a single k1-block, the blocked accumulation degenerates to
+/// the naive product: the code-domain result equals the seed's
+/// quantize-both-then-`f32`-matmul composition exactly.
+#[test]
+fn single_block_k_matches_naive_composition() {
+    use mx::nn::format::{quantize_along, Axis};
+    for fmt in [TensorFormat::MX4, TensorFormat::MX6, TensorFormat::MX9] {
+        let (m, k, n) = (4, 16, 4);
+        let a = Tensor::from_vec(stress_vector(m * k, 31), &[m, k]);
+        let b = Tensor::from_vec(stress_vector(k * n, 37), &[k, n]);
+        let y = quantized_matmul_ab(&a, &b, fmt, fmt);
+        let aq = quantize_along(&a, fmt, Axis::Row);
+        let bq = quantize_along(&b, fmt, Axis::Col);
+        assert_bits_eq(y.data(), aq.matmul(&bq).data(), &format!("{fmt}"));
+    }
+}
