@@ -1,11 +1,16 @@
-//! Acceptance benchmark for the integer code-domain GEMM: a 512×512×512
-//! MX6 quantized matrix product, the dequantize path (fake-quantize both
-//! operands, then naive `f32` matmul — the seed's `quantized_matmul`) vs
-//! the fused integer path, serial and row-parallel.
+//! Acceptance benchmarks for the GEMM paths at 512×512×512:
+//!
+//! - `quantized_gemm_512` — the MX6 quantized product: the dequantize path
+//!   (fake-quantize both operands, then `f32` matmul) vs the fused integer
+//!   code-domain path, serial and row-parallel;
+//! - `matmul_512` — the unquantized FP32 baseline: the seed's naive triple
+//!   loop vs the blocked, vectorized `mx_core::fgemm` kernel. Quantized-vs-
+//!   FP32 speedup claims are measured against this *improved* baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mx_core::bdr::BdrFormat;
-use mx_core::gemm::quantized_gemm;
+use mx_core::fgemm;
+use mx_core::gemm::{quantized_gemm, quantized_gemm_prepacked, PackedOperand};
 use mx_nn::format::{quantize_along, Axis, TensorFormat};
 use mx_nn::tensor::Tensor;
 use std::hint::black_box;
@@ -43,8 +48,34 @@ fn quantized_gemm_512(c: &mut Criterion) {
     group.bench_function("code_domain_parallel", |bench| {
         bench.iter(|| black_box(quantized_gemm(&a, &b, N, N, N, fmt, fmt, 0).unwrap()))
     });
+    group.bench_function("code_domain_prepacked", |bench| {
+        let pb = PackedOperand::pack_cols(&b, N, N, fmt, fmt).unwrap();
+        bench.iter(|| black_box(quantized_gemm_prepacked(&a, N, fmt, &pb, 1).unwrap()))
+    });
     group.finish();
 }
 
-criterion_group!(benches, quantized_gemm_512);
+fn matmul_512(c: &mut Criterion) {
+    // The canonical copy of the seed triple loop (`fgemm::naive_matmul`)
+    // is the baseline the blocked kernel is measured against, and the one
+    // `tests/gemm_consistency.rs` proves it bit-identical to.
+    use mx_core::fgemm::naive_matmul;
+    let a = test_matrix(3);
+    let b = test_matrix(4);
+    let mut group = c.benchmark_group("matmul_512");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((N * N * N) as u64));
+    group.bench_function("naive_triple_loop", |bench| {
+        bench.iter(|| black_box(naive_matmul(&a, &b, N, N, N)))
+    });
+    group.bench_function("blocked", |bench| {
+        bench.iter(|| black_box(fgemm::matmul(&a, &b, N, N, N, 1)))
+    });
+    group.bench_function("blocked_parallel", |bench| {
+        bench.iter(|| black_box(fgemm::matmul(&a, &b, N, N, N, 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, quantized_gemm_512, matmul_512);
 criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! `inference_steady_state` — the acceptance benchmark for the
+//! prepack/execute split: repeated forward passes at a GPT-ish layer shape
+//! (32 tokens × 512 features into a 4× FFN expansion, MX6 weights and
+//! activations), comparing
+//!
+//! - `per_call_packing` — the PR 2 behavior: every call re-lowers the
+//!   static weight matrix to shift-aligned codes (`quantized_gemm`);
+//! - `prepacked_weights` — the weight plane is packed once and only the
+//!   activations are lowered per call (`quantized_gemm_prepacked`) — the
+//!   steady state `mx-nn`'s generation-keyed weight cache reaches after
+//!   the first forward pass;
+//! - `weight_pack_only` — the packing cost itself, i.e. what each
+//!   `per_call_packing` iteration wastes;
+//! - `linear_layer_cached` — the same product through `mx_nn::Linear`
+//!   with a warm cache, confirming the plumbing adds nothing material.
+//!
+//! All cases run serial (`threads = 1`): the interesting quantity is the
+//! amortized packing work, not core scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mx_core::bdr::BdrFormat;
+use mx_core::gemm::{quantized_gemm, quantized_gemm_prepacked, PackedOperand};
+use mx_nn::format::TensorFormat;
+use mx_nn::layers::{Layer, Linear};
+use mx_nn::qflow::QuantConfig;
+use mx_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Tokens per step (batch × sequence), model width, FFN width.
+const M: usize = 32;
+const K: usize = 512;
+const N: usize = 2048;
+
+fn test_matrix(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            ((i.wrapping_mul(2654435761).wrapping_add(salt * 911)) % 10_007) as f32 / 10_007.0 - 0.5
+        })
+        .collect()
+}
+
+fn inference_steady_state(c: &mut Criterion) {
+    let fmt = BdrFormat::MX6;
+    let a = test_matrix(M * K, 1);
+    let w = test_matrix(K * N, 2);
+    let mut group = c.benchmark_group("inference_steady_state");
+    group.sample_size(10);
+    // One multiply-accumulate per element of the M×N×K iteration space.
+    group.throughput(Throughput::Elements((M * N * K) as u64));
+    group.bench_function("per_call_packing", |bench| {
+        bench.iter(|| black_box(quantized_gemm(&a, &w, M, K, N, fmt, fmt, 1).unwrap()))
+    });
+    group.bench_function("prepacked_weights", |bench| {
+        let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
+        bench.iter(|| black_box(quantized_gemm_prepacked(&a, M, fmt, &pw, 1).unwrap()))
+    });
+    group.bench_function("weight_pack_only", |bench| {
+        bench.iter(|| black_box(PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap()))
+    });
+    group.bench_function("linear_layer_cached", |bench| {
+        let mut l = Linear::new(
+            &mut StdRng::seed_from_u64(7),
+            K,
+            N,
+            false,
+            QuantConfig::uniform(TensorFormat::Bdr(fmt)),
+        );
+        l.w.value = Tensor::from_vec(w.clone(), &[K, N]);
+        let x = Tensor::from_vec(a.clone(), &[M, K]);
+        let _ = l.forward(&x, false); // warm the generation-keyed cache
+        bench.iter(|| black_box(l.forward(&x, false)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, inference_steady_state);
+criterion_main!(benches);

@@ -1,4 +1,5 @@
-//! Integer-domain quantized GEMM fused with the quantization engine.
+//! Integer-domain quantized GEMM fused with the quantization engine, split
+//! into a **prepack / execute** architecture.
 //!
 //! The point of the paper's Fig. 8 compute flow is that a BDR datapath never
 //! multiplies wide floats: each operand element is a narrow sign/magnitude
@@ -20,11 +21,30 @@
 //!    block pair converts `T` back to a float, which is accumulated across
 //!    the K blocks.
 //!
-//! [`quantized_gemm`] implements exactly that: it lowers A's rows and B's
-//! columns to aligned integer codes **once** (through the same
-//! [`crate::engine`] block plan and rounding rule as
-//! [`crate::engine::QuantEngine::quantize_block_codes`]), then runs a
-//! cache-tiled, row-parallel integer GEMM over the codes.
+//! # Prepack / execute
+//!
+//! Lowering an operand to shift-aligned codes (the *pack*) is the only part
+//! of the pipeline that touches `f32` data — it runs the engine's block plan
+//! and rounding rule per element. For inference the weight operand is
+//! static, so that cost is pure waste when paid per call. The module
+//! therefore separates the two stages:
+//!
+//! - [`PackedOperand::pack_rows`] / [`PackedOperand::pack_cols`] lower an
+//!   operand **once** to a reusable code plane (through the same
+//!   [`crate::engine`] block plan and rounding rule as
+//!   [`crate::engine::QuantEngine::quantize_block_codes`]);
+//! - [`quantized_gemm_prepacked`] multiplies fresh activations against a
+//!   prepacked weight plane, packing only the A side;
+//! - [`quantized_gemm_packed`] executes over two prepacked planes — the
+//!   pure integer GEMM with zero packing cost;
+//! - [`quantized_gemm`] is a thin wrapper that packs both sides ad hoc
+//!   (the PR 2 behavior, bit-identical then and now).
+//!
+//! `mx-nn` caches the weight-side [`PackedOperand`] on the tensor itself
+//! (keyed by format pair and invalidated through a generation counter on
+//! the tensor's data), so repeated forward passes skip B-side lowering
+//! entirely — see `mx_nn::qflow` for the invalidation contract. The
+//! `inference_steady_state` bench group measures the amortization.
 //!
 //! # Exactness
 //!
@@ -35,20 +55,24 @@
 //! in the 52-bit exact-integer range of `f64`, and both paths round once
 //! per block pair before accumulating in `f32` in the same K-block order.
 //! This is an equality, not a tolerance — the consistency suite asserts it
-//! bit for bit.
+//! bit for bit, prepacked or not.
 //!
 //! # Examples
 //!
 //! ```
 //! use mx_core::bdr::BdrFormat;
-//! use mx_core::gemm::{code_domain_supported, quantized_gemm, reference_gemm};
+//! use mx_core::gemm::{quantized_gemm, quantized_gemm_prepacked, PackedOperand};
 //!
 //! let fmt = BdrFormat::MX6;
-//! assert!(code_domain_supported(&fmt, &fmt));
-//! let a: Vec<f32> = (0..2 * 32).map(|i| (i as f32 * 0.17).sin()).collect();
 //! let b: Vec<f32> = (0..32 * 3).map(|i| (i as f32 * 0.13).cos()).collect();
-//! let y = quantized_gemm(&a, &b, 2, 32, 3, fmt, fmt, 1).unwrap();
-//! assert_eq!(y, reference_gemm(&a, &b, 2, 32, 3, fmt, fmt));
+//! // Pack the static operand once ...
+//! let pb = PackedOperand::pack_cols(&b, 32, 3, fmt, fmt).unwrap();
+//! // ... and reuse it across calls with fresh activations.
+//! for step in 0..3 {
+//!     let a: Vec<f32> = (0..2 * 32).map(|i| ((i + step) as f32 * 0.17).sin()).collect();
+//!     let y = quantized_gemm_prepacked(&a, 2, fmt, &pb, 1).unwrap();
+//!     assert_eq!(y, quantized_gemm(&a, &b, 2, 32, 3, fmt, fmt, 1).unwrap());
+//! }
 //! ```
 
 use crate::bdr::BdrFormat;
@@ -60,8 +84,22 @@ use crate::util::pow2;
 /// this many output rows, cutting B-code traffic by the tile height.
 const TILE_M: usize = 8;
 
-/// Whether the `(fa, fb)` operand pair can run on the integer code-domain
-/// path with an exactness guarantee. Requires:
+/// How a supported format pair runs on the integer path: `Narrow` pairs use
+/// `i16` codes with an `i32` block accumulator (the packed 16-bit MAC
+/// datapath), `Wide` pairs fall back to `i32` codes with an `i64`
+/// accumulator. This classification — together with the `None` rejection in
+/// [`pair_class`] — is the **single** gate deciding between the code-domain
+/// kernels and the dequantize fallback; every dispatch and packing decision
+/// derives from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairClass {
+    Narrow,
+    Wide,
+}
+
+/// The one place exotic-format fallback is decided. Returns the kernel
+/// class for a supported `(fa, fb)` pair, or `None` when the pair must take
+/// the dequantize path. Requirements for support:
 ///
 /// - matching first-level block size (`k1`), so A-row and B-column blocks
 ///   tile the reduction dimension identically;
@@ -71,22 +109,50 @@ const TILE_M: usize = 8;
 /// - per operand, the smallest representable ulp stays at or above `2^-149`,
 ///   so dequantized values are exact `f32`s and the dequantize reference
 ///   sees the same numbers the codes encode.
-///
-/// Every preset in the repository (MX4/MX6/MX9, MSFP12/MSFP16) qualifies;
-/// exotic custom formats fall back to the dequantize path.
-pub fn code_domain_supported(fa: &BdrFormat, fb: &BdrFormat) -> bool {
+fn pair_class(fa: &BdrFormat, fb: &BdrFormat) -> Option<PairClass> {
     if fa.k1() != fb.k1() {
-        return false;
+        return None;
     }
     let wa = fa.m() + fa.max_shift();
     let wb = fb.m() + fb.max_shift();
     if wa > 30 || wb > 30 {
-        return false;
+        return None;
     }
     if wa + wb + ceil_log2(fa.k1()) > 52 {
-        return false;
+        return None;
     }
-    exact_dequantize(fa) && exact_dequantize(fb)
+    if !exact_dequantize(fa) || !exact_dequantize(fb) {
+        return None;
+    }
+    if wa <= 15 && wb <= 15 && wa + wb + ceil_log2(fa.k1()) <= 31 {
+        Some(PairClass::Narrow)
+    } else {
+        Some(PairClass::Wide)
+    }
+}
+
+/// Whether the `(fa, fb)` operand pair can run on the integer code-domain
+/// path with an exactness guarantee (see [`pair_class`]'s requirement list;
+/// this is its boolean view).
+///
+/// Every preset in the repository (MX4/MX6/MX9, MSFP12/MSFP16) qualifies;
+/// exotic custom formats fall back to the dequantize path.
+///
+/// # Examples
+///
+/// ```
+/// use mx_core::bdr::BdrFormat;
+/// use mx_core::gemm::code_domain_supported;
+///
+/// // All MX/MSFP presets qualify, in any combination.
+/// assert!(code_domain_supported(&BdrFormat::MX6, &BdrFormat::MX9));
+/// assert!(code_domain_supported(&BdrFormat::MSFP12, &BdrFormat::MX4));
+/// // Mismatched block sizes cannot tile K identically: rejected.
+/// let k32 = BdrFormat::new(4, 8, 1, 32, 2).unwrap();
+/// assert!(!code_domain_supported(&BdrFormat::MX6, &k32));
+/// ```
+pub fn code_domain_supported(fa: &BdrFormat, fb: &BdrFormat) -> bool {
+    pair_class(fa, fb).is_some()
 }
 
 /// The format's smallest ulp (`2^(E_min − β − (m − 1))`) is representable in
@@ -100,13 +166,18 @@ fn ceil_log2(n: usize) -> u32 {
     usize::BITS - (n - 1).leading_zeros()
 }
 
+/// This operand's half of the scale-out constant `c`: `−(m − 1) − β`.
+fn c_half(fmt: &BdrFormat) -> i32 {
+    -((fmt.m() as i32 - 1) + fmt.max_shift() as i32)
+}
+
 /// Storage type for shift-aligned signed codes. Narrow format pairs (every
 /// MX/MSFP preset) use `i16`, whose widening multiply-accumulate maps onto
 /// the CPU's packed 16-bit MAC instructions; wide pairs fall back to `i32`
 /// codes with an `i64` accumulator.
 trait Code: Copy + Send + Sync {
     /// Lossless narrowing from the aligned `i32` code (guaranteed to fit by
-    /// the [`code_domain_supported`] width gates).
+    /// the [`pair_class`] width gates).
     fn encode(aligned: i32) -> Self;
     /// Exact integer dot product of two equal-length blocks.
     fn dot(a: &[Self], b: &[Self]) -> i64;
@@ -194,6 +265,7 @@ impl Code for i32 {
 /// One GEMM operand lowered to shift-aligned integer codes: `vectors`
 /// reduction-dimension vectors (A rows or B columns), each split into
 /// `blocks` `k1`-blocks, zero-padded so every block is exactly `k1` codes.
+#[derive(Clone)]
 struct CodePlane<C> {
     /// Signed, shift-aligned codes `± code · 2^(β − τ)`, laid out
     /// `[vector][block][k1]` — contiguous along the reduction dimension.
@@ -263,6 +335,221 @@ fn pack<C: Code>(
     }
 }
 
+/// Which GEMM operand a [`PackedOperand`] holds: A packs its **rows** along
+/// the reduction dimension, B packs its **columns**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The left operand `A[M,K]`, one code vector per row.
+    Rows,
+    /// The right operand `B[K,N]`, one code vector per column.
+    Cols,
+}
+
+/// The concrete code storage behind a [`PackedOperand`].
+#[derive(Clone)]
+enum Plane {
+    /// `i16` codes (narrow pairs — every MX/MSFP preset).
+    Narrow(CodePlane<i16>),
+    /// `i32` codes (wide custom formats).
+    Wide(CodePlane<i32>),
+}
+
+/// A GEMM operand lowered **once** to shift-aligned sign/magnitude codes
+/// plus per-block shared exponents — the reusable "prepack" half of the
+/// prepack/execute split.
+///
+/// Built by [`PackedOperand::pack_rows`] (A side) or
+/// [`PackedOperand::pack_cols`] (B side) against a *partner* format. The
+/// codes themselves depend only on the operand's own format; the partner
+/// decides the code width (`i16` vs `i32`) and, for the B side, the storage
+/// layout (block-major when the AVX2 kernel will consume it). A plane is
+/// therefore executable against any partner format that lands in the same
+/// kernel class as the one it was packed for — e.g. a plane packed for an
+/// MX6 partner also serves MX9 activations, since every preset pair is
+/// narrow — and [`quantized_gemm_packed`] returns `None` (rather than
+/// silently re-lowering) when the executed pair needs a different code
+/// width than the plane holds.
+///
+/// Packing is the only stage that reads `f32` data; executing a GEMM over
+/// two packed operands is pure integer work plus one `f32` scale-out per
+/// block pair. Weights are static across inference steps, so `mx-nn`
+/// caches the weight-side plane and amortizes this cost to zero.
+#[derive(Clone)]
+pub struct PackedOperand {
+    side: Side,
+    fmt: BdrFormat,
+    /// Reduction-dimension length `K`.
+    len: usize,
+    /// Number of packed vectors: `M` for a [`Side::Rows`] plane, `N` for a
+    /// [`Side::Cols`] plane.
+    vectors: usize,
+    /// Whether the codes are laid out block-major (`[kb][vector][k1]`) for
+    /// the AVX2 four-columns-per-step kernel, instead of vector-major.
+    block_major: bool,
+    /// This operand's half of the scale-out constant: `−(m − 1) − β`.
+    c_half: i32,
+    plane: Plane,
+}
+
+impl std::fmt::Debug for PackedOperand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PackedOperand({:?}, {} x{} vectors, k={}, {}{})",
+            self.side,
+            self.fmt,
+            self.vectors,
+            self.len,
+            match self.plane {
+                Plane::Narrow(_) => "i16",
+                Plane::Wide(_) => "i32",
+            },
+            if self.block_major {
+                ", block-major"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+/// Whether the AVX2 block-major layout applies to a B-side pack of this
+/// block size on the running machine.
+#[cfg(target_arch = "x86_64")]
+fn avx2_layout(k1: usize) -> bool {
+    k1 == avx2::K1 && avx2::available()
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_layout(_k1: usize) -> bool {
+    false
+}
+
+impl PackedOperand {
+    /// Lowers `A[m,k]`'s rows to aligned integer codes for multiplication
+    /// against a `fb`-format B operand. Returns `None` when the `(fa, fb)`
+    /// pair is unsupported (see [`code_domain_supported`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m·k`.
+    pub fn pack_rows(a: &[f32], m: usize, k: usize, fa: BdrFormat, fb: BdrFormat) -> Option<Self> {
+        let class = pair_class(&fa, &fb)?;
+        assert_eq!(a.len(), m * k, "A is not {m}x{k}");
+        let blocks = k.div_ceil(fa.k1());
+        let plane = match class {
+            PairClass::Narrow => Plane::Narrow(pack::<i16>(
+                a,
+                m,
+                k,
+                |i| i * k,
+                1,
+                |v, kb| v * blocks + kb,
+                &fa,
+            )),
+            PairClass::Wide => Plane::Wide(pack::<i32>(
+                a,
+                m,
+                k,
+                |i| i * k,
+                1,
+                |v, kb| v * blocks + kb,
+                &fa,
+            )),
+        };
+        Some(PackedOperand {
+            side: Side::Rows,
+            fmt: fa,
+            len: k,
+            vectors: m,
+            block_major: false,
+            c_half: c_half(&fa),
+            plane,
+        })
+    }
+
+    /// Lowers `B[k,n]`'s columns to aligned integer codes for multiplication
+    /// against `fa`-format activations. Returns `None` when the `(fa, fb)`
+    /// pair is unsupported (see [`code_domain_supported`]).
+    ///
+    /// When the narrow AVX2 kernel will consume the plane, columns are laid
+    /// out block-major so the code blocks of adjacent columns sit next to
+    /// each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k·n`.
+    pub fn pack_cols(b: &[f32], k: usize, n: usize, fa: BdrFormat, fb: BdrFormat) -> Option<Self> {
+        let class = pair_class(&fa, &fb)?;
+        assert_eq!(b.len(), k * n, "B is not {k}x{n}");
+        let blocks = k.div_ceil(fb.k1());
+        let block_major = class == PairClass::Narrow && avx2_layout(fb.k1());
+        let plane = match class {
+            PairClass::Narrow => Plane::Narrow(pack::<i16>(
+                b,
+                n,
+                k,
+                |j| j,
+                n,
+                |v, kb| {
+                    if block_major {
+                        kb * n + v
+                    } else {
+                        v * blocks + kb
+                    }
+                },
+                &fb,
+            )),
+            PairClass::Wide => {
+                Plane::Wide(pack::<i32>(b, n, k, |j| j, n, |v, kb| v * blocks + kb, &fb))
+            }
+        };
+        Some(PackedOperand {
+            side: Side::Cols,
+            fmt: fb,
+            len: k,
+            vectors: n,
+            block_major,
+            c_half: c_half(&fb),
+            plane,
+        })
+    }
+
+    /// The operand side this plane packs ([`Side::Rows`] for A,
+    /// [`Side::Cols`] for B).
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// The BDR format the codes were quantized in.
+    pub fn format(&self) -> BdrFormat {
+        self.fmt
+    }
+
+    /// Reduction-dimension length `K`.
+    pub fn k(&self) -> usize {
+        self.len
+    }
+
+    /// Number of packed vectors (`M` rows or `N` columns).
+    pub fn vectors(&self) -> usize {
+        self.vectors
+    }
+
+    /// Bytes of code and exponent storage the plane holds — the memory the
+    /// weight cache retains to skip per-call packing.
+    pub fn packed_bytes(&self) -> usize {
+        match &self.plane {
+            Plane::Narrow(p) => {
+                std::mem::size_of_val(&p.codes[..]) + std::mem::size_of_val(&p.exps[..])
+            }
+            Plane::Wide(p) => {
+                std::mem::size_of_val(&p.codes[..]) + std::mem::size_of_val(&p.exps[..])
+            }
+        }
+    }
+}
+
 /// Computes output rows `r0 .. r0 + rows` into `out` (a `rows × n` slice):
 /// for each block pair, one integer dot product and one `f32` scale-out
 /// `T · 2^(E_a + E_b + c)`, accumulated across K blocks in `f32`.
@@ -312,8 +599,8 @@ fn gemm_rows<C: Code>(
 
 /// Runs `kernel(start_row, rows, out_span)` over row spans, serially or on
 /// `workers` threads; spans are whole rows, so the output is bit-identical
-/// either way.
-fn dispatch_rows(
+/// either way. Shared with the blocked FP32 kernel in [`crate::fgemm`].
+pub(crate) fn dispatch_rows(
     m: usize,
     n: usize,
     workers: usize,
@@ -339,26 +626,23 @@ fn dispatch_rows(
     }
 }
 
-/// Packs both operands as `C` codes and runs the tiled, row-parallel GEMM.
-#[allow(clippy::too_many_arguments)] // a GEMM is dims + operands + formats
-fn run<C: Code>(
-    a: &[f32],
-    b: &[f32],
-    m: usize,
-    k: usize,
-    n: usize,
-    fa: &BdrFormat,
-    fb: &BdrFormat,
-    c: i32,
-    workers: usize,
-    out: &mut Vec<f32>,
-) {
-    let blocks = k.div_ceil(fa.k1());
-    let ap = pack::<C>(a, m, k, |i| i * k, 1, |v, kb| v * blocks + kb, fa);
-    let bp = pack::<C>(b, n, k, |j| j, n, |v, kb| v * blocks + kb, fb);
-    dispatch_rows(m, n, workers, out, |start, rows, part| {
-        gemm_rows(&ap, start, rows, &bp, n, c, part);
-    });
+/// Worker count for an `m × n × k` GEMM under a `threads` budget (`0` = all
+/// cores): the same grain policy as the engine's kernels — every worker
+/// must receive at least [`PARALLEL_GRAIN`] multiply-accumulates, so a
+/// small layer never pays scoped-thread spawn cost for microseconds of
+/// work. Shared with [`crate::fgemm`].
+pub(crate) fn gemm_workers(m: usize, n: usize, k: usize, threads: usize) -> usize {
+    let threads = if threads == 0 {
+        parallel::default_threads()
+    } else {
+        threads
+    };
+    let macs = m.saturating_mul(n).saturating_mul(k);
+    if threads <= 1 || macs < 2 * PARALLEL_GRAIN {
+        1
+    } else {
+        threads.min(m).min(macs / PARALLEL_GRAIN).max(1)
+    }
 }
 
 /// Runtime-dispatched AVX2 kernel for the `i16` code path with the preset
@@ -371,8 +655,7 @@ fn run<C: Code>(
 /// generic path (and to [`reference_gemm`]).
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
-    use super::{dispatch_rows, pack, Code, CodePlane, TILE_M};
-    use crate::bdr::BdrFormat;
+    use super::{dispatch_rows, Code, CodePlane, TILE_M};
     use crate::util::pow2;
 
     /// The preset first-level block size this kernel is specialized for.
@@ -383,27 +666,22 @@ mod avx2 {
         std::arch::is_x86_feature_detected!("avx2")
     }
 
-    /// Packs A row-major / B block-major and runs the kernel row-parallel.
-    #[allow(clippy::too_many_arguments)] // a GEMM is dims + operands + formats
-    pub(super) fn run(
-        a: &[f32],
-        b: &[f32],
+    /// Runs the kernel row-parallel over a vector-major A plane and a
+    /// block-major B plane.
+    pub(super) fn gemm(
+        ap: &CodePlane<i16>,
+        bp: &CodePlane<i16>,
         m: usize,
-        k: usize,
         n: usize,
-        fa: &BdrFormat,
-        fb: &BdrFormat,
         c: i32,
         workers: usize,
         out: &mut Vec<f32>,
     ) {
-        debug_assert!(fa.k1() == K1 && fb.k1() == K1);
-        let blocks = k.div_ceil(K1);
-        let ap = pack::<i16>(a, m, k, |i| i * k, 1, |v, kb| v * blocks + kb, fa);
-        let bp = pack::<i16>(b, n, k, |j| j, n, |v, kb| kb * n + v, fb);
+        debug_assert!(ap.k1 == K1 && bp.k1 == K1);
         dispatch_rows(m, n, workers, out, |start, rows, part| {
-            // SAFETY: `available()` verified AVX2 support at dispatch.
-            unsafe { gemm_rows_avx2(&ap, start, rows, &bp, n, c, part) }
+            // SAFETY: `available()` verified AVX2 support at pack time, and
+            // a block-major plane is only built when it did.
+            unsafe { gemm_rows_avx2(ap, start, rows, bp, n, c, part) }
         });
     }
 
@@ -488,14 +766,103 @@ mod avx2 {
     }
 }
 
+/// Executes the integer GEMM over two prepacked operands — the pure
+/// "execute" half of the split, with zero packing cost.
+///
+/// Returns `None` (rather than silently repacking) when the operands are
+/// not executable together: `pa` must be a [`Side::Rows`] plane and `pb` a
+/// [`Side::Cols`] plane over the same reduction length, their format pair
+/// must pass [`code_domain_supported`], and both planes must hold the code
+/// width that pair requires (which they do whenever each was packed for a
+/// partner in the same kernel class — see [`PackedOperand`]).
+///
+/// `threads` follows [`quantized_gemm`]'s convention (`0` = all cores; the
+/// row split is block-aligned, so the result is bit-identical regardless of
+/// thread count).
+pub fn quantized_gemm_packed(
+    pa: &PackedOperand,
+    pb: &PackedOperand,
+    threads: usize,
+) -> Option<Vec<f32>> {
+    if pa.side != Side::Rows || pb.side != Side::Cols || pa.len != pb.len {
+        return None;
+    }
+    let class = pair_class(&pa.fmt, &pb.fmt)?;
+    let (m, n, k) = (pa.vectors, pb.vectors, pa.len);
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return Some(out);
+    }
+    let c = pa.c_half + pb.c_half;
+    let workers = gemm_workers(m, n, k, threads);
+    match (&pa.plane, &pb.plane) {
+        (Plane::Narrow(ap), Plane::Narrow(bp)) if class == PairClass::Narrow => {
+            #[cfg(target_arch = "x86_64")]
+            if pb.block_major {
+                avx2::gemm(ap, bp, m, n, c, workers, &mut out);
+                return Some(out);
+            }
+            dispatch_rows(m, n, workers, &mut out, |start, rows, part| {
+                gemm_rows(ap, start, rows, bp, n, c, part);
+            });
+        }
+        (Plane::Wide(ap), Plane::Wide(bp)) if class == PairClass::Wide => {
+            dispatch_rows(m, n, workers, &mut out, |start, rows, part| {
+                gemm_rows(ap, start, rows, bp, n, c, part);
+            });
+        }
+        // The executed pair needs a different code width than the planes
+        // hold (packed for a partner in the other kernel class); callers
+        // fall back rather than silently re-lowering.
+        _ => return None,
+    }
+    Some(out)
+}
+
+/// Quantized matrix product `A[m,k] × B[k,n]` against a **prepacked** B
+/// operand: only A's rows are lowered to codes, B-side packing is skipped
+/// entirely. This is the inference steady-state entry point — weights are
+/// static, so their [`PackedOperand`] is built once and reused across
+/// forward passes.
+///
+/// Bit-identical to [`quantized_gemm`] (and therefore to
+/// [`reference_gemm`]) for every supported pairing.
+///
+/// Returns `None` when `packed_b` is not a [`Side::Cols`] plane, or the
+/// `(fa, packed_b.format())` pair is unsupported, or that pair needs a
+/// different code width than `packed_b` holds (it was packed for a partner
+/// in the other kernel class) — callers fall back to the dequantize path.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m · packed_b.k()`.
+pub fn quantized_gemm_prepacked(
+    a: &[f32],
+    m: usize,
+    fa: BdrFormat,
+    packed_b: &PackedOperand,
+    threads: usize,
+) -> Option<Vec<f32>> {
+    if packed_b.side != Side::Cols {
+        return None;
+    }
+    // pack_rows gates the pair and asserts `a.len() == m·k`;
+    // quantized_gemm_packed re-derives the kernel class for dispatch.
+    let pa = PackedOperand::pack_rows(a, m, packed_b.len, fa, packed_b.fmt)?;
+    quantized_gemm_packed(&pa, packed_b, threads)
+}
+
 /// Quantized matrix product `A[m,k] × B[k,n]` computed entirely in the
 /// integer code domain (see the module docs for the datapath mapping).
 ///
-/// A's rows and B's columns are quantized to aligned integer codes once;
-/// the GEMM then runs over codes, tiled [`TILE_M`] output rows at a time
-/// and dispatched row-parallel across `threads` workers (`0` = all cores;
-/// the split is block-aligned, so the result is bit-identical regardless
-/// of thread count).
+/// A thin wrapper over the prepack/execute split that packs **both** sides
+/// ad hoc: A's rows and B's columns are quantized to aligned integer codes
+/// once per call, then the GEMM runs over codes, tiled [`TILE_M`] output
+/// rows at a time and dispatched row-parallel across `threads` workers
+/// (`0` = all cores; the split is block-aligned, so the result is
+/// bit-identical regardless of thread count). Callers with a static B
+/// should pack it once with [`PackedOperand::pack_cols`] and call
+/// [`quantized_gemm_prepacked`] instead.
 ///
 /// Returns `None` when [`code_domain_supported`] rejects the format pair —
 /// callers fall back to the dequantize path.
@@ -519,43 +886,8 @@ pub fn quantized_gemm(
     }
     assert_eq!(a.len(), m * k, "A is not {m}x{k}");
     assert_eq!(b.len(), k * n, "B is not {k}x{n}");
-    let mut out = vec![0.0f32; m * n];
-    if m == 0 || n == 0 || k == 0 {
-        return Some(out);
-    }
-    let wa = fa.m() + fa.max_shift();
-    let wb = fb.m() + fb.max_shift();
-    let c = -((fa.m() as i32 - 1)
-        + fa.max_shift() as i32
-        + (fb.m() as i32 - 1)
-        + (fb.max_shift() as i32));
-
-    let threads = if threads == 0 {
-        parallel::default_threads()
-    } else {
-        threads
-    };
-    // Same grain policy as the engine's kernels: every worker must receive
-    // at least PARALLEL_GRAIN multiply-accumulates, so a small layer never
-    // pays scoped-thread spawn cost for microseconds of work.
-    let macs = m.saturating_mul(n).saturating_mul(k);
-    let workers = if threads <= 1 || macs < 2 * PARALLEL_GRAIN {
-        1
-    } else {
-        threads.min(m).min(macs / PARALLEL_GRAIN).max(1)
-    };
-    // Narrow pairs (all MX/MSFP presets): i16 codes, i32 block accumulator.
-    if wa <= 15 && wb <= 15 && wa + wb + ceil_log2(fa.k1()) <= 31 {
-        #[cfg(target_arch = "x86_64")]
-        if fa.k1() == avx2::K1 && avx2::available() {
-            avx2::run(a, b, m, k, n, &fa, &fb, c, workers, &mut out);
-            return Some(out);
-        }
-        run::<i16>(a, b, m, k, n, &fa, &fb, c, workers, &mut out);
-    } else {
-        run::<i32>(a, b, m, k, n, &fa, &fb, c, workers, &mut out);
-    }
-    Some(out)
+    let pb = PackedOperand::pack_cols(b, k, n, fa, fb).expect("pair gated above");
+    quantized_gemm_prepacked(a, m, fa, &pb, threads)
 }
 
 /// The quantize → dequantize → `f32` matmul reference the code-domain path
@@ -569,6 +901,20 @@ pub fn quantized_gemm(
 ///
 /// Panics if the operand lengths disagree with `m·k` / `k·n`, or if the two
 /// formats have different `k1` (the block tilings would not line up).
+///
+/// # Examples
+///
+/// ```
+/// use mx_core::bdr::BdrFormat;
+/// use mx_core::gemm::{quantized_gemm, reference_gemm};
+///
+/// let fmt = BdrFormat::MX9;
+/// let a: Vec<f32> = (0..3 * 40).map(|i| (i as f32 * 0.19).sin()).collect();
+/// let b: Vec<f32> = (0..40 * 2).map(|i| (i as f32 * 0.23).cos()).collect();
+/// let want = reference_gemm(&a, &b, 3, 40, 2, fmt, fmt);
+/// // The integer code-domain path reproduces the reference bit for bit.
+/// assert_eq!(quantized_gemm(&a, &b, 3, 40, 2, fmt, fmt, 1).unwrap(), want);
+/// ```
 pub fn reference_gemm(
     a: &[f32],
     b: &[f32],
@@ -618,6 +964,14 @@ mod tests {
             .collect()
     }
 
+    /// A wide-but-supported custom format: `m + β = 16 > 15` forces the
+    /// `i32` code plane while every support requirement still holds.
+    fn wide_fmt() -> BdrFormat {
+        let fmt = BdrFormat::new(16, 8, 0, 16, 16).unwrap();
+        assert_eq!(pair_class(&fmt, &fmt), Some(PairClass::Wide));
+        fmt
+    }
+
     #[test]
     fn presets_are_supported() {
         for fa in [
@@ -628,7 +982,7 @@ mod tests {
             BdrFormat::MSFP16,
         ] {
             for fb in [BdrFormat::MX4, BdrFormat::MX9, BdrFormat::MSFP16] {
-                assert!(code_domain_supported(&fa, &fb), "{fa} x {fb}");
+                assert_eq!(pair_class(&fa, &fb), Some(PairClass::Narrow), "{fa} x {fb}");
             }
         }
     }
@@ -639,6 +993,7 @@ mod tests {
         let k32 = BdrFormat::new(4, 8, 1, 32, 2).unwrap();
         assert!(!code_domain_supported(&BdrFormat::MX6, &k32));
         assert!(quantized_gemm(&[0.0; 16], &[0.0; 16], 1, 16, 1, BdrFormat::MX6, k32, 1).is_none());
+        assert!(PackedOperand::pack_cols(&[0.0; 16], 16, 1, BdrFormat::MX6, k32).is_none());
         // m + β too wide for an i32 aligned code.
         let wide = BdrFormat::new(23, 8, 4, 16, 2).unwrap();
         assert!(!code_domain_supported(&wide, &wide));
@@ -672,6 +1027,108 @@ mod tests {
         let got = quantized_gemm(&a, &b, m, k, n, BdrFormat::MX9, BdrFormat::MX4, 1).unwrap();
         let want = reference_gemm(&a, &b, m, k, n, BdrFormat::MX9, BdrFormat::MX4);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prepacked_matches_ad_hoc_packing() {
+        for (fa, fb) in [
+            (BdrFormat::MX6, BdrFormat::MX6),
+            (BdrFormat::MX9, BdrFormat::MX4),
+            (BdrFormat::MSFP12, BdrFormat::MX6),
+        ] {
+            let (m, k, n) = (5, 40, 7); // ragged K tail
+            let a = ramp(m * k, 21);
+            let b = ramp(k * n, 22);
+            let pb = PackedOperand::pack_cols(&b, k, n, fa, fb).unwrap();
+            let via_prepack = quantized_gemm_prepacked(&a, m, fa, &pb, 1).unwrap();
+            let ad_hoc = quantized_gemm(&a, &b, m, k, n, fa, fb, 1).unwrap();
+            assert!(
+                via_prepack
+                    .iter()
+                    .zip(ad_hoc.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{fa}/{fb}"
+            );
+            // A prepacked B is reusable: a second call sees identical bits.
+            let again = quantized_gemm_prepacked(&a, m, fa, &pb, 1).unwrap();
+            assert_eq!(via_prepack, again);
+        }
+    }
+
+    #[test]
+    fn packed_pair_execute_matches_reference() {
+        let fmt = BdrFormat::MX6;
+        let (m, k, n) = (4, 48, 6);
+        let a = ramp(m * k, 31);
+        let b = ramp(k * n, 32);
+        let pa = PackedOperand::pack_rows(&a, m, k, fmt, fmt).unwrap();
+        let pb = PackedOperand::pack_cols(&b, k, n, fmt, fmt).unwrap();
+        let got = quantized_gemm_packed(&pa, &pb, 1).unwrap();
+        let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+        assert!(got
+            .iter()
+            .zip(want.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(pa.side(), Side::Rows);
+        assert_eq!(pb.side(), Side::Cols);
+        assert_eq!((pb.k(), pb.vectors()), (k, n));
+        assert_eq!(pb.format(), fmt);
+        assert!(pb.packed_bytes() > 0);
+    }
+
+    #[test]
+    fn wide_format_pair_takes_i32_plane_and_matches_reference() {
+        let fmt = wide_fmt();
+        let (m, k, n) = (3, 40, 5);
+        let a = ramp(m * k, 41);
+        let b = ramp(k * n, 42);
+        let pb = PackedOperand::pack_cols(&b, k, n, fmt, fmt).unwrap();
+        assert!(matches!(pb.plane, Plane::Wide(_)));
+        assert!(!pb.block_major);
+        let got = quantized_gemm_prepacked(&a, m, fmt, &pb, 1).unwrap();
+        let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+        assert!(got
+            .iter()
+            .zip(want.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn same_class_partner_swap_is_allowed_and_exact() {
+        // Codes depend only on the operand's own format: a B plane packed
+        // for an MX6 partner serves MX9 activations too (both pairs are
+        // narrow), bit-identical to packing for MX9 directly.
+        let (m, k, n) = (3, 40, 4);
+        let a = ramp(m * k, 61);
+        let b = ramp(k * n, 62);
+        let pb_for_mx6 =
+            PackedOperand::pack_cols(&b, k, n, BdrFormat::MX6, BdrFormat::MX4).unwrap();
+        let got = quantized_gemm_prepacked(&a, m, BdrFormat::MX9, &pb_for_mx6, 1).unwrap();
+        let want = reference_gemm(&a, &b, m, k, n, BdrFormat::MX9, BdrFormat::MX4);
+        assert!(got
+            .iter()
+            .zip(want.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn mismatched_packing_is_rejected_not_repacked() {
+        let narrow = BdrFormat::MX6;
+        let wide = wide_fmt();
+        let (m, k, n) = (2, 16, 3);
+        let a = ramp(m * k, 51);
+        let b = ramp(k * n, 52);
+        // B packed for a narrow partner cannot execute against a wide A.
+        let pb = PackedOperand::pack_cols(&b, k, n, narrow, narrow).unwrap();
+        assert!(quantized_gemm_prepacked(&a, m, wide, &pb, 1).is_none());
+        // Two Rows planes (or swapped sides) are not a valid pairing.
+        let pa = PackedOperand::pack_rows(&a, m, k, narrow, narrow).unwrap();
+        assert!(quantized_gemm_packed(&pa, &pa, 1).is_none());
+        assert!(quantized_gemm_packed(&pb, &pa, 1).is_none());
+        // Mismatched reduction lengths are rejected.
+        let b2 = ramp(32 * n, 53);
+        let pb2 = PackedOperand::pack_cols(&b2, 32, n, narrow, narrow).unwrap();
+        assert!(quantized_gemm_packed(&pa, &pb2, 1).is_none());
     }
 
     #[test]
@@ -716,6 +1173,17 @@ mod tests {
             quantized_gemm(&[], &[], 2, 0, 3, fmt, fmt, 1).unwrap(),
             vec![0.0; 6]
         );
+        // Degenerate dims through the prepacked entry points too.
+        let pb = PackedOperand::pack_cols(&[], 0, 3, fmt, fmt).unwrap();
+        assert_eq!(
+            quantized_gemm_prepacked(&[], 2, fmt, &pb, 1).unwrap(),
+            vec![0.0; 6]
+        );
+        let pb = PackedOperand::pack_cols(&[], 16, 0, fmt, fmt).unwrap();
+        assert_eq!(
+            quantized_gemm_prepacked(&a, 1, fmt, &pb, 1).unwrap(),
+            vec![]
+        );
     }
 
     #[test]
@@ -735,6 +1203,7 @@ mod tests {
         let a = ramp(m * k, 11);
         let b = ramp(k * n, 12);
         let serial = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
+        let pb = PackedOperand::pack_cols(&b, k, n, fmt, fmt).unwrap();
         for threads in [2usize, 3, 7, 0] {
             let par = quantized_gemm(&a, &b, m, k, n, fmt, fmt, threads).unwrap();
             assert!(
@@ -743,6 +1212,14 @@ mod tests {
                     .zip(par.iter())
                     .all(|(x, y)| x.to_bits() == y.to_bits()),
                 "threads={threads}"
+            );
+            let pre = quantized_gemm_prepacked(&a, m, fmt, &pb, threads).unwrap();
+            assert!(
+                serial
+                    .iter()
+                    .zip(pre.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "prepacked threads={threads}"
             );
         }
     }

@@ -41,7 +41,8 @@
 //! |---|---|
 //! | [`bdr`] | Fig. 5 — the BDR two-level scaling framework; MX/MSFP presets |
 //! | [`engine`] | The unified block-quantization engine: one block plan, value / packed / strided kernels |
-//! | [`gemm`] | Fig. 8 — integer-domain quantized GEMM over block codes |
+//! | [`gemm`] | Fig. 8 — integer-domain quantized GEMM over block codes, prepack/execute split |
+//! | [`fgemm`] | Blocked, vectorized FP32 GEMM (the unquantized baseline path) |
 //! | [`parallel`] | Chunked data-parallel utilities behind every multi-core path |
 //! | [`mx`] | Fig. 4 — packed bit-stream encoding of MX tensors |
 //! | [`scalar`] | FP8/FP6/FP4/BF16/FP16 scalar formats |
@@ -60,6 +61,7 @@ pub mod bdr;
 pub mod bits;
 pub mod engine;
 pub mod error;
+pub mod fgemm;
 pub mod fp_scaled;
 pub mod gemm;
 pub mod int_quant;

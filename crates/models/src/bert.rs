@@ -96,9 +96,12 @@ impl BertQa {
         let (l1, g1) = softmax_cross_entropy(&start_logits, &starts);
         let (l2, g2) = softmax_cross_entropy(&end_logits, &ends);
         let mut grad = Tensor::zeros(&[b * t, 2]);
-        for i in 0..b * t {
-            grad.data_mut()[i * 2] = g1.data()[i];
-            grad.data_mut()[i * 2 + 1] = g2.data()[i];
+        {
+            let gd = grad.data_mut();
+            for i in 0..b * t {
+                gd[i * 2] = g1.data()[i];
+                gd[i * 2 + 1] = g2.data()[i];
+            }
         }
         self.backprop(&grad, b, t);
         opt.step(self);

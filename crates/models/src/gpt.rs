@@ -137,10 +137,11 @@ impl MoeMlp {
             let sub = Tensor::from_vec(sub, &[rows.len(), d]);
             let h = fc1.forward(&sub, train).map(|v| v.max(0.0));
             let out = fc2.forward(&h, train);
+            let yd = y.data_mut();
             for (k, &r) in rows.iter().enumerate() {
                 let p = gate_probs.data()[r * e + ei];
                 for c in 0..d {
-                    y.data_mut()[r * d + c] = out.data()[k * d + c] * p;
+                    yd[r * d + c] = out.data()[k * d + c] * p;
                 }
             }
             hidden_acts.push(h);
@@ -187,18 +188,20 @@ impl MoeMlp {
                 // Softmax backward restricted to the chosen logit (top-1
                 // routing: straight-through on the winner).
                 let p = gate_probs.data()[r * e + ei];
+                let dgl = dgate_logits.data_mut();
                 for j in 0..e {
                     let pj = gate_probs.data()[r * e + j];
                     let indicator = if j == ei { 1.0 } else { 0.0 };
-                    dgate_logits.data_mut()[r * e + j] += dp * p * (indicator - pj);
+                    dgl[r * e + j] += dp * p * (indicator - pj);
                 }
             }
             let dh = fc2.backward(&gsub);
             let dh = dh.zip_map(h, |g, hv| if hv > 0.0 { g } else { 0.0 });
             let dsub = fc1.backward(&dh);
+            let dxd = dx.data_mut();
             for (k, &r) in rows.iter().enumerate() {
                 for c in 0..d {
-                    dx.data_mut()[r * d + c] += dsub.data()[k * d + c];
+                    dxd[r * d + c] += dsub.data()[k * d + c];
                 }
             }
         }

@@ -241,10 +241,13 @@ impl CtrModel {
             let _ = emb.forward(&idx, true);
             emb.backward(&Tensor::from_vec(g_field, &[n, EMB_DIM]));
         }
-        for r in 0..n {
-            let base = (r * f + CTR_FIELDS) * EMB_DIM;
-            for c in 0..EMB_DIM {
-                g_dense.data_mut()[r * EMB_DIM + c] = g_feats.data()[base + c];
+        {
+            let gd = g_dense.data_mut();
+            for r in 0..n {
+                let base = (r * f + CTR_FIELDS) * EMB_DIM;
+                for c in 0..EMB_DIM {
+                    gd[r * EMB_DIM + c] = g_feats.data()[base + c];
+                }
             }
         }
         let _ = self.bottom.backward(&g_dense);
@@ -294,6 +297,7 @@ fn dot_interactions_backward(grad: &Tensor, feats: &Tensor) -> Tensor {
     let f = feats.shape()[1];
     let d = feats.shape()[2];
     let mut g = Tensor::zeros(&[n, f, d]);
+    let gd = g.data_mut();
     for r in 0..n {
         let mut col = 0usize;
         for i in 0..f {
@@ -302,8 +306,8 @@ fn dot_interactions_backward(grad: &Tensor, feats: &Tensor) -> Tensor {
                 for c in 0..d {
                     let a = feats.data()[(r * f + i) * d + c];
                     let b = feats.data()[(r * f + j) * d + c];
-                    g.data_mut()[(r * f + i) * d + c] += gv * b;
-                    g.data_mut()[(r * f + j) * d + c] += gv * a;
+                    gd[(r * f + i) * d + c] += gv * b;
+                    gd[(r * f + j) * d + c] += gv * a;
                 }
                 col += 1;
             }
@@ -311,7 +315,7 @@ fn dot_interactions_backward(grad: &Tensor, feats: &Tensor) -> Tensor {
         // Dense passthrough occupies the trailing d columns and feeds the
         // last feature slot (the dense projection).
         for c in 0..d {
-            g.data_mut()[(r * f + (f - 1)) * d + c] += grad.data()[r * grad.cols() + col + c];
+            gd[(r * f + (f - 1)) * d + c] += grad.data()[r * grad.cols() + col + c];
         }
     }
     g
@@ -320,10 +324,13 @@ fn dot_interactions_backward(grad: &Tensor, feats: &Tensor) -> Tensor {
 fn mean_pool(x: &Tensor) -> Tensor {
     let (n, f, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     let mut out = Tensor::zeros(&[n, d]);
-    for r in 0..n {
-        for i in 0..f {
-            for c in 0..d {
-                out.data_mut()[r * d + c] += x.data()[(r * f + i) * d + c] / f as f32;
+    {
+        let od = out.data_mut();
+        for r in 0..n {
+            for i in 0..f {
+                for c in 0..d {
+                    od[r * d + c] += x.data()[(r * f + i) * d + c] / f as f32;
+                }
             }
         }
     }
@@ -333,10 +340,13 @@ fn mean_pool(x: &Tensor) -> Tensor {
 fn mean_pool_backward(grad: &Tensor, f: usize) -> Tensor {
     let (n, d) = (grad.shape()[0], grad.shape()[1]);
     let mut out = Tensor::zeros(&[n, f, d]);
-    for r in 0..n {
-        for i in 0..f {
-            for c in 0..d {
-                out.data_mut()[(r * f + i) * d + c] = grad.data()[r * d + c] / f as f32;
+    {
+        let od = out.data_mut();
+        for r in 0..n {
+            for i in 0..f {
+                for c in 0..d {
+                    od[(r * f + i) * d + c] = grad.data()[r * d + c] / f as f32;
+                }
             }
         }
     }

@@ -73,10 +73,13 @@ impl GruTranslator {
         let dec_in = self.embed(&dec_tokens, true);
         // Condition each decoder step on its aligned encoder state.
         let mut cond = dec_in.clone();
-        for t in 0..t_tgt {
-            let s = Self::align(t_src, t);
-            for c in 0..self.hidden {
-                cond.data_mut()[t * self.hidden + c] += enc.data()[s * self.hidden + c];
+        {
+            let cd = cond.data_mut();
+            for t in 0..t_tgt {
+                let s = Self::align(t_src, t);
+                for c in 0..self.hidden {
+                    cd[t * self.hidden + c] += enc.data()[s * self.hidden + c];
+                }
             }
         }
         let cond = cond.reshape(&[1, t_tgt, self.hidden]);
@@ -89,10 +92,13 @@ impl GruTranslator {
         let g3d = g.reshape(&[1, t_tgt, self.hidden]);
         let g_cond = self.decoder.backward_sequence(&g3d);
         let mut g_enc = Tensor::zeros(&[1, t_src, self.hidden]);
-        for t in 0..t_tgt {
-            let s = Self::align(t_src, t);
-            for c in 0..self.hidden {
-                g_enc.data_mut()[s * self.hidden + c] += g_cond.data()[t * self.hidden + c];
+        {
+            let ge = g_enc.data_mut();
+            for t in 0..t_tgt {
+                let s = Self::align(t_src, t);
+                for c in 0..self.hidden {
+                    ge[s * self.hidden + c] += g_cond.data()[t * self.hidden + c];
+                }
             }
         }
         let g_src = self.encoder.backward_sequence(&g_enc);
@@ -118,8 +124,9 @@ impl GruTranslator {
             let e = self.emb.forward(&[prev], false);
             let mut x = e.clone();
             let s = Self::align(t_src, t);
-            for c in 0..self.hidden {
-                x.data_mut()[c] += enc.data()[s * self.hidden + c];
+            let enc_row = &enc.data()[s * self.hidden..(s + 1) * self.hidden];
+            for (xv, &ev) in x.data_mut().iter_mut().zip(enc_row.iter()) {
+                *xv += ev;
             }
             h = self.decoder.step(&x, &h, false);
             let logits = self.head.forward(&h, false);

@@ -100,12 +100,15 @@ impl ImageClassifier for TinyViT {
             .forward(&h.reshape(&[b * self.patches, self.d_model]), train);
         // Mean pool over patches.
         let mut pooled = Tensor::zeros(&[b, self.d_model]);
-        for bi in 0..b {
-            for p in 0..self.patches {
-                for c in 0..self.d_model {
-                    pooled.data_mut()[bi * self.d_model + c] += h2d.data()
-                        [(bi * self.patches + p) * self.d_model + c]
-                        / self.patches as f32;
+        {
+            let pd = pooled.data_mut();
+            for bi in 0..b {
+                for p in 0..self.patches {
+                    for c in 0..self.d_model {
+                        pd[bi * self.d_model + c] += h2d.data()
+                            [(bi * self.patches + p) * self.d_model + c]
+                            / self.patches as f32;
+                    }
                 }
             }
         }
@@ -116,11 +119,14 @@ impl ImageClassifier for TinyViT {
         let b = grad.rows();
         let d_pooled = self.head.backward(grad);
         let mut g = Tensor::zeros(&[b * self.patches, self.d_model]);
-        for bi in 0..b {
-            for p in 0..self.patches {
-                for c in 0..self.d_model {
-                    g.data_mut()[(bi * self.patches + p) * self.d_model + c] =
-                        d_pooled.data()[bi * self.d_model + c] / self.patches as f32;
+        {
+            let gd = g.data_mut();
+            for bi in 0..b {
+                for p in 0..self.patches {
+                    for c in 0..self.d_model {
+                        gd[(bi * self.patches + p) * self.d_model + c] =
+                            d_pooled.data()[bi * self.d_model + c] / self.patches as f32;
+                    }
                 }
             }
         }

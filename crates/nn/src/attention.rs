@@ -102,19 +102,23 @@ impl MultiHeadAttention {
                 let mut scores =
                     quantized_matmul(&q_h, &k_h.transpose2d(), self.cfg.fwd).scale(scale);
                 if self.causal {
+                    // One data_mut borrow for the whole mask (each call
+                    // bumps the tensor generation).
+                    let s = scores.data_mut();
                     for i in 0..t {
                         for j in (i + 1)..t {
-                            scores.data_mut()[i * t + j] = -1e9;
+                            s[i * t + j] = -1e9;
                         }
                     }
                 }
                 let probs = cast_elementwise(&scores.softmax_rows(), self.cfg.elementwise);
                 // Context: P·V is a tensor op -> quantized operands.
                 let out_h = quantized_matmul(&probs, &v_h, self.cfg.fwd);
+                let cdata = concat.data_mut();
                 for r in 0..t {
                     let dst_row = bi * t + r;
                     for c in 0..dh {
-                        concat.data_mut()[dst_row * d + h * dh + c] = out_h.data()[r * dh + c];
+                        cdata[dst_row * d + h * dh + c] = out_h.data()[r * dh + c];
                     }
                 }
                 if train {
@@ -156,22 +160,26 @@ impl MultiHeadAttention {
                 let dp = quantized_matmul(&d_out, &cache.v.transpose2d(), self.cfg.bwd);
                 // Softmax backward: dS = P ∘ (dP − rowsum(dP ∘ P)).
                 let mut ds = dp.mul(&cache.probs);
-                for r in 0..t {
-                    let row_sum: f32 = ds.data()[r * t..(r + 1) * t].iter().sum();
-                    for j in 0..t {
-                        let p = cache.probs.data()[r * t + j];
-                        ds.data_mut()[r * t + j] -= p * row_sum;
+                {
+                    let dsd = ds.data_mut();
+                    for r in 0..t {
+                        let row_sum: f32 = dsd[r * t..(r + 1) * t].iter().sum();
+                        for j in 0..t {
+                            let p = cache.probs.data()[r * t + j];
+                            dsd[r * t + j] -= p * row_sum;
+                        }
                     }
                 }
                 let ds = ds.scale(scale);
                 let dq = quantized_matmul(&ds, &cache.k, self.cfg.bwd);
                 let dk = quantized_matmul(&ds.transpose2d(), &cache.q, self.cfg.bwd);
                 let base = bi * t;
+                let (dqd, dkd, dvd) = (dq_all.data_mut(), dk_all.data_mut(), dv_all.data_mut());
                 for r in 0..t {
                     for c in 0..dh {
-                        dq_all.data_mut()[(base + r) * d + h * dh + c] = dq.data()[r * dh + c];
-                        dk_all.data_mut()[(base + r) * d + h * dh + c] = dk.data()[r * dh + c];
-                        dv_all.data_mut()[(base + r) * d + h * dh + c] = dv.data()[r * dh + c];
+                        dqd[(base + r) * d + h * dh + c] = dq.data()[r * dh + c];
+                        dkd[(base + r) * d + h * dh + c] = dk.data()[r * dh + c];
+                        dvd[(base + r) * d + h * dh + c] = dv.data()[r * dh + c];
                     }
                 }
             }

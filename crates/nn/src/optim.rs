@@ -123,16 +123,26 @@ impl Adam {
                 p.moment2 = Some(Tensor::zeros(p.value.shape()));
             }
             let n = p.value.numel();
+            // Borrow the buffers once, outside the element loop: the
+            // fields are disjoint, and `data_mut` bumps the tensor
+            // generation (weight-cache invalidation) per call — one bump
+            // per tensor per step, not three per element.
+            let Param {
+                value,
+                grad,
+                moment1,
+                moment2,
+            } = p;
+            let g = grad.data();
+            let m = moment1.as_mut().expect("allocated above").data_mut();
+            let v = moment2.as_mut().expect("allocated above").data_mut();
+            let w = value.data_mut();
             for i in 0..n {
-                let g = p.grad.data()[i];
-                let m = p.moment1.as_mut().expect("allocated above").data_mut();
-                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
                 let mhat = m[i] as f64 / bc1;
-                let v = p.moment2.as_mut().expect("allocated above").data_mut();
-                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
                 let vhat = v[i] as f64 / bc2;
-                let w = &mut p.value.data_mut()[i];
-                *w -= lr * (mhat / (vhat.sqrt() + eps as f64)) as f32 + lr * wd * *w;
+                w[i] -= lr * (mhat / (vhat.sqrt() + eps as f64)) as f32 + lr * wd * w[i];
             }
         });
     }

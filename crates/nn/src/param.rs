@@ -5,6 +5,18 @@ use crate::tensor::Tensor;
 
 /// One trainable parameter tensor with its gradient accumulator and
 /// (lazily allocated) optimizer moments.
+///
+/// # The cached weight code plane
+///
+/// `value` carries a lazily built, format-keyed cached code plane (the
+/// prepacked integer form of the weights that `mx_nn::qflow`'s quantized
+/// matmuls consume): the first BDR×BDR product against this parameter
+/// packs the plane, subsequent forward passes reuse it. The cache is keyed
+/// by [`Tensor::generation`], so *any* mutable access to the weight data —
+/// an optimizer step, a direct `p.value.data_mut()` write, or replacing
+/// `value` wholesale — invalidates it automatically, and the next product
+/// repacks bit-identically to an uncached run. See `mx_nn::qflow` for the
+/// full contract.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// FP32 master value.
@@ -49,6 +61,15 @@ impl Param {
     /// Number of scalar parameters.
     pub fn numel(&self) -> usize {
         self.value.numel()
+    }
+
+    /// Generation stamp of the weight tensor's cached code plane, if one
+    /// has been built (see [`Tensor::cached_plane_generation`]). A value
+    /// equal to `self.value.generation()` means the plane is current; a
+    /// quantized matmul still re-packs if it asks for a different format
+    /// pair than the one cached.
+    pub fn weight_plane_generation(&self) -> Option<u64> {
+        self.value.cached_plane_generation()
     }
 }
 

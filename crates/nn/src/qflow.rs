@@ -8,11 +8,39 @@
 //! (usually wider) format than the forward pass, which is how
 //! quantization-aware fine-tuning with an MX6/MX4 forward and an FP32
 //! backward is expressed.
+//!
+//! # The weight-plane cache and its invalidation contract
+//!
+//! When both operands of [`quantized_matmul_ab`] are BDR formats, the
+//! product runs on `mx_core::gemm`'s prepack/execute split: the right
+//! (weight) operand must be lowered to a shift-aligned integer code plane
+//! ([`mx_core::gemm::PackedOperand`]) before the integer GEMM executes.
+//! That lowering is cached **on the weight tensor itself**, keyed by the
+//! weight format (the codes depend only on it, so one plane serves every
+//! activation format in the same kernel class), and attention, linear,
+//! RNN, and conv im2col all amortize packing across forward passes with no
+//! call-site changes — at inference steady state the weight operand is
+//! never re-quantized.
+//!
+//! The invalidation contract is generation-based and cannot go stale:
+//!
+//! - every [`Tensor`] carries a globally unique generation stamp that
+//!   changes on **every** mutable-data access ([`Tensor::data_mut`]);
+//! - a cached plane records the generation it was packed at and is only
+//!   reused while the stamps still match;
+//! - optimizer steps (`Sgd::step` / `Adam::step` write through `data_mut`),
+//!   direct `Param` weight writes, and wholesale tensor replacement
+//!   therefore all invalidate the cache automatically — the next matmul
+//!   repacks from the updated values and is bit-identical to an uncached
+//!   run (asserted by the `weight_cache` regression suite).
 
 use crate::format::{quantize_along, Axis, TensorFormat};
-use crate::tensor::Tensor;
-use mx_core::{gemm, parallel};
+use crate::tensor::{CachedPlane, Tensor};
+use mx_core::bdr::BdrFormat;
+use mx_core::gemm::{self, PackedOperand};
+use mx_core::parallel;
 use std::fmt;
+use std::sync::Arc;
 
 /// Format assignment for a model's tensor and vector operations.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,13 +160,15 @@ pub fn quantized_matmul(a: &Tensor, b: &Tensor, format: TensorFormat) -> Tensor 
 /// quantizes in `fa`, `b` (weights) in `fb`.
 ///
 /// When both operands are block (BDR) formats the product runs on
-/// [`mx_core::gemm`]'s integer code-domain path: operands are lowered to
-/// sign/magnitude codes once and every K-block dot product is computed in
-/// integer arithmetic with a single `f32` scale-out per block pair —
-/// bit-identical to the dequantize reference with blocked accumulation
-/// (and exactly equal to the naive `f32` product whenever `K ≤ k1`).
-/// Identity (`FP32`) and scalar formats fall back to fake-quantize +
-/// `f32` matmul.
+/// [`mx_core::gemm`]'s integer code-domain path through its
+/// prepack/execute split: `b`'s shift-aligned code plane is fetched from
+/// the tensor's generation-keyed cache (packed on a miss — see the module
+/// docs for the invalidation contract), `a`'s rows are lowered fresh, and
+/// every K-block dot product is computed in integer arithmetic with a
+/// single `f32` scale-out per block pair — bit-identical to the dequantize
+/// reference with blocked accumulation (and exactly equal to the naive
+/// `f32` product whenever `K ≤ k1`), cached plane or not. Identity
+/// (`FP32`) and scalar formats fall back to fake-quantize + `f32` matmul.
 pub fn quantized_matmul_ab(a: &Tensor, b: &Tensor, fa: TensorFormat, fb: TensorFormat) -> Tensor {
     if fa.is_identity() && fb.is_identity() {
         return a.matmul(b);
@@ -149,17 +179,19 @@ pub fn quantized_matmul_ab(a: &Tensor, b: &Tensor, fa: TensorFormat, fb: TensorF
             assert_eq!(b.shape().len(), 2, "rhs of matmul must be 2-D");
             let (kb, n) = (b.shape()[0], b.shape()[1]);
             assert_eq!(k, kb, "inner dims: {k} vs {kb}");
-            let out = gemm::quantized_gemm(
-                a.data(),
-                b.data(),
-                m,
-                k,
-                n,
-                ba,
-                bb,
-                parallel::default_threads(),
-            )
-            .expect("format pair passed the support gate");
+            let threads = parallel::default_threads();
+            let plane = weight_plane(b, ba, bb, k, n, false);
+            let out = match gemm::quantized_gemm_prepacked(a.data(), m, ba, &plane, threads) {
+                Some(out) => out,
+                // The cached plane was packed for a partner in the other
+                // kernel class (exotic mixed-format direct cast): repack
+                // for this pair and replace the entry.
+                None => {
+                    let plane = weight_plane(b, ba, bb, k, n, true);
+                    gemm::quantized_gemm_prepacked(a.data(), m, ba, &plane, threads)
+                        .expect("plane freshly packed for this exact pair")
+                }
+            };
             let mut shape = a.shape()[..a.shape().len() - 1].to_vec();
             shape.push(n);
             return Tensor::from_vec(out, &shape);
@@ -168,6 +200,53 @@ pub fn quantized_matmul_ab(a: &Tensor, b: &Tensor, fa: TensorFormat, fb: TensorF
     let aq = quantize_along(a, fa, Axis::Row);
     let bq = quantize_along(b, fb, Axis::Col);
     aq.matmul(&bq)
+}
+
+/// Returns `b`'s cached weight code plane for weight format `fb`, packing
+/// (for the `(fa, fb)` pair) and caching on a cold or stale slot, or
+/// unconditionally when `force` is set. A hit requires the stored
+/// generation stamp to equal [`Tensor::generation`] — the contract that
+/// makes optimizer steps and direct weight writes invalidate automatically.
+///
+/// The activation format is deliberately **not** part of the key: the
+/// codes depend only on `fb`, so one plane serves every activation format
+/// in the same kernel class (direct-cast sweeps that alternate activation
+/// formats against one weight tensor keep hitting). The rare cross-class
+/// pairing is caught by `quantized_gemm_prepacked` returning `None`, and
+/// the caller retries with `force`.
+///
+/// The packing work is needed by the GEMM either way, so caching costs no
+/// extra compute; for short-lived activation tensors that pass through as
+/// the right operand, the entry simply drops with the tensor. (Activation
+/// tensors a training cache retains — e.g. attention's per-head V — keep
+/// their plane, roughly half the tensor's size again, alive for one step;
+/// an accepted cost at this repo's scales, and inference retains no such
+/// caches.)
+fn weight_plane(
+    b: &Tensor,
+    fa: BdrFormat,
+    fb: BdrFormat,
+    k: usize,
+    n: usize,
+    force: bool,
+) -> Arc<PackedOperand> {
+    let mut slot = b.plane_slot().lock().expect("plane cache poisoned");
+    if !force {
+        if let Some(cached) = slot.as_ref() {
+            if cached.gen == b.generation() && cached.fb == fb {
+                return cached.plane.clone();
+            }
+        }
+    }
+    let plane = Arc::new(
+        PackedOperand::pack_cols(b.data(), k, n, fa, fb).expect("pair passed the support gate"),
+    );
+    *slot = Some(CachedPlane {
+        gen: b.generation(),
+        fb,
+        plane: plane.clone(),
+    });
+    plane
 }
 
 #[cfg(test)]
@@ -274,6 +353,80 @@ mod tests {
         let e6 = err(BdrFormat::MX6);
         let e4 = err(BdrFormat::MX4);
         assert!(e9 < e6 && e6 < e4, "{e9} {e6} {e4}");
+    }
+
+    #[test]
+    fn weight_plane_cache_hits_and_invalidates() {
+        let (m, k, n) = (3, 40, 5);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| (i as f32 * 0.19).sin()).collect(),
+            &[m, k],
+        );
+        let mut b = Tensor::from_vec(
+            (0..k * n).map(|i| (i as f32 * 0.23).cos()).collect(),
+            &[k, n],
+        );
+        assert_eq!(b.cached_plane_generation(), None, "cold before first use");
+        let y1 = quantized_matmul(&a, &b, TensorFormat::MX6);
+        assert_eq!(
+            b.cached_plane_generation(),
+            Some(b.generation()),
+            "warm after first use"
+        );
+        // Second call hits the cache and is bit-identical.
+        let y2 = quantized_matmul(&a, &b, TensorFormat::MX6);
+        assert_eq!(y1, y2);
+        // Same weight format under a different activation format reuses
+        // the plane (the codes depend only on the weight format) and is
+        // still bit-exact against the uncached reference for that pair.
+        let y_mixed = quantized_matmul_ab(&a, &b, TensorFormat::MX9, TensorFormat::MX6);
+        let (TensorFormat::Bdr(a9), TensorFormat::Bdr(w6)) = (TensorFormat::MX9, TensorFormat::MX6)
+        else {
+            unreachable!()
+        };
+        let want_mixed = gemm::reference_gemm(a.data(), b.data(), m, k, n, a9, w6);
+        assert!(y_mixed
+            .data()
+            .iter()
+            .zip(want_mixed.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        // A different *weight* format replaces the entry (still correct).
+        let y9 = quantized_matmul(&a, &b, TensorFormat::MX9);
+        let (TensorFormat::Bdr(f9), TensorFormat::Bdr(f9b)) =
+            (TensorFormat::MX9, TensorFormat::MX9)
+        else {
+            unreachable!()
+        };
+        let want9 = gemm::reference_gemm(a.data(), b.data(), m, k, n, f9, f9b);
+        assert_eq!(y9.data(), &want9[..]);
+        // Clones do not share the slot: a clone starts cold (one repack at
+        // worst) rather than thrashing a shared one-entry cache once the
+        // copies diverge.
+        let b_clone = b.clone();
+        assert_eq!(b_clone.cached_plane_generation(), None);
+        assert!(b.cached_plane_generation().is_some());
+        // Mutating the weights invalidates: the stored stamp goes stale ...
+        let stamp = b.cached_plane_generation().unwrap();
+        b.data_mut()[0] += 1.0;
+        assert_ne!(b.cached_plane_generation(), Some(b.generation()));
+        assert_eq!(
+            b.cached_plane_generation(),
+            Some(stamp),
+            "entry not yet replaced"
+        );
+        // ... and the next product repacks from the new values,
+        // bit-identical to the uncached reference.
+        let y3 = quantized_matmul(&a, &b, TensorFormat::MX6);
+        let (TensorFormat::Bdr(f6), _) = (TensorFormat::MX6, ()) else {
+            unreachable!()
+        };
+        let want = gemm::reference_gemm(a.data(), b.data(), m, k, n, f6, f6);
+        assert!(y3
+            .data()
+            .iter()
+            .zip(want.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_ne!(y3, y1);
     }
 
     #[test]

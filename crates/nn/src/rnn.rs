@@ -158,9 +158,12 @@ impl Gru {
             let cache = &self.caches[ti];
             // Output grad for this step + carry from the future.
             let mut dh = dh_next.clone();
-            for bi in 0..b {
-                for j in 0..hd {
-                    dh.data_mut()[bi * hd + j] += grads.data()[(bi * t + ti) * hd + j];
+            {
+                let dhd = dh.data_mut();
+                for bi in 0..b {
+                    for j in 0..hd {
+                        dhd[bi * hd + j] += grads.data()[(bi * t + ti) * hd + j];
+                    }
                 }
             }
             let dz = dh.mul(&cache.h_prev.sub(&cache.n));

@@ -5,9 +5,49 @@
 //! row-wise bias case. The quantized compute flow of Fig. 8 lives in
 //! [`crate::qflow`]; this module provides the exact arithmetic underneath.
 
+use mx_core::bdr::BdrFormat;
+use mx_core::gemm::PackedOperand;
+use mx_core::{fgemm, parallel};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+// (`Arc` is still used by `CachedPlane::plane`, shared with the executing
+// GEMM after the slot's lock is released.)
+
+/// Process-wide monotone counter behind [`Tensor::generation`]: every
+/// tensor construction or mutable-data access draws a fresh, globally
+/// unique value, so "same generation" implies "same bits".
+static NEXT_GEN: AtomicU64 = AtomicU64::new(1);
+
+fn next_gen() -> u64 {
+    NEXT_GEN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A weight code plane cached on a tensor: the [`PackedOperand`] built for
+/// one weight format, stamped with the generation of the data it was
+/// packed from. A lookup only hits when the stamp still matches
+/// [`Tensor::generation`] — any in-place mutation (optimizer steps
+/// included) bumps the generation and thereby invalidates the entry. The
+/// activation format is not part of the key: the codes depend only on the
+/// weight format (see `crate::qflow`).
+#[derive(Clone)]
+pub(crate) struct CachedPlane {
+    pub(crate) gen: u64,
+    pub(crate) fb: BdrFormat,
+    pub(crate) plane: Arc<PackedOperand>,
+}
+
+/// One-entry plane cache, allocated lazily so tensors that never serve as
+/// quantized weights pay nothing. Each clone gets its own (cold) slot —
+/// sharing would let two diverged clones used as weights perpetually evict
+/// each other's plane, silently reinstating the per-call packing cost.
+type PlaneSlot = Mutex<Option<CachedPlane>>;
 
 /// A dense row-major tensor of `f32` values.
+///
+/// Each tensor carries a globally unique *generation* that changes on every
+/// mutable-data access — the invalidation signal for the cached weight code
+/// plane (see [`crate::qflow`]).
 ///
 /// # Examples
 ///
@@ -17,10 +57,31 @@ use std::fmt;
 /// let b = Tensor::eye(2);
 /// assert_eq!(a.matmul(&b).data(), a.data());
 /// ```
-#[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
+    gen: u64,
+    plane: OnceLock<PlaneSlot>,
+}
+
+impl Clone for Tensor {
+    /// Clones data and generation but **not** the plane-cache slot: the
+    /// clone starts cold (at worst one repack) instead of sharing a
+    /// one-entry slot that diverged clones would thrash.
+    fn clone(&self) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.clone(),
+            gen: self.gen,
+            plane: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -55,26 +116,28 @@ impl Tensor {
             data.len(),
             shape
         );
+        Tensor::with_data(shape.to_vec(), data)
+    }
+
+    /// The one constructor every tensor goes through: stamps a fresh
+    /// generation and an empty (unallocated) plane-cache slot.
+    fn with_data(shape: Vec<usize>, data: Vec<f32>) -> Self {
         Tensor {
-            shape: shape.to_vec(),
+            shape,
             data,
+            gen: next_gen(),
+            plane: OnceLock::new(),
         }
     }
 
     /// All-zeros tensor.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor {
-            shape: shape.to_vec(),
-            data: vec![0.0; shape.iter().product()],
-        }
+        Tensor::with_data(shape.to_vec(), vec![0.0; shape.iter().product()])
     }
 
     /// Tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Tensor {
-            shape: shape.to_vec(),
-            data: vec![value; shape.iter().product()],
-        }
+        Tensor::with_data(shape.to_vec(), vec![value; shape.iter().product()])
     }
 
     /// Identity matrix of size `n`.
@@ -102,8 +165,40 @@ impl Tensor {
     }
 
     /// Mutable view of the underlying data.
+    ///
+    /// Bumps the tensor's [`generation`](Tensor::generation): any cached
+    /// weight code plane built from the previous contents is invalidated,
+    /// whether or not the caller actually writes.
     pub fn data_mut(&mut self) -> &mut [f32] {
+        self.gen = next_gen();
         &mut self.data
+    }
+
+    /// The tensor's data generation: a globally unique stamp that changes
+    /// on every mutable-data access. Two reads returning the same value
+    /// guarantee the data bits have not changed in between — this is the
+    /// staleness check behind the weight-plane cache (see
+    /// [`crate::qflow`]).
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// The lazily allocated weight-plane cache slot.
+    pub(crate) fn plane_slot(&self) -> &Mutex<Option<CachedPlane>> {
+        self.plane.get_or_init(PlaneSlot::default)
+    }
+
+    /// Generation stamp of the cached weight code plane, if one has been
+    /// built. A `Some` equal to [`Tensor::generation`] means the next
+    /// quantized matmul with matching formats will reuse the plane; any
+    /// other value means the cache is cold or stale.
+    pub fn cached_plane_generation(&self) -> Option<u64> {
+        self.plane.get().and_then(|slot| {
+            slot.lock()
+                .expect("plane cache poisoned")
+                .as_ref()
+                .map(|c| c.gen)
+        })
     }
 
     /// Consumes the tensor, returning its data.
@@ -142,6 +237,12 @@ impl Tensor {
     /// Matrix product `self[M,K] × other[K,N]`, viewing `self` as 2-D with
     /// its last dimension as `K`.
     ///
+    /// Runs on [`mx_core::fgemm`]'s cache-blocked, vectorized kernel
+    /// (row-parallel on large products) — bit-identical to the seed's
+    /// naive triple loop, including the zero-skip rule: zero lhs elements
+    /// are only skipped when the rhs is entirely finite, so `0.0 × ∞` and
+    /// `0.0 × NaN` still propagate NaN.
+    ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree.
@@ -151,28 +252,14 @@ impl Tensor {
         assert_eq!(other.shape.len(), 2, "rhs of matmul must be 2-D");
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "inner dims: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        // Skipping zero lhs rows is only sound when the rhs is all finite:
-        // IEEE requires 0.0 × ∞ and 0.0 × NaN to propagate NaN, and for a
-        // finite rhs adding the exact ±0.0 products is a no-op. The scan is
-        // memoized and deferred to the first zero so zero-free inputs never
-        // pay for it.
-        let mut rhs_finite: Option<bool> = None;
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0
-                    && *rhs_finite.get_or_insert_with(|| other.data.iter().all(|v| v.is_finite()))
-                {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        let out = fgemm::matmul(
+            &self.data,
+            &other.data,
+            m,
+            k,
+            n,
+            parallel::default_threads(),
+        );
         let mut shape: Vec<usize> = self.shape[..self.shape.len() - 1].to_vec();
         shape.push(n);
         Tensor::from_vec(out, &shape)
@@ -217,10 +304,10 @@ impl Tensor {
 
     /// Applies `f` element-wise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor::with_data(
+            self.shape.clone(),
+            self.data.iter().map(|&x| f(x)).collect(),
+        )
     }
 
     /// Applies `f` pairwise.
@@ -230,15 +317,14 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch");
-        Tensor {
-            shape: self.shape.clone(),
-            data: self
-                .data
+        Tensor::with_data(
+            self.shape.clone(),
+            self.data
                 .iter()
                 .zip(other.data.iter())
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
-        }
+        )
     }
 
     /// Adds `row` (a 1-D tensor of length `cols()`) to every row.
@@ -254,10 +340,7 @@ impl Tensor {
         for (i, v) in out.iter_mut().enumerate() {
             *v += row.data[i % n];
         }
-        Tensor {
-            shape: self.shape.clone(),
-            data: out,
-        }
+        Tensor::with_data(self.shape.clone(), out)
     }
 
     /// Sums over all rows, returning a 1-D tensor of length `cols()`.
@@ -303,10 +386,7 @@ impl Tensor {
                 *v /= sum;
             }
         }
-        Tensor {
-            shape: self.shape.clone(),
-            data: out,
-        }
+        Tensor::with_data(self.shape.clone(), out)
     }
 
     /// Extracts rows `start..end` (2-D view).
@@ -456,6 +536,70 @@ mod tests {
     #[should_panic(expected = "data length")]
     fn from_vec_validates() {
         let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn generation_bumps_on_mutable_access_only() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        let g0 = t.generation();
+        let _ = t.data(); // immutable reads do not bump
+        assert_eq!(t.generation(), g0);
+        let _ = t.data_mut();
+        let g1 = t.generation();
+        assert_ne!(g1, g0, "data_mut must invalidate");
+        // Fresh tensors never reuse a generation.
+        let u = Tensor::zeros(&[2, 2]);
+        assert_ne!(u.generation(), g1);
+    }
+
+    #[test]
+    fn clone_shares_generation_until_mutated() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let mut c = t.clone();
+        assert_eq!(c.generation(), t.generation(), "identical data, same gen");
+        c.data_mut()[0] = 9.0;
+        assert_ne!(c.generation(), t.generation());
+        assert_eq!(t.data(), &[1.0, 2.0], "original untouched");
+    }
+
+    #[test]
+    fn matmul_matches_naive_triple_loop_bits() {
+        // The blocked kernel must be bit-identical to the seed's loop,
+        // 3-D lhs included.
+        let (b, m, k, n) = (2, 5, 33, 9);
+        let a = Tensor::from_vec(
+            (0..b * m * k)
+                .map(|i| {
+                    if i % 13 == 0 {
+                        0.0
+                    } else {
+                        (i as f32 * 0.17).sin()
+                    }
+                })
+                .collect(),
+            &[b, m, k],
+        );
+        let w = Tensor::from_vec(
+            (0..k * n).map(|i| (i as f32 * 0.29).cos()).collect(),
+            &[k, n],
+        );
+        let y = a.matmul(&w);
+        assert_eq!(y.shape(), &[b, m, n]);
+        let mut want = vec![0.0f32; b * m * n];
+        for i in 0..b * m {
+            for p in 0..k {
+                let av = a.data()[i * k + p];
+                if av == 0.0 {
+                    continue; // w is finite
+                }
+                for j in 0..n {
+                    want[i * n + j] += av * w.data()[p * n + j];
+                }
+            }
+        }
+        for (x, y) in y.data().iter().zip(want.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

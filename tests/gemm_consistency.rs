@@ -1,11 +1,17 @@
 //! Consistency suite for the integer code-domain GEMM: on every supported
 //! format pair and shape — including ragged K tails, all-zero blocks, and
 //! degenerate 1×N / M×1 edges — the integer path must be **bit-identical**
-//! to the quantize → dequantize → `f32` matmul reference, and the nn-layer
-//! `quantized_matmul` must route through it without call-site changes.
+//! to the quantize → dequantize → `f32` matmul reference, through both the
+//! ad-hoc (`quantized_gemm`) and prepack/execute
+//! (`PackedOperand` + `quantized_gemm_prepacked`) entry points, and the
+//! nn-layer `quantized_matmul` must route through it without call-site
+//! changes. The blocked FP32 `matmul` is held to the same standard against
+//! the seed's naive triple loop.
 
 use mx::core::bdr::BdrFormat;
-use mx::core::gemm::{code_domain_supported, quantized_gemm, reference_gemm};
+use mx::core::gemm::{
+    code_domain_supported, quantized_gemm, quantized_gemm_prepacked, reference_gemm, PackedOperand,
+};
 use mx::nn::format::TensorFormat;
 use mx::nn::qflow::quantized_matmul_ab;
 use mx::nn::tensor::Tensor;
@@ -186,6 +192,98 @@ fn generic_fallback_kernels_match_reference() {
             assert_bits_eq(&got, &want, &format!("{fmt} {m}x{k}x{n}"));
         }
     }
+}
+
+/// The prepack/execute split must change nothing observable: for every
+/// preset format pair, ragged K tails included, a B plane packed once and
+/// executed repeatedly is bit-identical to the ad-hoc `quantized_gemm` and
+/// to the dequantize reference.
+#[test]
+fn prepacked_execute_matches_ad_hoc_and_reference() {
+    for fa in FORMATS {
+        for fb in FORMATS {
+            for (m, k, n) in [(4, 64, 8), (3, 37, 5), (1, 7, 1)] {
+                let b = stress_vector(k * n, k + n + 51);
+                let pb = PackedOperand::pack_cols(&b, k, n, fa, fb).unwrap();
+                for pass in 0..2 {
+                    // Fresh activations per pass, same plane.
+                    let a = stress_vector(m * k, m + k + pass);
+                    let pre = quantized_gemm_prepacked(&a, m, fa, &pb, 1).unwrap();
+                    let ad_hoc = quantized_gemm(&a, &b, m, k, n, fa, fb, 1).unwrap();
+                    let want = reference_gemm(&a, &b, m, k, n, fa, fb);
+                    let ctx = format!("{fa}x{fb} {m}x{k}x{n} pass={pass}");
+                    assert_bits_eq(&pre, &ad_hoc, &ctx);
+                    assert_bits_eq(&pre, &want, &ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Prepacked execution under row-parallel dispatch: bit-identical for
+/// every thread count, like the ad-hoc path.
+#[test]
+fn prepacked_parallel_is_bit_identical() {
+    let (fa, fb) = (BdrFormat::MX6, BdrFormat::MX9);
+    let (m, k, n) = (48, 80, 32);
+    let a = stress_vector(m * k, 61);
+    let b = stress_vector(k * n, 63);
+    let pb = PackedOperand::pack_cols(&b, k, n, fa, fb).unwrap();
+    let serial = quantized_gemm_prepacked(&a, m, fa, &pb, 1).unwrap();
+    assert_bits_eq(
+        &serial,
+        &reference_gemm(&a, &b, m, k, n, fa, fb),
+        "serial vs reference",
+    );
+    for threads in [2usize, 3, 5, 8, 0] {
+        let par = quantized_gemm_prepacked(&a, m, fa, &pb, threads).unwrap();
+        assert_bits_eq(&par, &serial, &format!("threads={threads}"));
+    }
+}
+
+/// The generic (non-AVX2-layout) kernels honor the prepack split too:
+/// `k1 = 32` narrow codes and 16-bit-mantissa wide codes.
+#[test]
+fn prepacked_generic_kernels_match_reference() {
+    let k32 = BdrFormat::new(4, 8, 2, 32, 4).unwrap();
+    let wide = BdrFormat::new(16, 4, 0, 16, 2).unwrap();
+    for fmt in [k32, wide] {
+        let (m, k, n) = (3, 80, 5);
+        let a = stress_vector(m * k, 71);
+        let b = stress_vector(k * n, 73);
+        let pb = PackedOperand::pack_cols(&b, k, n, fmt, fmt).unwrap();
+        let got = quantized_gemm_prepacked(&a, m, fmt, &pb, 1).unwrap();
+        let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+        assert_bits_eq(&got, &want, &format!("{fmt}"));
+    }
+}
+
+/// The blocked, vectorized FP32 `Tensor::matmul` is bit-identical to the
+/// seed's naive triple loop — zero-skip semantics (and its 0×∞/0×NaN
+/// guard) included.
+#[test]
+fn blocked_f32_matmul_matches_seed_triple_loop() {
+    // The canonical copy of the seed loop.
+    use mx::core::fgemm::naive_matmul as seed_matmul;
+    for (m, k, n) in [
+        (1, 1, 1),
+        (5, 129, 17),
+        (4, 512, 8),
+        (9, 260, 33),
+        (2, 16, 3),
+    ] {
+        let a = stress_vector(m * k, m + 81);
+        let b = stress_vector(k * n, n + 83);
+        let at = Tensor::from_vec(a.clone(), &[m, k]);
+        let bt = Tensor::from_vec(b.clone(), &[k, n]);
+        let got = at.matmul(&bt);
+        let want = seed_matmul(&a, &b, m, k, n);
+        assert_bits_eq(got.data(), &want, &format!("f32 {m}x{k}x{n}"));
+    }
+    // Non-finite rhs disables the zero-skip: NaN must reach the output.
+    let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+    let b = Tensor::from_vec(vec![f32::INFINITY, 2.0], &[2, 1]);
+    assert!(a.matmul(&b).data()[0].is_nan(), "0 x inf must be NaN");
 }
 
 /// For K within a single k1-block, the blocked accumulation degenerates to
