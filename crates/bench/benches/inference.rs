@@ -9,6 +9,11 @@
 //!   activations are lowered per call (`quantized_gemm_prepacked`) — the
 //!   steady state `mx-nn`'s generation-keyed weight cache reaches after
 //!   the first forward pass;
+//! - `prepacked_scratch` — additionally reuses a caller-provided
+//!   `PackScratch` for the activation plane
+//!   (`quantized_gemm_prepacked_scratch`), eliminating the last per-call
+//!   allocation — the steady state `mx-nn` reaches through its
+//!   thread-local scratch;
 //! - `weight_pack_only` — the packing cost itself, i.e. what each
 //!   `per_call_packing` iteration wastes;
 //! - `linear_layer_cached` — the same product through `mx_nn::Linear`
@@ -19,7 +24,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mx_core::bdr::BdrFormat;
-use mx_core::gemm::{quantized_gemm, quantized_gemm_prepacked, PackedOperand};
+use mx_core::gemm::{
+    quantized_gemm, quantized_gemm_prepacked, quantized_gemm_prepacked_scratch, PackScratch,
+    PackedOperand,
+};
 use mx_nn::format::TensorFormat;
 use mx_nn::layers::{Layer, Linear};
 use mx_nn::qflow::QuantConfig;
@@ -55,6 +63,13 @@ fn inference_steady_state(c: &mut Criterion) {
     group.bench_function("prepacked_weights", |bench| {
         let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
         bench.iter(|| black_box(quantized_gemm_prepacked(&a, M, fmt, &pw, 1).unwrap()))
+    });
+    group.bench_function("prepacked_scratch", |bench| {
+        let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
+        let mut scratch = PackScratch::new();
+        bench.iter(|| {
+            black_box(quantized_gemm_prepacked_scratch(&a, M, fmt, &pw, 1, &mut scratch).unwrap())
+        })
     });
     group.bench_function("weight_pack_only", |bench| {
         bench.iter(|| black_box(PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap()))

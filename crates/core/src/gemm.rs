@@ -277,14 +277,40 @@ struct CodePlane<C> {
     k1: usize,
 }
 
-/// Lowers `vectors` strided vectors of `len` elements to aligned codes.
-/// Vector `v` reads `data[base_of(v) + i·stride]` — rows use
-/// `(|i| i·len, 1)`, columns of a `[len, vectors]` matrix use
-/// `(|j| j, vectors)`. `slot_of(v, kb)` picks the storage layout: the
-/// generic kernels use vector-major `v·blocks + kb`, the column-vectorized
-/// kernel packs B block-major `kb·vectors + v` so the blocks of adjacent
-/// columns sit next to each other.
-fn pack<C: Code>(
+impl<C> CodePlane<C> {
+    fn view(&self) -> PlaneView<'_, C> {
+        PlaneView {
+            codes: &self.codes,
+            exps: &self.exps,
+            blocks: self.blocks,
+            k1: self.k1,
+        }
+    }
+}
+
+/// Borrowed view of a code plane — what the execute kernels actually
+/// consume. Owned [`CodePlane`]s (inside a [`PackedOperand`]) and
+/// [`PackScratch`]-backed ad-hoc planes both lower to this, so the kernels
+/// are oblivious to who owns the buffers.
+#[derive(Clone, Copy)]
+struct PlaneView<'a, C> {
+    codes: &'a [C],
+    exps: &'a [i32],
+    blocks: usize,
+    k1: usize,
+}
+
+/// Lowers `vectors` strided vectors of `len` elements to aligned codes,
+/// writing into caller-provided buffers (cleared and resized; capacity is
+/// reused across calls — the point of [`PackScratch`]). Vector `v` reads
+/// `data[base_of(v) + i·stride]` — rows use `(|i| i·len, 1)`, columns of a
+/// `[len, vectors]` matrix use `(|j| j, vectors)`. `slot_of(v, kb)` picks
+/// the storage layout: the generic kernels use vector-major
+/// `v·blocks + kb`, the column-vectorized kernel packs B block-major
+/// `kb·vectors + v` so the blocks of adjacent columns sit next to each
+/// other. Returns the block count per vector.
+#[allow(clippy::too_many_arguments)] // operand geometry + layout + three buffers
+fn pack_into<C: Code>(
     data: &[f32],
     vectors: usize,
     len: usize,
@@ -292,21 +318,25 @@ fn pack<C: Code>(
     stride: usize,
     slot_of: impl Fn(usize, usize) -> usize,
     fmt: &BdrFormat,
-) -> CodePlane<C> {
+    codes: &mut Vec<C>,
+    exps: &mut Vec<i32>,
+    shifts: &mut Vec<u32>,
+) -> usize {
     let k1 = fmt.k1();
     let k2 = fmt.k2();
     let beta = fmt.max_shift();
     let max_code = fmt.max_code();
     let blocks = len.div_ceil(k1);
-    let mut codes = vec![C::ZERO; vectors * blocks * k1];
-    let mut exps = vec![0i32; vectors * blocks];
-    let mut shifts = Vec::new();
+    codes.clear();
+    codes.resize(vectors * blocks * k1, C::ZERO);
+    exps.clear();
+    exps.resize(vectors * blocks, 0);
     for v in 0..vectors {
         for kb in 0..blocks {
             let start = kb * k1;
             let blen = k1.min(len - start);
             let base = base_of(v) + start * stride;
-            let Some(e) = engine::plan_into(fmt, data, base, stride, blen, &mut shifts) else {
+            let Some(e) = engine::plan_into(fmt, data, base, stride, blen, shifts) else {
                 continue;
             };
             let slot = slot_of(v, kb);
@@ -327,11 +357,39 @@ fn pack<C: Code>(
             }
         }
     }
+    blocks
+}
+
+/// [`pack_into`] into freshly allocated buffers, returning an owned plane.
+fn pack<C: Code>(
+    data: &[f32],
+    vectors: usize,
+    len: usize,
+    base_of: impl Fn(usize) -> usize,
+    stride: usize,
+    slot_of: impl Fn(usize, usize) -> usize,
+    fmt: &BdrFormat,
+) -> CodePlane<C> {
+    let mut codes = Vec::new();
+    let mut exps = Vec::new();
+    let mut shifts = Vec::new();
+    let blocks = pack_into(
+        data,
+        vectors,
+        len,
+        base_of,
+        stride,
+        slot_of,
+        fmt,
+        &mut codes,
+        &mut exps,
+        &mut shifts,
+    );
     CodePlane {
         codes,
         exps,
         blocks,
-        k1,
+        k1: fmt.k1(),
     }
 }
 
@@ -558,10 +616,10 @@ impl PackedOperand {
 /// exponents) is reused for the whole tile; per output element the K loop
 /// walks two contiguous code arrays.
 fn gemm_rows<C: Code>(
-    ap: &CodePlane<C>,
+    ap: PlaneView<'_, C>,
     r0: usize,
     rows: usize,
-    bp: &CodePlane<C>,
+    bp: PlaneView<'_, C>,
     n: usize,
     c: i32,
     out: &mut [f32],
@@ -655,7 +713,7 @@ pub(crate) fn gemm_workers(m: usize, n: usize, k: usize, threads: usize) -> usiz
 /// generic path (and to [`reference_gemm`]).
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
-    use super::{dispatch_rows, Code, CodePlane, TILE_M};
+    use super::{dispatch_rows, Code, PlaneView, TILE_M};
     use crate::util::pow2;
 
     /// The preset first-level block size this kernel is specialized for.
@@ -669,8 +727,8 @@ mod avx2 {
     /// Runs the kernel row-parallel over a vector-major A plane and a
     /// block-major B plane.
     pub(super) fn gemm(
-        ap: &CodePlane<i16>,
-        bp: &CodePlane<i16>,
+        ap: PlaneView<'_, i16>,
+        bp: PlaneView<'_, i16>,
         m: usize,
         n: usize,
         c: i32,
@@ -690,10 +748,10 @@ mod avx2 {
     /// Requires AVX2 (checked by [`available`] before dispatch).
     #[target_feature(enable = "avx2")]
     unsafe fn gemm_rows_avx2(
-        ap: &CodePlane<i16>,
+        ap: PlaneView<'_, i16>,
         r0: usize,
         rows: usize,
-        bp: &CodePlane<i16>,
+        bp: PlaneView<'_, i16>,
         n: usize,
         c: i32,
         out: &mut [f32],
@@ -788,42 +846,201 @@ pub fn quantized_gemm_packed(
         return None;
     }
     let class = pair_class(&pa.fmt, &pb.fmt)?;
-    let (m, n, k) = (pa.vectors, pb.vectors, pa.len);
+    let views = match (&pa.plane, &pb.plane) {
+        (Plane::Narrow(ap), Plane::Narrow(bp)) => PairViews::Narrow(ap.view(), bp.view()),
+        (Plane::Wide(ap), Plane::Wide(bp)) => PairViews::Wide(ap.view(), bp.view()),
+        // The executed pair holds mismatched code widths (each side packed
+        // for a partner in a different kernel class); callers fall back
+        // rather than silently re-lowering.
+        _ => return None,
+    };
+    execute(
+        views,
+        pb.block_major,
+        class,
+        pa.vectors,
+        pb.vectors,
+        pa.len,
+        pa.c_half + pb.c_half,
+        threads,
+    )
+}
+
+/// A matched pair of A/B plane views sharing one code width.
+enum PairViews<'a> {
+    Narrow(PlaneView<'a, i16>, PlaneView<'a, i16>),
+    Wide(PlaneView<'a, i32>, PlaneView<'a, i32>),
+}
+
+/// The shared execute stage: runs the integer GEMM over two already-lowered
+/// planes. Returns `None` when the planes' code width disagrees with what
+/// `class` requires (packed for a partner in the other kernel class).
+#[allow(clippy::too_many_arguments)] // a GEMM is dims + operands + dispatch knobs
+fn execute(
+    views: PairViews<'_>,
+    b_block_major: bool,
+    class: PairClass,
+    m: usize,
+    n: usize,
+    k: usize,
+    c: i32,
+    threads: usize,
+) -> Option<Vec<f32>> {
     let mut out = vec![0.0f32; m * n];
     if m == 0 || n == 0 || k == 0 {
         return Some(out);
     }
-    let c = pa.c_half + pb.c_half;
     let workers = gemm_workers(m, n, k, threads);
-    match (&pa.plane, &pb.plane) {
-        (Plane::Narrow(ap), Plane::Narrow(bp)) if class == PairClass::Narrow => {
+    match views {
+        PairViews::Narrow(ap, bp) if class == PairClass::Narrow => {
             #[cfg(target_arch = "x86_64")]
-            if pb.block_major {
+            if b_block_major {
                 avx2::gemm(ap, bp, m, n, c, workers, &mut out);
                 return Some(out);
             }
+            #[cfg(not(target_arch = "x86_64"))]
+            let _ = b_block_major;
             dispatch_rows(m, n, workers, &mut out, |start, rows, part| {
                 gemm_rows(ap, start, rows, bp, n, c, part);
             });
         }
-        (Plane::Wide(ap), Plane::Wide(bp)) if class == PairClass::Wide => {
+        PairViews::Wide(ap, bp) if class == PairClass::Wide => {
             dispatch_rows(m, n, workers, &mut out, |start, rows, part| {
                 gemm_rows(ap, start, rows, bp, n, c, part);
             });
         }
-        // The executed pair needs a different code width than the planes
-        // hold (packed for a partner in the other kernel class); callers
-        // fall back rather than silently re-lowering.
         _ => return None,
     }
     Some(out)
+}
+
+/// Reusable buffers for ad-hoc A-side packing: the code and exponent vectors
+/// [`quantized_gemm_prepacked_scratch`] lowers activations into, retained
+/// across calls so a steady-state forward pass allocates nothing for the
+/// activation plane. Narrow and wide widths keep separate buffers, so one
+/// scratch serves interleaved format classes without reallocation churn.
+///
+/// A scratch is plain storage — it carries no format or shape state, so one
+/// instance can serve any sequence of GEMMs (`mx-nn` keeps one per thread).
+#[derive(Default)]
+pub struct PackScratch {
+    narrow_codes: Vec<i16>,
+    narrow_exps: Vec<i32>,
+    wide_codes: Vec<i32>,
+    wide_exps: Vec<i32>,
+    /// Per-block microexponent shift workspace for the engine's planner.
+    shifts: Vec<u32>,
+}
+
+impl PackScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`quantized_gemm_prepacked`] with a caller-provided [`PackScratch`]: the
+/// activation code plane is written into `scratch`'s buffers instead of
+/// fresh allocations, closing the last per-call allocation on the inference
+/// steady-state path (measured by the `inference_steady_state` bench's
+/// `prepacked_scratch` case). Bit-identical to the allocating variant.
+///
+/// Returns `None` under exactly the same conditions as
+/// [`quantized_gemm_prepacked`].
+///
+/// # Panics
+///
+/// Panics if `a.len() != m · packed_b.k()`.
+pub fn quantized_gemm_prepacked_scratch(
+    a: &[f32],
+    m: usize,
+    fa: BdrFormat,
+    packed_b: &PackedOperand,
+    threads: usize,
+    scratch: &mut PackScratch,
+) -> Option<Vec<f32>> {
+    if packed_b.side != Side::Cols {
+        return None;
+    }
+    let class = pair_class(&fa, &packed_b.fmt)?;
+    let k = packed_b.len;
+    assert_eq!(a.len(), m * k, "A is not {m}x{k}");
+    let c = c_half(&fa) + packed_b.c_half;
+    let views = match (class, &packed_b.plane) {
+        (PairClass::Narrow, Plane::Narrow(bp)) => {
+            let blocks = pack_into::<i16>(
+                a,
+                m,
+                k,
+                |i| i * k,
+                1,
+                |v, kb| v * blocks_of(k, &fa) + kb,
+                &fa,
+                &mut scratch.narrow_codes,
+                &mut scratch.narrow_exps,
+                &mut scratch.shifts,
+            );
+            PairViews::Narrow(
+                PlaneView {
+                    codes: &scratch.narrow_codes,
+                    exps: &scratch.narrow_exps,
+                    blocks,
+                    k1: fa.k1(),
+                },
+                bp.view(),
+            )
+        }
+        (PairClass::Wide, Plane::Wide(bp)) => {
+            let blocks = pack_into::<i32>(
+                a,
+                m,
+                k,
+                |i| i * k,
+                1,
+                |v, kb| v * blocks_of(k, &fa) + kb,
+                &fa,
+                &mut scratch.wide_codes,
+                &mut scratch.wide_exps,
+                &mut scratch.shifts,
+            );
+            PairViews::Wide(
+                PlaneView {
+                    codes: &scratch.wide_codes,
+                    exps: &scratch.wide_exps,
+                    blocks,
+                    k1: fa.k1(),
+                },
+                bp.view(),
+            )
+        }
+        // `packed_b` was packed for a partner in the other kernel class;
+        // callers fall back rather than silently re-lowering B.
+        _ => return None,
+    };
+    execute(
+        views,
+        packed_b.block_major,
+        class,
+        m,
+        packed_b.vectors,
+        k,
+        c,
+        threads,
+    )
+}
+
+/// Block count per vector of a `len`-long reduction in `fmt`.
+fn blocks_of(len: usize, fmt: &BdrFormat) -> usize {
+    len.div_ceil(fmt.k1())
 }
 
 /// Quantized matrix product `A[m,k] × B[k,n]` against a **prepacked** B
 /// operand: only A's rows are lowered to codes, B-side packing is skipped
 /// entirely. This is the inference steady-state entry point — weights are
 /// static, so their [`PackedOperand`] is built once and reused across
-/// forward passes.
+/// forward passes. (Callers on a hot loop can also reuse the activation
+/// plane's buffers via [`quantized_gemm_prepacked_scratch`].)
 ///
 /// Bit-identical to [`quantized_gemm`] (and therefore to
 /// [`reference_gemm`]) for every supported pairing.
@@ -843,13 +1060,7 @@ pub fn quantized_gemm_prepacked(
     packed_b: &PackedOperand,
     threads: usize,
 ) -> Option<Vec<f32>> {
-    if packed_b.side != Side::Cols {
-        return None;
-    }
-    // pack_rows gates the pair and asserts `a.len() == m·k`;
-    // quantized_gemm_packed re-derives the kernel class for dispatch.
-    let pa = PackedOperand::pack_rows(a, m, packed_b.len, fa, packed_b.fmt)?;
-    quantized_gemm_packed(&pa, packed_b, threads)
+    quantized_gemm_prepacked_scratch(a, m, fa, packed_b, threads, &mut PackScratch::new())
 }
 
 /// Quantized matrix product `A[m,k] × B[k,n]` computed entirely in the
@@ -1129,6 +1340,42 @@ mod tests {
         let b2 = ramp(32 * n, 53);
         let pb2 = PackedOperand::pack_cols(&b2, 32, n, narrow, narrow).unwrap();
         assert!(quantized_gemm_packed(&pa, &pb2, 1).is_none());
+    }
+
+    #[test]
+    fn scratch_packing_is_bit_identical_and_reusable() {
+        // One scratch serves alternating shapes, formats, and kernel
+        // classes; every call is bit-identical to the allocating path.
+        let mut scratch = PackScratch::new();
+        let wide = wide_fmt();
+        for (round, (fa, fb, m, k, n)) in [
+            (BdrFormat::MX6, BdrFormat::MX6, 5, 40, 7),
+            (BdrFormat::MX9, BdrFormat::MX4, 3, 48, 4),
+            (wide, wide, 2, 40, 3),
+            (BdrFormat::MX6, BdrFormat::MX6, 9, 16, 2),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let a = ramp(m * k, 70 + round);
+            let b = ramp(k * n, 80 + round);
+            let pb = PackedOperand::pack_cols(&b, k, n, fa, fb).unwrap();
+            let with_scratch =
+                quantized_gemm_prepacked_scratch(&a, m, fa, &pb, 1, &mut scratch).unwrap();
+            let fresh = quantized_gemm_prepacked(&a, m, fa, &pb, 1).unwrap();
+            assert!(
+                with_scratch
+                    .iter()
+                    .zip(fresh.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{fa}/{fb} round {round}"
+            );
+        }
+        // Class mismatch is still rejected, not silently repacked.
+        let b = ramp(16 * 3, 90);
+        let pb = PackedOperand::pack_cols(&b, 16, 3, BdrFormat::MX6, BdrFormat::MX6).unwrap();
+        let a = ramp(2 * 16, 91);
+        assert!(quantized_gemm_prepacked_scratch(&a, 2, wide, &pb, 1, &mut scratch).is_none());
     }
 
     #[test]

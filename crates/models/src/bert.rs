@@ -56,8 +56,15 @@ impl BertQa {
         self.span_head.set_quant(qcfg);
     }
 
-    /// Returns per-token `(start_logits, end_logits)` rows `[batch*seq, 2]`.
-    fn span_logits(&mut self, tokens: &[usize], batch: usize, train: bool) -> Tensor {
+    /// Context length the model was built for.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Returns per-token `(start_logits, end_logits)` rows `[batch*seq, 2]`
+    /// — the raw span head the QA metrics and the batched serving entry
+    /// point ([`crate::zoo::BatchModel`]) both read.
+    pub fn span_logits(&mut self, tokens: &[usize], batch: usize, train: bool) -> Tensor {
         let t = tokens.len() / batch;
         assert!(t <= self.seq_len);
         let tok = self.tok_emb.forward(tokens, train);

@@ -7,7 +7,9 @@
 //! diffusion ([`diffusion`]), speech recognition ([`speech`]), and three
 //! recommendation topologies ([`recsys`]) — plus the zero/few-shot
 //! multiple-choice harness ([`fewshot`]), seeded dataset generators
-//! ([`data`]), and the evaluation metrics ([`metrics`]).
+//! ([`data`]), the evaluation metrics ([`metrics`]), and the batched
+//! serving entry point over the zoo ([`zoo::BatchModel`], consumed by
+//! `mx-serve`).
 //!
 //! Every model takes an [`mx_nn::QuantConfig`], so the same code runs the
 //! FP32 baseline, MX9/MX6/MX4 training, direct-cast inference, and
@@ -47,3 +49,4 @@ pub mod recsys;
 pub mod speech;
 pub mod translate;
 pub mod vision;
+pub mod zoo;

@@ -1,0 +1,371 @@
+//! Uniform batched-inference entry point over the model zoo.
+//!
+//! Every servable model implements [`BatchModel`]: a fixed per-request
+//! input/output length, a direct-cast [`BatchModel::set_quant`] switch, and
+//! one [`BatchModel::forward_batch`] call that runs `batch` concatenated
+//! requests in a single forward pass. The contract that makes batching
+//! useful for serving is **row independence**: every tensor op in the zoo's
+//! inference path (quantized GEMMs, layer norm, softmax, per-sequence
+//! attention, per-image convolution) computes each request's outputs from
+//! that request's inputs alone, so a coalesced batch is *bit-identical* to
+//! running the requests one at a time — batching is semantically invisible
+//! and purely a throughput lever (the weight-side code planes and the
+//! per-call A-side packing are amortized across the whole batch).
+//! `mx-serve` builds its batcher on exactly this guarantee, and the
+//! workspace's `serve_end_to_end` suite asserts it bit for bit.
+//!
+//! Models are intentionally *inference-only* through this interface
+//! (`train = false` internally): no activation caches are retained, so a
+//! served model's memory footprint is its weights plus the cached weight
+//! planes.
+
+use crate::bert::BertQa;
+use crate::data::{IMAGE_SIDE, SHAPE_CLASSES};
+use crate::gpt::Gpt;
+use crate::vision::{ImageClassifier, TinyMobileNet, TinyResNet, TinyViT};
+use mx_nn::layers::{Layer, Linear};
+use mx_nn::qflow::QuantConfig;
+use mx_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// What a model's flattened request payload contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// Token ids (language models: GPT, BERT).
+    Tokens,
+    /// Raw `f32` features (vision models, dense layers).
+    Pixels,
+}
+
+/// A borrowed batch payload: `batch × input_len` elements, concatenated
+/// request-major.
+#[derive(Debug, Clone, Copy)]
+pub enum ZooInput<'a> {
+    /// Token ids for [`InputKind::Tokens`] models.
+    Tokens(&'a [usize]),
+    /// Feature values for [`InputKind::Pixels`] models.
+    Pixels(&'a [f32]),
+}
+
+impl ZooInput<'_> {
+    /// Total element count across the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            ZooInput::Tokens(t) => t.len(),
+            ZooInput::Pixels(p) => p.len(),
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The payload's kind (must match [`BatchModel::input_kind`]).
+    pub fn kind(&self) -> InputKind {
+        match self {
+            ZooInput::Tokens(_) => InputKind::Tokens,
+            ZooInput::Pixels(_) => InputKind::Pixels,
+        }
+    }
+}
+
+/// A zoo model servable through batched inference.
+///
+/// `Send` is a supertrait because serving moves models into worker threads;
+/// every implementor below is a plain bundle of tensors, so the bound is
+/// free.
+pub trait BatchModel: Send {
+    /// Payload kind a request must carry.
+    fn input_kind(&self) -> InputKind;
+
+    /// Flattened elements per request (tokens or features). Requests are
+    /// fixed-size; the batcher relies on this to slice concatenated
+    /// payloads.
+    fn input_len(&self) -> usize;
+
+    /// Flattened `f32` outputs per request.
+    fn output_len(&self) -> usize;
+
+    /// Switches every tensor op to `cfg` (the paper's direct cast) — this
+    /// is how per-request format selection reaches a shared model. Weights
+    /// are untouched, so cached weight planes stay valid per format.
+    fn set_quant(&mut self, cfg: QuantConfig);
+
+    /// Runs `batch` concatenated requests (`input.len() == batch ·
+    /// input_len()`), returning `batch · output_len()` floats,
+    /// request-major. Output row `i` is bit-identical to running request
+    /// `i` alone with `batch = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload kind or length disagrees with the model.
+    fn forward_batch(&mut self, input: ZooInput<'_>, batch: usize) -> Vec<f32>;
+}
+
+/// Validates a payload against the model's contract, returning the tokens.
+fn expect_tokens<'a>(input: ZooInput<'a>, batch: usize, per: usize) -> &'a [usize] {
+    let ZooInput::Tokens(tokens) = input else {
+        panic!("model expects token input, got {:?}", input.kind());
+    };
+    assert_eq!(
+        tokens.len(),
+        batch * per,
+        "batch of {batch} needs {per} tokens each"
+    );
+    tokens
+}
+
+/// Validates a payload against the model's contract, returning the pixels.
+fn expect_pixels<'a>(input: ZooInput<'a>, batch: usize, per: usize) -> &'a [f32] {
+    let ZooInput::Pixels(px) = input else {
+        panic!("model expects pixel input, got {:?}", input.kind());
+    };
+    assert_eq!(
+        px.len(),
+        batch * per,
+        "batch of {batch} needs {per} features each"
+    );
+    px
+}
+
+impl BatchModel for Gpt {
+    fn input_kind(&self) -> InputKind {
+        InputKind::Tokens
+    }
+
+    /// One full context window of tokens per request.
+    fn input_len(&self) -> usize {
+        self.config().seq_len
+    }
+
+    /// Per-token logits over the vocabulary.
+    fn output_len(&self) -> usize {
+        self.config().seq_len * self.config().vocab
+    }
+
+    fn set_quant(&mut self, cfg: QuantConfig) {
+        Gpt::set_quant(self, cfg);
+    }
+
+    fn forward_batch(&mut self, input: ZooInput<'_>, batch: usize) -> Vec<f32> {
+        let tokens = expect_tokens(input, batch, self.input_len());
+        self.forward(tokens, batch, false).into_data()
+    }
+}
+
+impl BatchModel for BertQa {
+    fn input_kind(&self) -> InputKind {
+        InputKind::Tokens
+    }
+
+    fn input_len(&self) -> usize {
+        self.seq_len()
+    }
+
+    /// Per-token start/end span logits.
+    fn output_len(&self) -> usize {
+        self.seq_len() * 2
+    }
+
+    fn set_quant(&mut self, cfg: QuantConfig) {
+        BertQa::set_quant(self, cfg);
+    }
+
+    fn forward_batch(&mut self, input: ZooInput<'_>, batch: usize) -> Vec<f32> {
+        let tokens = expect_tokens(input, batch, self.input_len());
+        self.span_logits(tokens, batch, false).into_data()
+    }
+}
+
+/// The three image classifiers share one implementation: a request is one
+/// `IMAGE_SIDE × IMAGE_SIDE` image, the response its class logits.
+macro_rules! impl_batch_model_for_classifier {
+    ($($model:ty),+ $(,)?) => {$(
+        impl BatchModel for $model {
+            fn input_kind(&self) -> InputKind {
+                InputKind::Pixels
+            }
+
+            fn input_len(&self) -> usize {
+                IMAGE_SIDE * IMAGE_SIDE
+            }
+
+            fn output_len(&self) -> usize {
+                SHAPE_CLASSES
+            }
+
+            fn set_quant(&mut self, cfg: QuantConfig) {
+                ImageClassifier::set_quant(self, cfg);
+            }
+
+            fn forward_batch(&mut self, input: ZooInput<'_>, batch: usize) -> Vec<f32> {
+                let px = expect_pixels(input, batch, self.input_len());
+                let x = Tensor::from_vec(px.to_vec(), &[batch, 1, IMAGE_SIDE, IMAGE_SIDE]);
+                self.logits(&x, false).into_data()
+            }
+        }
+    )+};
+}
+
+impl_batch_model_for_classifier!(TinyViT, TinyResNet, TinyMobileNet);
+
+/// A single quantized dense layer `[d_in → d_out]` — the GEMM-shaped
+/// serving model. Each request is one feature row, so a coalesced batch is
+/// exactly one `[batch, d_in] × [d_in, d_out]` quantized product over the
+/// shared prepacked weight plane; the `serving_throughput` bench uses it to
+/// isolate the batching win at GPT-ish layer shapes.
+#[derive(Debug)]
+pub struct DenseGemm {
+    layer: Linear,
+}
+
+impl DenseGemm {
+    /// Builds the layer with Xavier-initialized weights (no bias, so the
+    /// output is the bare GEMM).
+    pub fn new(rng: &mut StdRng, d_in: usize, d_out: usize, cfg: QuantConfig) -> Self {
+        DenseGemm {
+            layer: Linear::new(rng, d_in, d_out, false, cfg),
+        }
+    }
+
+    /// Replaces the weight matrix (e.g. with a fixed test pattern).
+    pub fn set_weights(&mut self, w: Tensor) {
+        assert_eq!(
+            w.shape(),
+            self.layer.w.value.shape(),
+            "weight shape mismatch"
+        );
+        self.layer.w.value = w;
+    }
+}
+
+impl BatchModel for DenseGemm {
+    fn input_kind(&self) -> InputKind {
+        InputKind::Pixels
+    }
+
+    fn input_len(&self) -> usize {
+        self.layer.d_in()
+    }
+
+    fn output_len(&self) -> usize {
+        self.layer.d_out()
+    }
+
+    fn set_quant(&mut self, cfg: QuantConfig) {
+        Layer::set_quant(&mut self.layer, cfg);
+    }
+
+    fn forward_batch(&mut self, input: ZooInput<'_>, batch: usize) -> Vec<f32> {
+        let px = expect_pixels(input, batch, self.input_len());
+        let x = Tensor::from_vec(px.to_vec(), &[batch, self.input_len()]);
+        self.layer.forward(&x, false).into_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+    use mx_nn::format::TensorFormat;
+    use rand::SeedableRng;
+
+    /// Runs `batch` requests through one coalesced forward and one-at-a-time,
+    /// asserting the outputs are bit-identical — the serving contract.
+    fn assert_batch_equals_serial<M: BatchModel>(
+        model: &mut M,
+        inputs: ZooInput<'_>,
+        batch: usize,
+    ) {
+        let per_in = model.input_len();
+        let per_out = model.output_len();
+        let batched = model.forward_batch(inputs, batch);
+        assert_eq!(batched.len(), batch * per_out);
+        for r in 0..batch {
+            let alone = match inputs {
+                ZooInput::Tokens(t) => {
+                    model.forward_batch(ZooInput::Tokens(&t[r * per_in..(r + 1) * per_in]), 1)
+                }
+                ZooInput::Pixels(p) => {
+                    model.forward_batch(ZooInput::Pixels(&p[r * per_in..(r + 1) * per_in]), 1)
+                }
+            };
+            let slice = &batched[r * per_out..(r + 1) * per_out];
+            assert!(
+                slice
+                    .iter()
+                    .zip(alone.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "request {r} differs between batched and serial"
+            );
+        }
+    }
+
+    fn mx6() -> QuantConfig {
+        QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6)
+    }
+
+    #[test]
+    fn gpt_batched_forward_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut m = Gpt::new(&mut rng, crate::gpt::GptConfig::tiny(), mx6());
+        let per = BatchModel::input_len(&m);
+        let tokens: Vec<usize> = (0..3 * per).map(|i| i % data::LM_VOCAB).collect();
+        assert_batch_equals_serial(&mut m, ZooInput::Tokens(&tokens), 3);
+        assert_eq!(m.input_kind(), InputKind::Tokens);
+    }
+
+    #[test]
+    fn bert_batched_forward_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut m = BertQa::new(&mut rng, 16, 1, 12, mx6());
+        let per = BatchModel::input_len(&m);
+        assert_eq!(per, 12);
+        let tokens: Vec<usize> = (0..2 * per).map(|i| (i * 7) % data::QA_VOCAB).collect();
+        assert_batch_equals_serial(&mut m, ZooInput::Tokens(&tokens), 2);
+    }
+
+    #[test]
+    fn vision_batched_forward_is_bit_identical_to_serial() {
+        let images = data::shape_images(5, 3);
+        let px: Vec<f32> = images.iter().flat_map(|im| im.pixels.clone()).collect();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut vit = TinyViT::new(&mut rng, 16, 1, mx6());
+        assert_batch_equals_serial(&mut vit, ZooInput::Pixels(&px), 3);
+        let mut resnet = TinyResNet::new(&mut rng, 4, 1, mx6());
+        assert_batch_equals_serial(&mut resnet, ZooInput::Pixels(&px), 3);
+        let mut mobile = TinyMobileNet::new(&mut rng, 4, 1, mx6());
+        assert_batch_equals_serial(&mut mobile, ZooInput::Pixels(&px), 3);
+    }
+
+    #[test]
+    fn dense_gemm_batched_forward_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut m = DenseGemm::new(&mut rng, 64, 32, mx6());
+        let px: Vec<f32> = (0..4 * 64).map(|i| (i as f32 * 0.17).sin()).collect();
+        assert_batch_equals_serial(&mut m, ZooInput::Pixels(&px), 4);
+        assert_eq!((m.input_len(), m.output_len()), (64, 32));
+    }
+
+    #[test]
+    fn set_quant_switches_formats_in_place() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut m = DenseGemm::new(&mut rng, 32, 8, QuantConfig::fp32());
+        let px: Vec<f32> = (0..32).map(|i| (i as f32 * 0.23).cos()).collect();
+        let fp32 = m.forward_batch(ZooInput::Pixels(&px), 1);
+        BatchModel::set_quant(&mut m, mx6());
+        let q = m.forward_batch(ZooInput::Pixels(&px), 1);
+        assert_ne!(fp32, q, "direct cast must change the output");
+        BatchModel::set_quant(&mut m, QuantConfig::fp32());
+        assert_eq!(m.forward_batch(ZooInput::Pixels(&px), 1), fp32);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects pixel input")]
+    fn wrong_kind_panics() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut m = DenseGemm::new(&mut rng, 8, 4, QuantConfig::fp32());
+        let _ = m.forward_batch(ZooInput::Tokens(&[0; 8]), 1);
+    }
+}

@@ -20,7 +20,13 @@
 //! activation format in the same kernel class), and attention, linear,
 //! RNN, and conv im2col all amortize packing across forward passes with no
 //! call-site changes — at inference steady state the weight operand is
-//! never re-quantized.
+//! never re-quantized. The cache holds one plane *per weight format* (see
+//! [`MAX_CACHED_PLANES`]) behind a mutex, so concurrent serving threads
+//! that select formats per request share the same warm planes instead of
+//! evicting each other — `mx-serve` leans on exactly this to lower each
+//! model's weights once across all in-flight requests, and
+//! [`plane_cache_counters`] exposes the hit/pack tallies its `ServeStats`
+//! reports as "packs avoided".
 //!
 //! The invalidation contract is generation-based and cannot go stale:
 //!
@@ -37,10 +43,47 @@
 use crate::format::{quantize_along, Axis, TensorFormat};
 use crate::tensor::{CachedPlane, Tensor};
 use mx_core::bdr::BdrFormat;
-use mx_core::gemm::{self, PackedOperand};
+use mx_core::gemm::{self, PackScratch, PackedOperand};
 use mx_core::parallel;
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Most weight code planes a tensor caches at once (one per weight format).
+/// Large enough for every preset plus headroom; past it the oldest entry is
+/// evicted. Serving traffic that cycles through the presets therefore never
+/// repacks after warmup, and a pathological format fuzzer cannot hoard
+/// memory.
+const MAX_CACHED_PLANES: usize = 8;
+
+/// Process-wide count of weight-plane cache hits (a B-side lowering that
+/// was skipped because a cached plane matched).
+static PLANE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of weight-plane packs actually performed (cold slot,
+/// stale generation, new format, or forced cross-class repack).
+static PLANE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide weight-plane cache counters as
+/// `(hits, packs_performed)`. Hits are packs *avoided*: each one is a full
+/// B-side lowering that a cached plane made unnecessary. The counters are
+/// cumulative over the process (all models, all threads); consumers such as
+/// `mx-serve`'s `ServeStats` report deltas against a baseline.
+pub fn plane_cache_counters() -> (u64, u64) {
+    (
+        PLANE_HITS.load(Ordering::Relaxed),
+        PLANE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+thread_local! {
+    /// Per-thread scratch for A-side (activation) packing: reusing the code
+    /// plane buffers across forward passes removes the last per-call
+    /// allocation on the inference steady-state path. Thread-local rather
+    /// than per-tensor because activations are short-lived — the buffers
+    /// belong to the compute thread, not the data.
+    static PACK_SCRATCH: RefCell<PackScratch> = RefCell::new(PackScratch::new());
+}
 
 /// Format assignment for a model's tensor and vector operations.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -181,15 +224,26 @@ pub fn quantized_matmul_ab(a: &Tensor, b: &Tensor, fa: TensorFormat, fb: TensorF
             assert_eq!(k, kb, "inner dims: {k} vs {kb}");
             let threads = parallel::default_threads();
             let plane = weight_plane(b, ba, bb, k, n, false);
-            let out = match gemm::quantized_gemm_prepacked(a.data(), m, ba, &plane, threads) {
+            let run = |plane: &PackedOperand| {
+                PACK_SCRATCH.with(|scratch| {
+                    gemm::quantized_gemm_prepacked_scratch(
+                        a.data(),
+                        m,
+                        ba,
+                        plane,
+                        threads,
+                        &mut scratch.borrow_mut(),
+                    )
+                })
+            };
+            let out = match run(&plane) {
                 Some(out) => out,
                 // The cached plane was packed for a partner in the other
                 // kernel class (exotic mixed-format direct cast): repack
                 // for this pair and replace the entry.
                 None => {
                     let plane = weight_plane(b, ba, bb, k, n, true);
-                    gemm::quantized_gemm_prepacked(a.data(), m, ba, &plane, threads)
-                        .expect("plane freshly packed for this exact pair")
+                    run(&plane).expect("plane freshly packed for this exact pair")
                 }
             };
             let mut shape = a.shape()[..a.shape().len() - 1].to_vec();
@@ -207,13 +261,19 @@ pub fn quantized_matmul_ab(a: &Tensor, b: &Tensor, fa: TensorFormat, fb: TensorF
 /// unconditionally when `force` is set. A hit requires the stored
 /// generation stamp to equal [`Tensor::generation`] — the contract that
 /// makes optimizer steps and direct weight writes invalidate automatically.
+/// Stale entries (from any older generation) are purged wholesale on the
+/// first lookup after a mutation.
 ///
-/// The activation format is deliberately **not** part of the key: the
-/// codes depend only on `fb`, so one plane serves every activation format
-/// in the same kernel class (direct-cast sweeps that alternate activation
-/// formats against one weight tensor keep hitting). The rare cross-class
-/// pairing is caught by `quantized_gemm_prepacked` returning `None`, and
-/// the caller retries with `force`.
+/// The cache holds one plane **per weight format** (up to
+/// [`MAX_CACHED_PLANES`], oldest evicted): serving traffic that selects
+/// formats per request keeps every live format's plane warm instead of
+/// thrashing a single slot. The activation format is deliberately not part
+/// of the key: the codes depend only on `fb`, so one plane serves every
+/// activation format in the same kernel class (direct-cast sweeps that
+/// alternate activation formats against one weight tensor keep hitting).
+/// The rare cross-class pairing is caught by the prepacked GEMM returning
+/// `None`, and the caller retries with `force`, which replaces that
+/// format's entry.
 ///
 /// The packing work is needed by the GEMM either way, so caching costs no
 /// extra compute; for short-lived activation tensors that pass through as
@@ -222,6 +282,9 @@ pub fn quantized_matmul_ab(a: &Tensor, b: &Tensor, fa: TensorFormat, fb: TensorF
 /// their plane, roughly half the tensor's size again, alive for one step;
 /// an accepted cost at this repo's scales, and inference retains no such
 /// caches.)
+///
+/// Hits and packs are tallied in the process-wide counters behind
+/// [`plane_cache_counters`].
 fn weight_plane(
     b: &Tensor,
     fa: BdrFormat,
@@ -231,18 +294,27 @@ fn weight_plane(
     force: bool,
 ) -> Arc<PackedOperand> {
     let mut slot = b.plane_slot().lock().expect("plane cache poisoned");
+    let gen = b.generation();
+    // The data changed since these planes were packed: all of them are dead.
+    slot.retain(|c| c.gen == gen);
     if !force {
-        if let Some(cached) = slot.as_ref() {
-            if cached.gen == b.generation() && cached.fb == fb {
-                return cached.plane.clone();
-            }
+        if let Some(cached) = slot.iter().find(|c| c.fb == fb) {
+            PLANE_HITS.fetch_add(1, Ordering::Relaxed);
+            return cached.plane.clone();
         }
     }
+    PLANE_MISSES.fetch_add(1, Ordering::Relaxed);
     let plane = Arc::new(
         PackedOperand::pack_cols(b.data(), k, n, fa, fb).expect("pair passed the support gate"),
     );
-    *slot = Some(CachedPlane {
-        gen: b.generation(),
+    // A forced repack replaces this format's entry (it was packed for the
+    // other kernel class); bounded eviction drops the oldest format.
+    slot.retain(|c| c.fb != fb);
+    if slot.len() >= MAX_CACHED_PLANES {
+        slot.remove(0);
+    }
+    slot.push(CachedPlane {
+        gen,
         fb,
         plane: plane.clone(),
     });
@@ -427,6 +499,40 @@ mod tests {
             .zip(want.iter())
             .all(|(x, y)| x.to_bits() == y.to_bits()));
         assert_ne!(y3, y1);
+    }
+
+    #[test]
+    fn plane_cache_keeps_one_plane_per_weight_format() {
+        let (m, k, n) = (2, 32, 4);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| (i as f32 * 0.31).sin()).collect(),
+            &[m, k],
+        );
+        let mut b = Tensor::from_vec(
+            (0..k * n).map(|i| (i as f32 * 0.27).cos()).collect(),
+            &[k, n],
+        );
+        assert_eq!(b.cached_plane_count(), 0);
+        let y6 = quantized_matmul(&a, &b, TensorFormat::MX6);
+        let y9 = quantized_matmul(&a, &b, TensorFormat::MX9);
+        assert_eq!(b.cached_plane_count(), 2, "MX6 and MX9 planes must coexist");
+        // Re-running either format hits its own plane (bit-identical) and
+        // the count stays put — no thrash between formats. The hit counter
+        // is process-wide (parallel tests inflate it), so assert the ≥
+        // direction only; "no repack of *this* tensor" is proven by the
+        // stable generation stamp and entry count instead.
+        let stamp = b.cached_plane_generation();
+        let (h0, _) = plane_cache_counters();
+        assert_eq!(quantized_matmul(&a, &b, TensorFormat::MX6), y6);
+        assert_eq!(quantized_matmul(&a, &b, TensorFormat::MX9), y9);
+        let (h1, _) = plane_cache_counters();
+        assert!(h1 >= h0 + 2, "both lookups must hit ({h0} -> {h1})");
+        assert_eq!(b.cached_plane_count(), 2);
+        assert_eq!(b.cached_plane_generation(), stamp, "no repack, no evict");
+        // Mutation drops every format's plane at the next lookup.
+        b.data_mut()[0] += 1.0;
+        let _ = quantized_matmul(&a, &b, TensorFormat::MX6);
+        assert_eq!(b.cached_plane_count(), 1, "stale planes must be purged");
     }
 
     #[test]

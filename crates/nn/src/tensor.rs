@@ -37,11 +37,17 @@ pub(crate) struct CachedPlane {
     pub(crate) plane: Arc<PackedOperand>,
 }
 
-/// One-entry plane cache, allocated lazily so tensors that never serve as
-/// quantized weights pay nothing. Each clone gets its own (cold) slot —
-/// sharing would let two diverged clones used as weights perpetually evict
-/// each other's plane, silently reinstating the per-call packing cost.
-type PlaneSlot = Mutex<Option<CachedPlane>>;
+/// Per-tensor plane cache: a small set of [`CachedPlane`]s, one per weight
+/// format, allocated lazily so tensors that never serve as quantized
+/// weights pay nothing. Holding every live format (rather than one entry)
+/// is what makes the cache safe to share under serving traffic: requests
+/// that alternate weight formats against one model each keep their own
+/// plane instead of perpetually evicting each other's (see `crate::qflow`
+/// for the bound and the eviction rule). The `Mutex` makes concurrent
+/// lookups from N serving threads safe; each clone still gets its own
+/// (cold) cache — sharing would let two diverged clones used as weights
+/// thrash each other's entries.
+type PlaneSlot = Mutex<Vec<CachedPlane>>;
 
 /// A dense row-major tensor of `f32` values.
 ///
@@ -66,8 +72,8 @@ pub struct Tensor {
 
 impl Clone for Tensor {
     /// Clones data and generation but **not** the plane-cache slot: the
-    /// clone starts cold (at worst one repack) instead of sharing a
-    /// one-entry slot that diverged clones would thrash.
+    /// clone starts cold (at worst one repack per format) instead of
+    /// sharing a cache that diverged clones would thrash.
     fn clone(&self) -> Self {
         Tensor {
             shape: self.shape.clone(),
@@ -184,21 +190,30 @@ impl Tensor {
     }
 
     /// The lazily allocated weight-plane cache slot.
-    pub(crate) fn plane_slot(&self) -> &Mutex<Option<CachedPlane>> {
+    pub(crate) fn plane_slot(&self) -> &Mutex<Vec<CachedPlane>> {
         self.plane.get_or_init(PlaneSlot::default)
     }
 
-    /// Generation stamp of the cached weight code plane, if one has been
-    /// built. A `Some` equal to [`Tensor::generation`] means the next
-    /// quantized matmul with matching formats will reuse the plane; any
-    /// other value means the cache is cold or stale.
+    /// Generation stamp of the most recently cached weight code plane, if
+    /// any has been built. A `Some` equal to [`Tensor::generation`] means
+    /// the next quantized matmul with matching formats will reuse a plane;
+    /// any other value means the cache is cold or stale.
     pub fn cached_plane_generation(&self) -> Option<u64> {
         self.plane.get().and_then(|slot| {
             slot.lock()
                 .expect("plane cache poisoned")
-                .as_ref()
+                .last()
                 .map(|c| c.gen)
         })
+    }
+
+    /// Number of weight code planes currently cached on this tensor (one
+    /// per weight format seen since the last data mutation).
+    pub fn cached_plane_count(&self) -> usize {
+        self.plane
+            .get()
+            .map(|slot| slot.lock().expect("plane cache poisoned").len())
+            .unwrap_or(0)
     }
 
     /// Consumes the tensor, returning its data.

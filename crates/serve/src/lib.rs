@@ -1,0 +1,663 @@
+//! # mx-serve — batched direct-cast inference over shared weight planes
+//!
+//! The paper's systems argument is that shared-microexponent formats make
+//! direct-cast inference cheap enough to *serve*: weights lower once to
+//! shift-aligned integer code planes and every subsequent request rides the
+//! integer datapath. This crate turns that into a server:
+//!
+//! - a **registry** of zoo models ([`mx_models::zoo::BatchModel`]), each
+//!   behind a mutex so worker threads can execute different models
+//!   concurrently;
+//! - an injector **request queue** (crossbeam MPMC channel) accepting
+//!   `(model, QuantConfig, input)` jobs from any number of client threads;
+//! - a **batcher** (dispatcher thread) that drains the queue and coalesces
+//!   same-model / same-config requests into one batch `forward_batch` call
+//!   of at most `max_batch` requests — the weight-side `PackedOperand` is
+//!   fetched from `mx-nn`'s generation-keyed, per-format plane cache, so it
+//!   is lowered **once** and shared by every request in every batch;
+//! - **workers** that execute batches through the prepacked integer GEMM
+//!   and split the output back into per-request responses.
+//!
+//! Batching is **semantically invisible**: every tensor op on the zoo's
+//! inference path is row- (or sequence-) independent, so a request's
+//! response is bit-identical to running it alone — across formats, batch
+//! sizes, ragged final batches, and zero-padded batches (the workspace's
+//! `serve_end_to_end` suite asserts this bit for bit). What batching buys
+//! is throughput: B-side code traffic, kernel dispatch, and the A-side
+//! pack's per-call overhead amortize over the coalesced rows (measured in
+//! the `serving_throughput` bench).
+//!
+//! ## Example
+//!
+//! ```
+//! use mx_serve::{RequestInput, Server, ServerConfig};
+//! use mx_models::zoo::DenseGemm;
+//! use mx_nn::{QuantConfig, TensorFormat};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut server = Server::new(ServerConfig::default());
+//! server.register(
+//!     "ffn",
+//!     Box::new(DenseGemm::new(&mut rng, 64, 128, QuantConfig::fp32())),
+//! );
+//! let handle = server.start();
+//! let cfg = QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6);
+//! let y = handle
+//!     .infer("ffn", cfg, RequestInput::Pixels(vec![0.5; 64]))
+//!     .unwrap();
+//! assert_eq!(y.len(), 128);
+//! assert_eq!(handle.stats().completed, 1);
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod stats;
+
+pub use stats::ServeStats;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use mx_models::zoo::{BatchModel, InputKind, ZooInput};
+use mx_nn::qflow::QuantConfig;
+use stats::StatsInner;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// An owned request payload (the borrowed twin is
+/// [`mx_models::zoo::ZooInput`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestInput {
+    /// Token ids, for [`InputKind::Tokens`] models.
+    Tokens(Vec<usize>),
+    /// Raw `f32` features, for [`InputKind::Pixels`] models.
+    Pixels(Vec<f32>),
+}
+
+impl RequestInput {
+    fn kind(&self) -> InputKind {
+        match self {
+            RequestInput::Tokens(_) => InputKind::Tokens,
+            RequestInput::Pixels(_) => InputKind::Pixels,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RequestInput::Tokens(t) => t.len(),
+            RequestInput::Pixels(p) => p.len(),
+        }
+    }
+}
+
+/// Why a request was rejected or lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No registered model has this name.
+    UnknownModel(String),
+    /// The payload kind does not match the model's input kind.
+    WrongInputKind {
+        /// Model name the request addressed.
+        model: String,
+        /// The kind the model expects.
+        expected: InputKind,
+        /// The kind the request carried.
+        got: InputKind,
+    },
+    /// The payload length does not match the model's per-request length.
+    WrongInputLen {
+        /// Model name the request addressed.
+        model: String,
+        /// Elements per request the model expects.
+        expected: usize,
+        /// Elements the request carried.
+        got: usize,
+    },
+    /// The server shut down before answering.
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            ServeError::WrongInputKind {
+                model,
+                expected,
+                got,
+            } => write!(f, "model {model:?} expects {expected:?} input, got {got:?}"),
+            ServeError::WrongInputLen {
+                model,
+                expected,
+                got,
+            } => write!(
+                f,
+                "model {model:?} expects {expected} elements per request, got {got}"
+            ),
+            ServeError::Disconnected => write!(f, "server shut down before responding"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-request outcome: the flattened response row, or a rejection.
+pub type ServeResult = Result<Vec<f32>, ServeError>;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing batches. Distinct models execute
+    /// concurrently; one model's batches serialize on its mutex.
+    pub workers: usize,
+    /// Most requests coalesced into one `forward_batch` call.
+    pub max_batch: usize,
+    /// Pad every ragged batch up to `max_batch` with zero requests whose
+    /// outputs are discarded. Costs compute, but keeps the GEMM shape (and
+    /// therefore the per-thread activation-pack scratch size) constant —
+    /// the classic fixed-shape serving trade. Semantically invisible either
+    /// way.
+    pub pad_batches: bool,
+    /// Bound on the injector queue (`None` = unbounded): submitting past it
+    /// blocks the client, applying backpressure.
+    pub queue_capacity: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    /// One worker, batches of up to 8, no padding, unbounded queue.
+    fn default() -> Self {
+        ServerConfig {
+            workers: 1,
+            max_batch: 8,
+            pad_batches: false,
+            queue_capacity: None,
+        }
+    }
+}
+
+/// One request in flight through the queue.
+struct Job {
+    model: usize,
+    cfg: QuantConfig,
+    input: RequestInput,
+    enqueued: Instant,
+    resp: Sender<Vec<f32>>,
+}
+
+/// A coalesced group of same-model / same-config jobs.
+struct Batch {
+    model: usize,
+    cfg: QuantConfig,
+    jobs: Vec<Job>,
+}
+
+/// A registered model plus the request contract captured at registration.
+struct ModelEntry {
+    name: String,
+    kind: InputKind,
+    input_len: usize,
+    output_len: usize,
+    model: Mutex<Box<dyn BatchModel>>,
+}
+
+/// A server under construction: register models, then [`Server::start`].
+pub struct Server {
+    config: ServerConfig,
+    registry: Vec<ModelEntry>,
+}
+
+impl Server {
+    /// Creates an empty server with the given tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `max_batch` is zero.
+    pub fn new(config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "at least one worker");
+        assert!(config.max_batch > 0, "batches must hold at least 1 request");
+        Server {
+            config,
+            registry: Vec::new(),
+        }
+    }
+
+    /// Registers `model` under `name`. The request contract (input kind,
+    /// per-request input/output lengths) is captured now and validated at
+    /// submit time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn register(&mut self, name: &str, model: Box<dyn BatchModel>) -> &mut Self {
+        assert!(
+            self.registry.iter().all(|e| e.name != name),
+            "model {name:?} already registered"
+        );
+        self.registry.push(ModelEntry {
+            name: name.to_string(),
+            kind: model.input_kind(),
+            input_len: model.input_len(),
+            output_len: model.output_len(),
+            model: Mutex::new(model),
+        });
+        self
+    }
+
+    /// Starts the dispatcher and worker threads, returning the client
+    /// handle. Dropping (or [`ServerHandle::shutdown`]ting) the handle
+    /// drains in-flight requests and joins every thread.
+    pub fn start(self) -> ServerHandle {
+        let registry = Arc::new(self.registry);
+        let stats = Arc::new(StatsInner::new(self.config.max_batch));
+        let (job_tx, job_rx) = match self.config.queue_capacity {
+            Some(cap) => bounded(cap),
+            None => unbounded(),
+        };
+        let (batch_tx, batch_rx) = unbounded::<Batch>();
+        let mut threads = Vec::with_capacity(self.config.workers + 1);
+        let max_batch = self.config.max_batch;
+        threads.push(std::thread::spawn(move || {
+            dispatch_loop(job_rx, batch_tx, max_batch);
+        }));
+        for _ in 0..self.config.workers {
+            let batch_rx = batch_rx.clone();
+            let registry = registry.clone();
+            let stats = stats.clone();
+            let config = self.config.clone();
+            threads.push(std::thread::spawn(move || {
+                while let Ok(batch) = batch_rx.recv() {
+                    execute_batch(batch, &registry, &stats, &config);
+                }
+            }));
+        }
+        drop(batch_rx);
+        ServerHandle {
+            job_tx: Some(job_tx),
+            registry,
+            stats,
+            threads,
+        }
+    }
+}
+
+/// The batcher: drains whatever is queued, groups it by
+/// `(model, QuantConfig)` in arrival order, and emits batches of at most
+/// `max_batch` requests. Every drained job is flushed each round — partial
+/// groups become ragged batches rather than waiting for stragglers, so a
+/// burst of synchronous clients can never deadlock behind a half-full
+/// batch.
+fn dispatch_loop(job_rx: Receiver<Job>, batch_tx: Sender<Batch>, max_batch: usize) {
+    while let Ok(first) = job_rx.recv() {
+        let mut drained = vec![first];
+        let mut lingered = false;
+        loop {
+            while drained.len() < 4 * max_batch {
+                match job_rx.try_recv() {
+                    Ok(job) => drained.push(job),
+                    Err(_) => break,
+                }
+            }
+            if drained.len() >= max_batch || lingered {
+                break;
+            }
+            // Micro-batch linger: one scheduler slot for the producers to
+            // finish their burst. Without it, a single-core box ping-pongs —
+            // every submit wakes the dispatcher, which forwards a batch of
+            // one before the client can enqueue the next request. One yield
+            // bounds the added latency at a context switch while letting a
+            // burst coalesce.
+            lingered = true;
+            std::thread::yield_now();
+        }
+        let mut groups: Vec<Batch> = Vec::new();
+        for job in drained {
+            match groups
+                .iter_mut()
+                .find(|b| b.model == job.model && b.cfg == job.cfg)
+            {
+                Some(b) => b.jobs.push(job),
+                None => groups.push(Batch {
+                    model: job.model,
+                    cfg: job.cfg,
+                    jobs: vec![job],
+                }),
+            }
+        }
+        for group in groups {
+            let Batch { model, cfg, jobs } = group;
+            let mut chunk = Vec::with_capacity(max_batch.min(jobs.len()));
+            for job in jobs {
+                chunk.push(job);
+                if chunk.len() == max_batch
+                    && batch_tx
+                        .send(Batch {
+                            model,
+                            cfg,
+                            jobs: std::mem::take(&mut chunk),
+                        })
+                        .is_err()
+                {
+                    return;
+                }
+            }
+            if !chunk.is_empty()
+                && batch_tx
+                    .send(Batch {
+                        model,
+                        cfg,
+                        jobs: chunk,
+                    })
+                    .is_err()
+            {
+                return;
+            }
+        }
+    }
+    // job_tx dropped (shutdown): queue drained, dropping batch_tx ends the
+    // workers once they finish what is in flight.
+}
+
+/// Runs one coalesced batch on its model and answers every member request.
+fn execute_batch(batch: Batch, registry: &[ModelEntry], stats: &StatsInner, config: &ServerConfig) {
+    let entry = &registry[batch.model];
+    let n = batch.jobs.len();
+    // Padding keeps the executed GEMM at the full batch shape; the padded
+    // rows are zero requests whose outputs are sliced away below.
+    let eff = if config.pad_batches {
+        config.max_batch
+    } else {
+        n
+    };
+    let per_in = entry.input_len;
+    let out = {
+        let mut model = entry.model.lock().expect("model poisoned");
+        // Per-request format selection = direct cast on the shared model.
+        // Weights are untouched, so each format's cached weight plane stays
+        // warm across config switches.
+        model.set_quant(batch.cfg);
+        match entry.kind {
+            InputKind::Tokens => {
+                let mut buf = Vec::with_capacity(eff * per_in);
+                for job in &batch.jobs {
+                    let RequestInput::Tokens(t) = &job.input else {
+                        unreachable!("kind validated at submit");
+                    };
+                    buf.extend_from_slice(t);
+                }
+                buf.resize(eff * per_in, 0);
+                model.forward_batch(ZooInput::Tokens(&buf), eff)
+            }
+            InputKind::Pixels => {
+                let mut buf = Vec::with_capacity(eff * per_in);
+                for job in &batch.jobs {
+                    let RequestInput::Pixels(p) = &job.input else {
+                        unreachable!("kind validated at submit");
+                    };
+                    buf.extend_from_slice(p);
+                }
+                buf.resize(eff * per_in, 0.0);
+                model.forward_batch(ZooInput::Pixels(&buf), eff)
+            }
+        }
+    };
+    let per_out = entry.output_len;
+    // Publish telemetry *before* answering: a synchronous client that just
+    // got its response must see itself counted in the next snapshot.
+    let latencies: Vec<_> = batch.jobs.iter().map(|j| j.enqueued.elapsed()).collect();
+    stats.in_flight.fetch_sub(n, Ordering::Relaxed);
+    stats.record_batch(n, &latencies);
+    for (i, job) in batch.jobs.into_iter().enumerate() {
+        // A client that dropped its Pending receiver just discards the row.
+        let _ = job.resp.send(out[i * per_out..(i + 1) * per_out].to_vec());
+    }
+}
+
+/// Client handle to a running server: submit requests (from any thread —
+/// submission takes `&self`), read stats, shut down.
+pub struct ServerHandle {
+    job_tx: Option<Sender<Job>>,
+    registry: Arc<Vec<ModelEntry>>,
+    stats: Arc<StatsInner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// A response that has not arrived yet (returned by
+/// [`ServerHandle::submit`]).
+pub struct Pending {
+    rx: Receiver<Vec<f32>>,
+}
+
+impl Pending {
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> ServeResult {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+}
+
+impl ServerHandle {
+    /// Validates and enqueues a request, returning a [`Pending`] response
+    /// without blocking on execution. Submitting several requests before
+    /// waiting is how a single client thread gets them coalesced into one
+    /// batch.
+    pub fn submit(
+        &self,
+        model: &str,
+        cfg: QuantConfig,
+        input: RequestInput,
+    ) -> Result<Pending, ServeError> {
+        let id = self
+            .registry
+            .iter()
+            .position(|e| e.name == model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let entry = &self.registry[id];
+        if input.kind() != entry.kind {
+            return Err(ServeError::WrongInputKind {
+                model: model.to_string(),
+                expected: entry.kind,
+                got: input.kind(),
+            });
+        }
+        if input.len() != entry.input_len {
+            return Err(ServeError::WrongInputLen {
+                model: model.to_string(),
+                expected: entry.input_len,
+                got: input.len(),
+            });
+        }
+        let (resp, rx) = unbounded();
+        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let sent = self
+            .job_tx
+            .as_ref()
+            .expect("sender lives until shutdown")
+            .send(Job {
+                model: id,
+                cfg,
+                input,
+                enqueued: Instant::now(),
+                resp,
+            });
+        if sent.is_err() {
+            self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return Err(ServeError::Disconnected);
+        }
+        Ok(Pending { rx })
+    }
+
+    /// Synchronous inference: submit and block until the response arrives.
+    pub fn infer(&self, model: &str, cfg: QuantConfig, input: RequestInput) -> ServeResult {
+        self.submit(model, cfg, input)?.wait()
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> ServeStats {
+        self.stats.snapshot()
+    }
+
+    /// Registered model names, in registration order.
+    pub fn model_names(&self) -> Vec<String> {
+        self.registry.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Graceful shutdown: stops accepting requests, drains everything in
+    /// flight, and joins the dispatcher and workers. (Dropping the handle
+    /// does the same.)
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.job_tx.take(); // dispatcher sees the disconnect after draining
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_models::zoo::DenseGemm;
+    use mx_nn::TensorFormat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mx6() -> QuantConfig {
+        QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6)
+    }
+
+    fn dense_server(workers: usize, max_batch: usize) -> ServerHandle {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut server = Server::new(ServerConfig {
+            workers,
+            max_batch,
+            ..ServerConfig::default()
+        });
+        server.register(
+            "dense",
+            Box::new(DenseGemm::new(&mut rng, 32, 16, QuantConfig::fp32())),
+        );
+        server.start()
+    }
+
+    fn row(salt: usize) -> Vec<f32> {
+        (0..32).map(|i| ((i + salt) as f32 * 0.19).sin()).collect()
+    }
+
+    #[test]
+    fn sync_inference_round_trip() {
+        let handle = dense_server(1, 4);
+        let y = handle
+            .infer("dense", mx6(), RequestInput::Pixels(row(0)))
+            .unwrap();
+        assert_eq!(y.len(), 16);
+        let again = handle
+            .infer("dense", mx6(), RequestInput::Pixels(row(0)))
+            .unwrap();
+        assert_eq!(y, again, "same request, same bits");
+        let stats = handle.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(handle.model_names(), vec!["dense".to_string()]);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn submit_validates_before_enqueue() {
+        let handle = dense_server(1, 4);
+        assert_eq!(
+            handle
+                .infer("nope", mx6(), RequestInput::Pixels(row(0)))
+                .unwrap_err(),
+            ServeError::UnknownModel("nope".into())
+        );
+        assert!(matches!(
+            handle
+                .infer("dense", mx6(), RequestInput::Tokens(vec![0; 32]))
+                .unwrap_err(),
+            ServeError::WrongInputKind { .. }
+        ));
+        assert!(matches!(
+            handle
+                .infer("dense", mx6(), RequestInput::Pixels(vec![0.0; 7]))
+                .unwrap_err(),
+            ServeError::WrongInputLen {
+                expected: 32,
+                got: 7,
+                ..
+            }
+        ));
+        // Rejections never count as in-flight work.
+        assert_eq!(handle.stats().queue_depth, 0);
+        assert_eq!(handle.stats().completed, 0);
+    }
+
+    #[test]
+    fn burst_submission_coalesces_and_matches_serial() {
+        let handle = dense_server(1, 8);
+        // Serial references first (batches of 1).
+        let want: Vec<Vec<f32>> = (0..12)
+            .map(|i| {
+                handle
+                    .infer("dense", mx6(), RequestInput::Pixels(row(i)))
+                    .unwrap()
+            })
+            .collect();
+        // Burst: submit all, then wait — the dispatcher coalesces.
+        let pending: Vec<Pending> = (0..12)
+            .map(|i| {
+                handle
+                    .submit("dense", mx6(), RequestInput::Pixels(row(i)))
+                    .unwrap()
+            })
+            .collect();
+        for (i, p) in pending.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap(), want[i], "request {i}");
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.completed, 24);
+        assert_eq!(
+            stats.batch_histogram.iter().sum::<u64>(),
+            stats.batches,
+            "histogram covers every batch"
+        );
+        assert!(stats.p50_latency_us <= stats.p99_latency_us);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_and_drop_is_idempotent() {
+        let handle = dense_server(2, 4);
+        let p = handle
+            .submit("dense", mx6(), RequestInput::Pixels(row(9)))
+            .unwrap();
+        handle.shutdown(); // drains the in-flight request first
+        assert_eq!(p.wait().unwrap().len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_registration_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut server = Server::new(ServerConfig::default());
+        server.register(
+            "m",
+            Box::new(DenseGemm::new(&mut rng, 8, 4, QuantConfig::fp32())),
+        );
+        server.register(
+            "m",
+            Box::new(DenseGemm::new(&mut rng, 8, 4, QuantConfig::fp32())),
+        );
+    }
+}

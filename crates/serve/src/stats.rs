@@ -1,0 +1,170 @@
+//! Serving telemetry: lock-light recorders the workers update per batch,
+//! and the [`ServeStats`] snapshot clients read.
+//!
+//! Counters are atomics; the latency reservoir and batch-size histogram sit
+//! behind mutexes that are touched once per *batch*, not per request, so
+//! telemetry stays off the per-request hot path. Pack counters come from
+//! `mx_nn::qflow::plane_cache_counters` — process-wide tallies of weight
+//! code-plane lowerings skipped (cache hit) vs performed — snapshotted at
+//! server start so the reported numbers are deltas attributable to this
+//! server's lifetime (other in-process quantized matmuls would inflate
+//! them; the workspace's serving benches and tests run the server alone).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Most recent per-request latencies retained for percentile estimates.
+/// Bounded so a long-lived server cannot grow without limit; at 64Ki
+/// samples the p99 estimate is comfortably stable for bench-scale runs.
+const LATENCY_CAP: usize = 65_536;
+
+/// Shared mutable state behind a [`crate::ServerHandle`]'s stats.
+pub(crate) struct StatsInner {
+    /// Requests submitted but not yet answered (queue + in execution).
+    pub(crate) in_flight: AtomicUsize,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    /// `hist[s - 1]` counts executed batches that coalesced `s` requests
+    /// (before padding).
+    hist: Mutex<Vec<u64>>,
+    latencies: Mutex<LatencyRing>,
+    /// `(hits, packs)` baseline at server start.
+    packs_baseline: (u64, u64),
+}
+
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl StatsInner {
+    pub(crate) fn new(max_batch: usize) -> Self {
+        StatsInner {
+            in_flight: AtomicUsize::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            hist: Mutex::new(vec![0; max_batch]),
+            latencies: Mutex::new(LatencyRing {
+                samples: Vec::new(),
+                next: 0,
+            }),
+            packs_baseline: mx_nn::qflow::plane_cache_counters(),
+        }
+    }
+
+    /// Records one executed batch: its coalesced size and every member
+    /// request's end-to-end latency.
+    pub(crate) fn record_batch(&self, size: usize, latencies: &[Duration]) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(size as u64, Ordering::Relaxed);
+        self.hist.lock().expect("stats poisoned")[size - 1] += 1;
+        let mut ring = self.latencies.lock().expect("stats poisoned");
+        for lat in latencies {
+            let us = lat.as_micros().min(u128::from(u64::MAX)) as u64;
+            if ring.samples.len() < LATENCY_CAP {
+                ring.samples.push(us);
+            } else {
+                let slot = ring.next;
+                ring.samples[slot] = us;
+            }
+            ring.next = (ring.next + 1) % LATENCY_CAP;
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        let hist = self.hist.lock().expect("stats poisoned").clone();
+        let mut sorted = self
+            .latencies
+            .lock()
+            .expect("stats poisoned")
+            .samples
+            .clone();
+        sorted.sort_unstable();
+        let (hits, packs) = mx_nn::qflow::plane_cache_counters();
+        ServeStats {
+            queue_depth: self.in_flight.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_histogram: hist,
+            p50_latency_us: percentile(&sorted, 50),
+            p99_latency_us: percentile(&sorted, 99),
+            packs_avoided: hits.saturating_sub(self.packs_baseline.0),
+            packs_performed: packs.saturating_sub(self.packs_baseline.1),
+        }
+    }
+}
+
+/// `p`-th percentile of an ascending-sorted sample set (classic
+/// nearest-rank: the `⌈p/100 · len⌉`-th smallest sample; 0 when empty).
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(p * sorted.len()).div_ceil(100).max(1) - 1]
+}
+
+/// A point-in-time view of a server's behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests accepted but not yet answered.
+    pub queue_depth: usize,
+    /// Requests answered since the server started.
+    pub completed: u64,
+    /// Batches executed (each is one coalesced `forward_batch` call).
+    pub batches: u64,
+    /// `batch_histogram[s - 1]` = number of executed batches that coalesced
+    /// `s` requests (pre-padding); length is the server's `max_batch`.
+    pub batch_histogram: Vec<u64>,
+    /// Median end-to-end request latency (submit → response), microseconds.
+    pub p50_latency_us: u64,
+    /// 99th-percentile end-to-end request latency, microseconds.
+    pub p99_latency_us: u64,
+    /// Weight code-plane packs *skipped* because a cached plane was shared
+    /// (across requests, batches, and formats) since the server started.
+    pub packs_avoided: u64,
+    /// Weight code-plane packs actually performed since the server started
+    /// (ideally: one per model × weight-format pair).
+    pub packs_performed: u64,
+}
+
+impl ServeStats {
+    /// Mean coalesced batch size over all executed batches (0 when none).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+    }
+
+    #[test]
+    fn record_and_snapshot_roundtrip() {
+        let s = StatsInner::new(4);
+        s.in_flight.store(3, Ordering::Relaxed);
+        s.record_batch(2, &[Duration::from_micros(10), Duration::from_micros(30)]);
+        s.record_batch(1, &[Duration::from_micros(20)]);
+        let snap = s.snapshot();
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.batch_histogram, vec![1, 1, 0, 0]);
+        assert_eq!(snap.p50_latency_us, 20);
+        assert_eq!(snap.p99_latency_us, 30);
+        assert!((snap.mean_batch_size() - 1.5).abs() < 1e-12);
+    }
+}

@@ -3,9 +3,11 @@
 //!
 //! See [`mx_core`] for the BDR/MX formats, [`mx_hw`] for the hardware cost
 //! model, [`mx_nn`] for the training stack, [`mx_models`] for the benchmark
-//! model zoo, and [`mx_sweep`] for the design-space exploration.
+//! model zoo, [`mx_serve`] for the batched inference server, and
+//! [`mx_sweep`] for the design-space exploration.
 pub use mx_core as core;
 pub use mx_hw as hw;
 pub use mx_models as models;
 pub use mx_nn as nn;
+pub use mx_serve as serve;
 pub use mx_sweep as sweep;

@@ -1,0 +1,308 @@
+//! End-to-end suite for `mx-serve`: batching must be **semantically
+//! invisible**. Every response a server produces — whatever the batch
+//! coalescing, request interleaving, format mix, ragged final batch, or
+//! zero-padding — must be bit-identical to running that request alone on an
+//! identically constructed model. Also covers the serving telemetry
+//! (`ServeStats`) and the weight-plane sharing the batcher exists to
+//! exploit.
+
+use mx::models::bert::BertQa;
+use mx::models::data;
+use mx::models::gpt::{Gpt, GptConfig};
+use mx::models::vision::TinyViT;
+use mx::models::zoo::{BatchModel, DenseGemm, ZooInput};
+use mx::nn::qflow::QuantConfig;
+use mx::nn::TensorFormat;
+use mx::serve::{Pending, RequestInput, Server, ServerConfig, ServerHandle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mx6() -> QuantConfig {
+    QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6)
+}
+
+/// The format mix a direct-cast serving fleet would see.
+fn format_cycle() -> Vec<QuantConfig> {
+    vec![
+        QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6),
+        QuantConfig::weights_activations(TensorFormat::MX9, TensorFormat::MX9),
+        QuantConfig::weights_activations(TensorFormat::MX9, TensorFormat::MX4),
+        QuantConfig::fp32(),
+    ]
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert!(g.to_bits() == w.to_bits(), "{ctx}: element {i}: {g} vs {w}");
+    }
+}
+
+fn gpt(seed: u64) -> Gpt {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Gpt::new(&mut rng, GptConfig::tiny(), QuantConfig::fp32())
+}
+
+/// Deterministic per-request token sequence.
+fn tokens(salt: usize, len: usize) -> Vec<usize> {
+    (0..len)
+        .map(|i| (i.wrapping_mul(7).wrapping_add(salt * 13)) % data::LM_VOCAB)
+        .collect()
+}
+
+/// Serial reference: run each `(cfg, input)` alone (batch = 1) on `model`.
+fn serial_reference(
+    model: &mut dyn BatchModel,
+    requests: &[(QuantConfig, RequestInput)],
+) -> Vec<Vec<f32>> {
+    requests
+        .iter()
+        .map(|(cfg, input)| {
+            model.set_quant(*cfg);
+            match input {
+                RequestInput::Tokens(t) => model.forward_batch(ZooInput::Tokens(t), 1),
+                RequestInput::Pixels(p) => model.forward_batch(ZooInput::Pixels(p), 1),
+            }
+        })
+        .collect()
+}
+
+/// Submits every request as one burst and waits for all responses in order.
+fn run_burst(
+    handle: &ServerHandle,
+    name: &str,
+    requests: &[(QuantConfig, RequestInput)],
+) -> Vec<Vec<f32>> {
+    let pending: Vec<Pending> = requests
+        .iter()
+        .map(|(cfg, input)| handle.submit(name, *cfg, input.clone()).unwrap())
+        .collect();
+    pending.into_iter().map(|p| p.wait().unwrap()).collect()
+}
+
+#[test]
+fn gpt_batched_serving_is_bit_identical_across_formats_and_batch_sizes() {
+    let seq = GptConfig::tiny().seq_len;
+    let cycle = format_cycle();
+    let requests: Vec<(QuantConfig, RequestInput)> = (0..13)
+        .map(|i| (cycle[i % cycle.len()], RequestInput::Tokens(tokens(i, seq))))
+        .collect();
+    // Reference on an identically seeded model, every request alone.
+    let want = serial_reference(&mut gpt(42), &requests);
+
+    for max_batch in [1, 3, 8] {
+        let mut server = Server::new(ServerConfig {
+            max_batch,
+            ..ServerConfig::default()
+        });
+        server.register("gpt", Box::new(gpt(42)));
+        let handle = server.start();
+        let got = run_burst(&handle, "gpt", &requests);
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert_bits_eq(g, w, &format!("max_batch {max_batch}, request {i}"));
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.completed, requests.len() as u64);
+        assert_eq!(stats.queue_depth, 0, "all answered");
+        // Every executed batch respects the cap and the histogram accounts
+        // for every request.
+        let hist_requests: u64 = stats
+            .batch_histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| (i as u64 + 1) * count)
+            .sum();
+        assert_eq!(hist_requests, stats.completed);
+        assert_eq!(stats.batch_histogram.len(), max_batch);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn ragged_and_padded_batches_are_semantically_invisible() {
+    let seq = GptConfig::tiny().seq_len;
+    // 6 same-format requests against max_batch = 4 force a ragged tail of
+    // at most 2 whichever way the dispatcher slices the burst.
+    let requests: Vec<(QuantConfig, RequestInput)> = (0..6)
+        .map(|i| (mx6(), RequestInput::Tokens(tokens(100 + i, seq))))
+        .collect();
+    let want = serial_reference(&mut gpt(7), &requests);
+    for pad_batches in [false, true] {
+        let mut server = Server::new(ServerConfig {
+            max_batch: 4,
+            pad_batches,
+            ..ServerConfig::default()
+        });
+        server.register("gpt", Box::new(gpt(7)));
+        let handle = server.start();
+        let got = run_burst(&handle, "gpt", &requests);
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert_bits_eq(g, w, &format!("pad={pad_batches}, request {i}"));
+        }
+        // Padding is invisible in the histogram too: sizes are pre-padding.
+        let stats = handle.stats();
+        assert_eq!(stats.completed, 6);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn mixed_zoo_serving_matches_per_request_serial_execution() {
+    let qa_seq = 12;
+    let mut rng = StdRng::seed_from_u64(21);
+    let build_bert = |rng: &mut StdRng| BertQa::new(rng, 16, 1, qa_seq, QuantConfig::fp32());
+    let build_vit = |rng: &mut StdRng| TinyViT::new(rng, 16, 1, QuantConfig::fp32());
+    let build_dense = |rng: &mut StdRng| DenseGemm::new(rng, 48, 24, QuantConfig::fp32());
+    // One RNG stream builds the served copies, an identically seeded one
+    // builds the reference copies.
+    let mut server = Server::new(ServerConfig {
+        workers: 2,
+        max_batch: 4,
+        ..ServerConfig::default()
+    });
+    server.register("bert", Box::new(build_bert(&mut rng)));
+    server.register("vit", Box::new(build_vit(&mut rng)));
+    server.register("dense", Box::new(build_dense(&mut rng)));
+    let mut ref_rng = StdRng::seed_from_u64(21);
+    let mut ref_bert = build_bert(&mut ref_rng);
+    let mut ref_vit = build_vit(&mut ref_rng);
+    let mut ref_dense = build_dense(&mut ref_rng);
+
+    let images = data::shape_images(9, 4);
+    let cycle = format_cycle();
+    let bert_reqs: Vec<(QuantConfig, RequestInput)> = (0..4)
+        .map(|i| {
+            (
+                cycle[i % cycle.len()],
+                RequestInput::Tokens((0..qa_seq).map(|t| (t * 3 + i) % data::QA_VOCAB).collect()),
+            )
+        })
+        .collect();
+    let vit_reqs: Vec<(QuantConfig, RequestInput)> = images
+        .iter()
+        .enumerate()
+        .map(|(i, im)| {
+            (
+                cycle[i % cycle.len()],
+                RequestInput::Pixels(im.pixels.clone()),
+            )
+        })
+        .collect();
+    let dense_reqs: Vec<(QuantConfig, RequestInput)> = (0..4)
+        .map(|i| {
+            (
+                cycle[(i + 1) % cycle.len()],
+                RequestInput::Pixels((0..48).map(|j| ((i + j) as f32 * 0.11).sin()).collect()),
+            )
+        })
+        .collect();
+
+    let handle = server.start();
+    // Interleave submissions across models so the dispatcher has to keep
+    // the groups apart.
+    let mut pending: Vec<(usize, &str, Pending)> = Vec::new();
+    for i in 0..4 {
+        for (name, reqs) in [
+            ("bert", &bert_reqs),
+            ("vit", &vit_reqs),
+            ("dense", &dense_reqs),
+        ] {
+            let (cfg, input) = &reqs[i];
+            pending.push((i, name, handle.submit(name, *cfg, input.clone()).unwrap()));
+        }
+    }
+    let want_bert = serial_reference(&mut ref_bert, &bert_reqs);
+    let want_vit = serial_reference(&mut ref_vit, &vit_reqs);
+    let want_dense = serial_reference(&mut ref_dense, &dense_reqs);
+    for (i, name, p) in pending {
+        let got = p.wait().unwrap();
+        let want = match name {
+            "bert" => &want_bert[i],
+            "vit" => &want_vit[i],
+            _ => &want_dense[i],
+        };
+        assert_bits_eq(&got, want, &format!("{name} request {i}"));
+    }
+    assert_eq!(handle.stats().completed, 12);
+    handle.shutdown();
+}
+
+#[test]
+fn weight_planes_are_shared_across_requests_and_formats() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut server = Server::new(ServerConfig {
+        max_batch: 4,
+        ..ServerConfig::default()
+    });
+    server.register(
+        "dense",
+        Box::new(DenseGemm::new(&mut rng, 64, 32, QuantConfig::fp32())),
+    );
+    let handle = server.start();
+    let w6 = QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6);
+    let w9 = QuantConfig::weights_activations(TensorFormat::MX9, TensorFormat::MX9);
+    let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.07).cos()).collect();
+    // Warm both weight formats' planes (at most one pack each).
+    let warm6 = handle
+        .infer("dense", w6, RequestInput::Pixels(x.clone()))
+        .unwrap();
+    let warm9 = handle
+        .infer("dense", w9, RequestInput::Pixels(x.clone()))
+        .unwrap();
+    let before = handle.stats();
+    // Steady state: alternating formats hammer the same two planes.
+    for round in 0..10 {
+        let y6 = handle
+            .infer("dense", w6, RequestInput::Pixels(x.clone()))
+            .unwrap();
+        let y9 = handle
+            .infer("dense", w9, RequestInput::Pixels(x.clone()))
+            .unwrap();
+        assert_bits_eq(&y6, &warm6, &format!("MX6 round {round}"));
+        assert_bits_eq(&y9, &warm9, &format!("MX9 round {round}"));
+    }
+    let after = handle.stats();
+    // (Counters are process-wide, so concurrent suites can only inflate
+    // them — the ≥ direction is race-free.)
+    assert!(
+        after.packs_avoided >= before.packs_avoided + 20,
+        "20 warm requests must each skip the weight pack ({} -> {})",
+        before.packs_avoided,
+        after.packs_avoided
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_answers() {
+    let seq = GptConfig::tiny().seq_len;
+    let requests: Vec<(QuantConfig, RequestInput)> = (0..8)
+        .map(|i| (mx6(), RequestInput::Tokens(tokens(500 + i, seq))))
+        .collect();
+    let want = serial_reference(&mut gpt(99), &requests);
+    let mut server = Server::new(ServerConfig {
+        workers: 2,
+        max_batch: 4,
+        ..ServerConfig::default()
+    });
+    server.register("gpt", Box::new(gpt(99)));
+    let handle = server.start();
+    // 8 synchronous client threads, each re-asking its own question.
+    std::thread::scope(|s| {
+        for (i, (cfg, input)) in requests.iter().enumerate() {
+            let handle = &handle;
+            let want = &want[i];
+            s.spawn(move || {
+                for round in 0..3 {
+                    let got = handle.infer("gpt", *cfg, input.clone()).unwrap();
+                    assert_bits_eq(&got, want, &format!("client {i} round {round}"));
+                }
+            });
+        }
+    });
+    let stats = handle.stats();
+    assert_eq!(stats.completed, 24);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.p50_latency_us <= stats.p99_latency_us);
+    handle.shutdown();
+}

@@ -14,7 +14,7 @@ use mx::nn::format::TensorFormat;
 use mx::nn::layers::{Layer, Linear};
 use mx::nn::optim::{Adam, Sgd};
 use mx::nn::param::HasParams;
-use mx::nn::qflow::QuantConfig;
+use mx::nn::qflow::{quantized_matmul_ab, QuantConfig};
 use mx::nn::rnn::Gru;
 use mx::nn::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -192,6 +192,59 @@ fn composite_layers_repeat_bit_identically_and_match_cold_runs() {
     let mut ccold = Conv2d::new(&mut rng(), 2, 3, 3, cfg);
     let cc = ccold.forward(&xc, false);
     assert_bits_eq(cc.data(), c1.data(), "conv cold copy");
+}
+
+/// Concurrency hammer for the shared plane cache: N threads fire quantized
+/// matmuls against **one** weight tensor — the serving pattern, where every
+/// in-flight request reads the same model. Activation formats alternate
+/// (they share the weight plane), weight formats split across two planes in
+/// the per-format cache. Every output must be bit-identical to the serial
+/// run, and the weight tensor must end up with exactly the two planes — no
+/// thrash, no corruption, no deadlock.
+#[test]
+fn concurrent_matmuls_against_one_weight_tensor_match_serial() {
+    let (m, k, n) = (4, 48, 6);
+    let b = input(k, n, 20);
+    let weight_formats = [TensorFormat::MX6, TensorFormat::MX9];
+    let act_formats = [
+        TensorFormat::MX6,
+        TensorFormat::MX9,
+        TensorFormat::MX4,
+        TensorFormat::Bdr(mx::core::bdr::BdrFormat::MSFP12),
+    ];
+    let threads = 8;
+    let per_thread: Vec<(Tensor, TensorFormat, TensorFormat)> = (0..threads)
+        .map(|t| {
+            (
+                input(m, k, 30 + t),
+                act_formats[t % act_formats.len()],
+                weight_formats[t % weight_formats.len()],
+            )
+        })
+        .collect();
+    // Serial references (also warms both weight planes).
+    let serial: Vec<Tensor> = per_thread
+        .iter()
+        .map(|(a, fa, fw)| quantized_matmul_ab(a, &b, *fa, *fw))
+        .collect();
+    assert_eq!(b.cached_plane_count(), weight_formats.len());
+    let stamp = b.cached_plane_generation();
+    std::thread::scope(|s| {
+        for (t, (a, fa, fw)) in per_thread.iter().enumerate() {
+            let b = &b;
+            let want = &serial[t];
+            s.spawn(move || {
+                for round in 0..25 {
+                    let y = quantized_matmul_ab(a, b, *fa, *fw);
+                    assert_bits_eq(y.data(), want.data(), &format!("thread {t} round {round}"));
+                }
+            });
+        }
+    });
+    // The hammer ran entirely on the two warm planes: same generation, same
+    // per-format entries, nothing evicted or repacked.
+    assert_eq!(b.cached_plane_count(), weight_formats.len());
+    assert_eq!(b.cached_plane_generation(), stamp);
 }
 
 /// End-to-end: training with quantized forwards steps the optimizer every

@@ -9,6 +9,11 @@
 //!
 //! Control the per-benchmark measurement budget with the
 //! `MX_BENCH_MEASURE_MS` environment variable (default 300 ms).
+//!
+//! Like upstream criterion, passing `--test` on the bench binary's command
+//! line (`cargo bench --bench foo -- --test`) switches to **smoke mode**:
+//! every benchmark closure runs exactly once, untimed, so CI can verify the
+//! harnesses still execute without paying for measurements.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
@@ -95,19 +100,27 @@ pub struct Bencher {
     total: Duration,
     iters: u64,
     best: Duration,
+    test_mode: bool,
 }
 
 impl Bencher {
-    fn new() -> Self {
+    fn new(test_mode: bool) -> Self {
         Bencher {
             total: Duration::ZERO,
             iters: 0,
             best: Duration::MAX,
+            test_mode,
         }
     }
 
-    /// Times repeated calls of `f` until the measurement budget elapses.
+    /// Times repeated calls of `f` until the measurement budget elapses; in
+    /// `--test` smoke mode runs `f` exactly once instead.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std_black_box(f());
+            self.iters = 1;
+            return;
+        }
         // Warm-up: let caches/allocator settle and estimate the cost of one
         // call so batches amortize timer overhead.
         let warm_start = Instant::now();
@@ -156,6 +169,10 @@ fn fmt_duration(d: Duration) -> String {
 }
 
 fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.test_mode {
+        println!("{name:<48} (smoke: ran once, untimed)");
+        return;
+    }
     if bencher.iters == 0 {
         println!("{name:<48} (no samples)");
         return;
@@ -184,11 +201,16 @@ fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
 
 /// Benchmark registry; mirrors `criterion::Criterion`.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
 
 impl Criterion {
-    /// Accepts and ignores the CLI arguments `cargo bench` forwards.
-    pub fn configure_from_args(self) -> Self {
+    /// Reads the CLI arguments `cargo bench` forwards: `--test` selects
+    /// smoke mode (each benchmark runs once, untimed); everything else is
+    /// accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
         self
     }
 
@@ -196,10 +218,12 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== group: {name} ==");
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
             name,
             throughput: None,
+            test_mode,
         }
     }
 
@@ -208,7 +232,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new();
+        let mut b = Bencher::new(self.test_mode);
         f(&mut b);
         report(name, &b, None);
         self
@@ -220,6 +244,7 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl<'a> BenchmarkGroup<'a> {
@@ -241,7 +266,7 @@ impl<'a> BenchmarkGroup<'a> {
         I: IntoBenchmarkId,
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new();
+        let mut b = Bencher::new(self.test_mode);
         f(&mut b);
         report(
             &format!("{}/{}", self.name, id.into_benchmark_id()),
@@ -256,7 +281,7 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher::new();
+        let mut b = Bencher::new(self.test_mode);
         f(&mut b, input);
         report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
         self
@@ -294,7 +319,7 @@ mod tests {
     #[test]
     fn bencher_accumulates_samples() {
         std::env::set_var("MX_BENCH_MEASURE_MS", "5");
-        let mut b = Bencher::new();
+        let mut b = Bencher::new(false);
         let mut count = 0u64;
         b.iter(|| {
             count += 1;
@@ -302,6 +327,18 @@ mod tests {
         });
         assert!(b.iters > 0);
         assert!(b.best < Duration::MAX);
+    }
+
+    #[test]
+    fn smoke_mode_runs_exactly_once() {
+        let mut b = Bencher::new(true);
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(count, 1, "--test mode must run the closure exactly once");
+        assert_eq!(b.iters, 1);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
-//! crate, exposing the scoped-thread API this workspace uses
-//! ([`thread::scope`]) implemented over [`std::thread::scope`] (stable since
-//! Rust 1.63 — upstream crossbeam's scoped threads predate it).
+//! crate, exposing the API surface this workspace uses: scoped threads
+//! ([`thread::scope`], implemented over [`std::thread::scope`] — stable since
+//! Rust 1.63, upstream crossbeam's scoped threads predate it) and MPMC
+//! channels ([`channel::unbounded`] / [`channel::bounded`], a
+//! `Mutex`+`Condvar` queue with upstream's disconnect semantics), which back
+//! `mx-serve`'s request queue.
 
 /// Scoped threads (mirrors `crossbeam::thread`).
 pub mod thread {
@@ -57,6 +60,220 @@ pub mod thread {
     }
 }
 
+/// Multi-producer multi-consumer FIFO channels (mirrors
+/// `crossbeam::channel`).
+///
+/// Both flavors share one implementation: a `Mutex`-guarded `VecDeque` with
+/// two `Condvar`s (consumers wait for items, bounded producers wait for
+/// space). Disconnect semantics match upstream: [`Receiver::recv`] drains
+/// remaining items after every [`Sender`] drops and only then reports
+/// [`RecvError`]; [`Sender::send`] fails once every [`Receiver`] is gone.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// The sending half of a channel was disconnected; the value is handed
+    /// back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// All senders disconnected and the queue is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a [`Receiver::try_recv`] returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty but senders remain connected.
+        Empty,
+        /// All senders disconnected and the queue is empty.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        /// `None` = unbounded.
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signaled when an item arrives or the last sender drops.
+        on_item: Condvar,
+        /// Signaled when space frees up or the last receiver drops.
+        on_space: Condvar,
+    }
+
+    /// The sending half of a channel. Clonable; `send` takes `&self`, so one
+    /// sender can be shared across threads.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Clonable (each message is delivered
+    /// to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a channel with no capacity bound: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages: `send`
+    /// blocks while full (backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero (rendezvous channels are not implemented —
+    /// nothing in the workspace uses them).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "zero-capacity channels are not supported");
+        with_cap(Some(cap))
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            on_item: Condvar::new(),
+            on_space: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, blocking while a bounded channel is full.
+        /// Returns the value back when every receiver has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match state.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.shared.on_space.wait(state).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.on_item.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking until one arrives. Returns
+        /// [`RecvError`] only when the queue is empty *and* every sender has
+        /// disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.on_space.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.on_item.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Dequeues the next message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.shared.on_space.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake all blocked receivers so they observe the disconnect.
+                self.shared.on_item.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                // Wake all blocked senders so they observe the disconnect.
+                self.shared.on_space.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::thread;
@@ -92,5 +309,89 @@ mod tests {
         })
         .unwrap();
         assert_eq!(result, 42);
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::channel::{bounded, unbounded, RecvError, TryRecvError};
+    use super::thread;
+
+    #[test]
+    fn fifo_order_and_disconnect_drain() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        // Remaining items drain before the disconnect surfaces.
+        assert_eq!(
+            (0..5).map(|_| rx.recv().unwrap()).collect::<Vec<i32>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        thread::scope(|s| {
+            s.spawn(|_| tx.send(2).unwrap()); // blocks until the recv below
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+        })
+        .unwrap();
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_delivers_each_once() {
+        let (tx, rx) = unbounded();
+        let total: usize = 64;
+        let got = std::sync::Mutex::new(Vec::new());
+        thread::scope(|s| {
+            for p in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..total / 4 {
+                        tx.send(p * (total / 4) + i).unwrap();
+                    }
+                });
+            }
+            drop(tx); // scope's senders are the only ones left
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let got = &got;
+                s.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        got.lock().unwrap().push(v);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut got = got.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..total).collect::<Vec<_>>());
+        assert_eq!(rx.len(), 0);
     }
 }
