@@ -8,6 +8,7 @@
 //!   FP32 speedup claims are measured against this *improved* baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mx_bench::bench_threads;
 use mx_core::bdr::BdrFormat;
 use mx_core::fgemm;
 use mx_core::gemm::{quantized_gemm, quantized_gemm_prepacked, PackedOperand};
@@ -46,7 +47,9 @@ fn quantized_gemm_512(c: &mut Criterion) {
         bench.iter(|| black_box(quantized_gemm(&a, &b, N, N, N, fmt, fmt, 1).unwrap()))
     });
     group.bench_function("code_domain_parallel", |bench| {
-        bench.iter(|| black_box(quantized_gemm(&a, &b, N, N, N, fmt, fmt, 0).unwrap()))
+        // Worker budget from MX_BENCH_THREADS (default: all cores).
+        let threads = bench_threads(0);
+        bench.iter(|| black_box(quantized_gemm(&a, &b, N, N, N, fmt, fmt, threads).unwrap()))
     });
     group.bench_function("code_domain_prepacked", |bench| {
         let pb = PackedOperand::pack_cols(&b, N, N, fmt, fmt).unwrap();
@@ -72,7 +75,9 @@ fn matmul_512(c: &mut Criterion) {
         bench.iter(|| black_box(fgemm::matmul(&a, &b, N, N, N, 1)))
     });
     group.bench_function("blocked_parallel", |bench| {
-        bench.iter(|| black_box(fgemm::matmul(&a, &b, N, N, N, 0)))
+        // Worker budget from MX_BENCH_THREADS (default: all cores).
+        let threads = bench_threads(0);
+        bench.iter(|| black_box(fgemm::matmul(&a, &b, N, N, N, threads)))
     });
     group.finish();
 }

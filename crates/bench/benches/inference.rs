@@ -19,14 +19,25 @@
 //! - `linear_layer_cached` — the same product through `mx_nn::Linear`
 //!   with a warm cache, confirming the plumbing adds nothing material.
 //!
-//! All cases run serial (`threads = 1`): the interesting quantity is the
-//! amortized packing work, not core scaling.
+//! The `inference_small_m_*` groups sweep the serving-shaped row counts
+//! M ∈ {1, 4, 8, 32} against the same warm weight plane, comparing the
+//! **fused** pack-on-the-fly path (`quantized_gemm_fused` — what the
+//! automatic dispatch picks at these shapes), the **two-pass**
+//! prepacked-scratch path (`quantized_gemm_twopass_scratch` — the pre-fuse
+//! behavior), and the unquantized FP32 `fgemm` kernel as the floor the
+//! fused path is closing on.
+//!
+//! All cases run serial (`threads = 1`; override with `MX_BENCH_THREADS`):
+//! the interesting quantity is the per-call activation-lowering work, not
+//! core scaling.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mx_bench::bench_threads;
 use mx_core::bdr::BdrFormat;
+use mx_core::fgemm;
 use mx_core::gemm::{
-    quantized_gemm, quantized_gemm_prepacked, quantized_gemm_prepacked_scratch, PackScratch,
-    PackedOperand,
+    quantized_gemm, quantized_gemm_fused, quantized_gemm_prepacked,
+    quantized_gemm_prepacked_scratch, quantized_gemm_twopass_scratch, PackScratch, PackedOperand,
 };
 use mx_nn::format::TensorFormat;
 use mx_nn::layers::{Layer, Linear};
@@ -51,6 +62,7 @@ fn test_matrix(len: usize, salt: usize) -> Vec<f32> {
 
 fn inference_steady_state(c: &mut Criterion) {
     let fmt = BdrFormat::MX6;
+    let threads = bench_threads(1);
     let a = test_matrix(M * K, 1);
     let w = test_matrix(K * N, 2);
     let mut group = c.benchmark_group("inference_steady_state");
@@ -58,17 +70,19 @@ fn inference_steady_state(c: &mut Criterion) {
     // One multiply-accumulate per element of the M×N×K iteration space.
     group.throughput(Throughput::Elements((M * N * K) as u64));
     group.bench_function("per_call_packing", |bench| {
-        bench.iter(|| black_box(quantized_gemm(&a, &w, M, K, N, fmt, fmt, 1).unwrap()))
+        bench.iter(|| black_box(quantized_gemm(&a, &w, M, K, N, fmt, fmt, threads).unwrap()))
     });
     group.bench_function("prepacked_weights", |bench| {
         let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
-        bench.iter(|| black_box(quantized_gemm_prepacked(&a, M, fmt, &pw, 1).unwrap()))
+        bench.iter(|| black_box(quantized_gemm_prepacked(&a, M, fmt, &pw, threads).unwrap()))
     });
     group.bench_function("prepacked_scratch", |bench| {
         let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
         let mut scratch = PackScratch::new();
         bench.iter(|| {
-            black_box(quantized_gemm_prepacked_scratch(&a, M, fmt, &pw, 1, &mut scratch).unwrap())
+            black_box(
+                quantized_gemm_prepacked_scratch(&a, M, fmt, &pw, threads, &mut scratch).unwrap(),
+            )
         })
     });
     group.bench_function("weight_pack_only", |bench| {
@@ -90,5 +104,39 @@ fn inference_steady_state(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, inference_steady_state);
+/// Serving-shaped row counts: fused pack-on-the-fly vs the two-pass
+/// prepacked-scratch path vs the FP32 `fgemm` floor, one group per M so
+/// each reports its own throughput.
+fn inference_small_m(c: &mut Criterion) {
+    let fmt = BdrFormat::MX6;
+    let threads = bench_threads(1);
+    let w = test_matrix(K * N, 2);
+    let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
+    for m in [1usize, 4, 8, 32] {
+        let a = test_matrix(m * K, 3 + m);
+        let mut group = c.benchmark_group(format!("inference_small_m_{m}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements((m * N * K) as u64));
+        group.bench_function("fused", |bench| {
+            let mut scratch = PackScratch::new();
+            bench.iter(|| {
+                black_box(quantized_gemm_fused(&a, m, fmt, &pw, threads, &mut scratch).unwrap())
+            })
+        });
+        group.bench_function("twopass_scratch", |bench| {
+            let mut scratch = PackScratch::new();
+            bench.iter(|| {
+                black_box(
+                    quantized_gemm_twopass_scratch(&a, m, fmt, &pw, threads, &mut scratch).unwrap(),
+                )
+            })
+        });
+        group.bench_function("fgemm_f32", |bench| {
+            bench.iter(|| black_box(fgemm::matmul(&a, &w, m, K, N, threads)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, inference_steady_state, inference_small_m);
 criterion_main!(benches);

@@ -125,13 +125,23 @@ fn engine_vs_naive(c: &mut Criterion) {
 }
 
 /// Multi-core scaling of the engine's contiguous value path on a 1M-element
-/// tensor.
+/// tensor. `MX_BENCH_THREADS` appends an extra point to the sweep without
+/// editing the list; `0` (also the unset default) means the box's actual
+/// core count, matching the knob's contract everywhere else.
 fn parallel_scaling(c: &mut Criterion) {
     let x = test_vector(1 << 20);
     let fmt = BdrFormat::MX6;
     let mut group = c.benchmark_group("engine_parallel_scaling_1m");
     group.throughput(Throughput::Elements(1 << 20));
-    for threads in [1usize, 2, 4, 8] {
+    let mut sweep = vec![1usize, 2, 4, 8];
+    let extra = match mx_bench::bench_threads(0) {
+        0 => mx_core::parallel::default_threads(),
+        t => t,
+    };
+    if !sweep.contains(&extra) {
+        sweep.push(extra);
+    }
+    for threads in sweep {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             let engine = QuantEngine::new(fmt).with_threads(t);
             b.iter(|| black_box(engine.quantize_dequantize(&x)))

@@ -17,7 +17,9 @@
 //! Every variant computes bit-identical responses (`serve_end_to_end`
 //! proves that); the quantity measured here is throughput. All GEMMs run
 //! serial (`threads` is whatever `mx-nn` picks on one core): the
-//! interesting ratio is batched vs unbatched, not core scaling.
+//! interesting ratio is batched vs unbatched, not core scaling. On a
+//! multi-core box, set `MX_BENCH_THREADS` to give the server that many
+//! worker threads (default 1) and rerun to measure worker scaling.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mx_models::zoo::{BatchModel, DenseGemm, ZooInput};
@@ -78,9 +80,16 @@ fn serving_throughput(c: &mut Criterion) {
         bench.iter(|| black_box(m.forward_batch(ZooInput::Pixels(&flat), BATCH)))
     });
 
+    // MX_BENCH_THREADS picks the worker count (default 1; 0 = all cores,
+    // matching the knob's contract everywhere else).
+    let workers = match mx_bench::bench_threads(1) {
+        0 => mx_core::parallel::default_threads(),
+        w => w,
+    };
     for max_batch in [1, BATCH] {
         let mut server = Server::new(ServerConfig {
             max_batch,
+            workers,
             ..ServerConfig::default()
         });
         server.register("ffn", Box::new(model()));

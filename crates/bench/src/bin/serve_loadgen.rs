@@ -1,0 +1,205 @@
+//! Open-loop load generator for `mx-serve`: requests arrive on a fixed
+//! schedule (`--rate` per second) regardless of how fast responses come
+//! back, so what gets measured is **service latency under offered load** —
+//! queueing included — rather than the closed-loop burst latency the
+//! `serving_throughput` bench reports (where the client's own waiting
+//! throttles the arrival process). Latency percentiles come from
+//! [`mx_serve::ServeStats`] (enqueue → batch executed, nearest-rank
+//! p50/p99 over the server's latency ring).
+//!
+//! ```text
+//! cargo run --release -p mx-bench --bin serve_loadgen -- \
+//!     --rate 200 --requests 2000 --max-batch 32 --workers 1
+//! ```
+//!
+//! The model is the GPT-ish FFN shard the serving benches use (one
+//! 512 → 2048 dense layer, MX6 weights and activations, weight plane
+//! packed once and shared by every batch). Sweep `--rate` upward until p99
+//! diverges to find the box's saturation point; on a multi-core machine
+//! raise `--workers` (or set `MX_BENCH_THREADS`) and watch the knee move.
+
+use mx_models::zoo::DenseGemm;
+use mx_nn::qflow::QuantConfig;
+use mx_nn::TensorFormat;
+use mx_serve::{Pending, RequestInput, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Command-line knobs (every flag takes a value; see module docs).
+struct Args {
+    /// Offered arrival rate, requests per second.
+    rate: f64,
+    /// Total requests to inject.
+    requests: usize,
+    /// Server worker threads.
+    workers: usize,
+    /// Dispatcher coalescing bound.
+    max_batch: usize,
+    /// Model input width (`K`).
+    d_in: usize,
+    /// Model output width (`N`).
+    d_out: usize,
+    /// Pad ragged batches to `max_batch`.
+    pad: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        // MX_BENCH_THREADS picks the default worker count (0 = all cores,
+        // matching the knob's contract everywhere else).
+        let workers = match mx_bench::bench_threads(1) {
+            0 => mx_core::parallel::default_threads(),
+            w => w,
+        };
+        Args {
+            rate: 200.0,
+            requests: 2000,
+            workers,
+            max_batch: 32,
+            d_in: 512,
+            d_out: 2048,
+            pad: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--rate" => args.rate = take("--rate").parse().expect("--rate: float"),
+            "--requests" => args.requests = take("--requests").parse().expect("--requests: int"),
+            "--workers" => args.workers = take("--workers").parse().expect("--workers: int"),
+            "--max-batch" => {
+                args.max_batch = take("--max-batch").parse().expect("--max-batch: int")
+            }
+            "--d-in" => args.d_in = take("--d-in").parse().expect("--d-in: int"),
+            "--d-out" => args.d_out = take("--d-out").parse().expect("--d-out: int"),
+            "--pad" => args.pad = true,
+            other => panic!(
+                "unknown flag {other:?} (flags: --rate --requests --workers --max-batch \
+                 --d-in --d-out --pad)"
+            ),
+        }
+    }
+    assert!(args.rate > 0.0, "--rate must be positive");
+    assert!(
+        args.requests >= 100,
+        "--requests must be at least 100: the percentile population has to \
+         dwarf the one warm-up sample (whose latency includes the one-time \
+         weight-plane pack)"
+    );
+    args
+}
+
+fn request_row(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            ((i.wrapping_mul(2654435761).wrapping_add(salt * 911)) % 10_007) as f32 / 10_007.0 - 0.5
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut server = Server::new(ServerConfig {
+        workers: args.workers,
+        max_batch: args.max_batch,
+        pad_batches: args.pad,
+        queue_capacity: None, // open loop: arrivals must never block
+    });
+    server.register(
+        "ffn",
+        Box::new(DenseGemm::new(
+            &mut rng,
+            args.d_in,
+            args.d_out,
+            QuantConfig::fp32(),
+        )),
+    );
+    let handle = server.start();
+    // Warm the weight plane so the measured window is steady state (the
+    // one warm-up sample is negligible against the run's percentiles).
+    handle
+        .infer("ffn", cfg, RequestInput::Pixels(request_row(args.d_in, 0)))
+        .expect("warm-up request");
+
+    // A small pool of distinct rows keeps the payloads varied without
+    // per-request generation cost on the submission thread.
+    let rows: Vec<Vec<f32>> = (0..64).map(|s| request_row(args.d_in, s + 1)).collect();
+    println!(
+        "open-loop: {} requests at {:.0} req/s ({}x{} MX6 FFN, workers={}, max_batch={}{})",
+        args.requests,
+        args.rate,
+        args.d_in,
+        args.d_out,
+        args.workers,
+        args.max_batch,
+        if args.pad { ", padded" } else { "" },
+    );
+
+    let start = Instant::now();
+    let mut late = 0usize;
+    let mut pending: Vec<Pending> = Vec::with_capacity(args.requests);
+    for i in 0..args.requests {
+        // Fixed schedule: request i is due at i / rate seconds. If the
+        // submitter falls behind (the queue never blocks; only this loop's
+        // own overhead can), the request goes out immediately and is
+        // counted as late.
+        let due = start + Duration::from_secs_f64(i as f64 / args.rate);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        } else {
+            late += 1;
+        }
+        let row = rows[i % rows.len()].clone();
+        pending.push(
+            handle
+                .submit("ffn", cfg, RequestInput::Pixels(row))
+                .expect("submit"),
+        );
+    }
+    let offered_window = start.elapsed();
+    for p in pending {
+        p.wait().expect("response");
+    }
+    let drained = start.elapsed();
+
+    let stats = handle.stats();
+    let achieved = args.requests as f64 / drained.as_secs_f64();
+    println!(
+        "submitted in {:.2}s ({} late submissions), drained in {:.2}s",
+        offered_window.as_secs_f64(),
+        late,
+        drained.as_secs_f64(),
+    );
+    println!(
+        "throughput: {achieved:.1} req/s achieved vs {:.1} req/s offered",
+        args.rate
+    );
+    println!(
+        "batches: {} over {} requests (mean coalesced {:.1}, histogram tail bucket {} full)",
+        stats.batches,
+        stats.completed,
+        stats.mean_batch_size(),
+        stats.batch_histogram.last().copied().unwrap_or(0),
+    );
+    println!(
+        "service latency: p50 {} us, p99 {} us",
+        stats.p50_latency_us, stats.p99_latency_us
+    );
+    println!(
+        "weight planes: {} packs performed, {} avoided via the shared cache",
+        stats.packs_performed, stats.packs_avoided
+    );
+    handle.shutdown();
+}

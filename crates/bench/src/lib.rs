@@ -88,6 +88,21 @@ pub fn full_scale() -> bool {
     std::env::var("MX_FULL").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Worker-thread budget for the parallel bench cases: the
+/// `MX_BENCH_THREADS` environment knob, falling back to `default` when the
+/// variable is unset or unparsable. `0` means "all available cores" —
+/// pass it explicitly (`MX_BENCH_THREADS=0`) to restore that behavior when
+/// a bench's default differs. The build container is 1-core, so the
+/// committed `results/` numbers use the serial defaults; rerun the
+/// parallel-scaling suites with this knob on a multi-core box (see the
+/// notes in `results/*.md`).
+pub fn bench_threads(default: usize) -> usize {
+    std::env::var("MX_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
 /// Formats an `f64` with the given precision, using `-` for NaN.
 pub fn fmt(v: f64, prec: usize) -> String {
     if v.is_nan() {

@@ -416,6 +416,169 @@ pub(crate) fn quantize_code(x: f32, ulp: f64, max_code: u64) -> u64 {
     }
 }
 
+/// Storage width for shift-aligned signed integer codes (`i16` for narrow
+/// format pairs, `i32` for wide ones) — lets [`lower_block_into`] write the
+/// consuming kernel's width directly, with no intermediate staging pass.
+/// The conversion must be lossless for every value the code-domain
+/// dispatch admits (`crate::gemm`'s pair-class width gates guarantee it).
+pub(crate) trait AlignedCode: Copy + Send + Sync {
+    /// All-zero code (block padding).
+    const ZERO: Self;
+    /// Lossless narrowing from the aligned `i32` code.
+    fn from_aligned(aligned: i32) -> Self;
+}
+
+impl AlignedCode for i16 {
+    const ZERO: Self = 0;
+
+    #[inline(always)]
+    fn from_aligned(aligned: i32) -> Self {
+        debug_assert!(i32::from(aligned as i16) == aligned);
+        aligned as i16
+    }
+}
+
+impl AlignedCode for i32 {
+    const ZERO: Self = 0;
+
+    #[inline(always)]
+    fn from_aligned(aligned: i32) -> Self {
+        aligned
+    }
+}
+
+/// `2^52` — adding and subtracting it forces the FPU's round-to-nearest
+/// (ties-to-even) at integer granularity, the classic branch-free form of
+/// [`round_half_even`].
+const ROUND_BIAS: f64 = 4_503_599_627_370_496.0;
+
+/// Branch-free [`round_half_even`] for the magnitudes the code-lowering
+/// loop produces, bit-identical to the `floor`-based helper everywhere the
+/// two are composed with the `min(max_code)` clamp:
+///
+/// - for `0 ≤ v < 2^52`, `(v + 2^52) − 2^52` rounds `v` at integer
+///   granularity under the default IEEE round-to-nearest-even mode and the
+///   subtraction is exact — this *is* `roundTiesToEven(v)`;
+/// - for `v ≥ 2^52` both forms yield a value `≥ 2^52 − 1 > max_code`, so
+///   the clamp saturates identically;
+/// - `inf` propagates (`as u64` saturates, clamp hits `max_code`) and NaN
+///   converts to 0 on both paths.
+#[inline(always)]
+fn round_half_even_fast(v: f64) -> f64 {
+    (v + ROUND_BIAS) - ROUND_BIAS
+}
+
+/// Plans one contiguous block (`block.len() ≤ k1`) and lowers it straight
+/// to shift-aligned signed integer codes — the tile-granular entry the
+/// fused GEMM path ([`crate::gemm`]) quantizes A-row strips through, one
+/// `k1`-block of one row at a time, inside the execute loop.
+///
+/// `codes` must hold exactly `k1` slots; every slot is written (the ragged
+/// tail past `block.len()` is zeroed, as is the whole slot array for an
+/// all-zero block, which returns `None` like [`plan_into`]).
+///
+/// This is [`plan_into`] + [`quantize_code`] restructured for the hot loop
+/// without moving a single decision or rounding point:
+///
+/// - the exponent scans become **one branch-light integer pass** over the
+///   IEEE-754 abs bit patterns: the exponent is monotone in them, so each
+///   sub-block's largest exponent is the exponent of its largest-`|x|`
+///   finite element ([`exponent_of`] itself, the clamp, and the shift
+///   formula are reused verbatim, and a debug-build assertion cross-checks
+///   the plan against [`plan_into`]);
+/// - the per-element division becomes a multiplication by the sub-block
+///   ulp's reciprocal, hoisted out of the element loop — for every format
+///   pair admitted to the code domain the ulp is an exact power of two no
+///   smaller than `2^-149` (`crate::gemm`'s `exact_dequantize` gate), so
+///   the reciprocal is exact and both scalings are exact exponent
+///   adjustments comfortably inside `f64`'s normal range;
+/// - the `floor`-based tie break becomes the branch-free
+///   [`round_half_even_fast`] bias trick.
+///
+/// All three substitutions are value-preserving, so every code is
+/// bit-identical to the two-pass pack (the `gemm_fused` consistency suite
+/// asserts it across all preset pairs and stress data).
+pub(crate) fn lower_block_into<C: AlignedCode>(
+    fmt: &BdrFormat,
+    block: &[f32],
+    shifts: &mut Vec<u32>,
+    codes: &mut [C],
+) -> Option<i32> {
+    debug_assert_eq!(codes.len(), fmt.k1());
+    let k2 = fmt.k2();
+    let beta = fmt.max_shift();
+    // Pass 1: per-sub-block max |x| as raw abs bits (0 ⇔ no finite nonzero
+    // element), staged in `shifts`; the block max is the max over them.
+    shifts.clear();
+    let mut block_max = 0u32;
+    let mut sub_start = 0;
+    while sub_start < block.len() {
+        let end = (sub_start + k2).min(block.len());
+        let mut sub_max = 0u32;
+        for &x in &block[sub_start..end] {
+            let abs = x.to_bits() & 0x7fff_ffff;
+            // Exactly `plan_into`'s filter: x != 0.0 && x.is_finite().
+            if abs < 0x7f80_0000 && abs > sub_max {
+                sub_max = abs;
+            }
+        }
+        shifts.push(sub_max);
+        block_max = block_max.max(sub_max);
+        sub_start = end;
+    }
+    if block_max == 0 {
+        shifts.clear();
+        codes.fill(C::ZERO);
+        return None;
+    }
+    let shared_exp =
+        exponent_of(f32::from_bits(block_max)).clamp(fmt.min_shared_exp(), fmt.max_shared_exp());
+    // Pass 2: staged maxima → microexponent shifts, the same formula as
+    // `plan_into` (all-zero sub-blocks take the maximum shift).
+    for s in shifts.iter_mut() {
+        *s = if *s == 0 {
+            beta
+        } else {
+            let e_i = exponent_of(f32::from_bits(*s));
+            (shared_exp.saturating_sub(e_i).max(0) as u32).min(beta)
+        };
+    }
+    #[cfg(debug_assertions)]
+    {
+        let mut check = Vec::new();
+        let check_exp = plan_into(fmt, block, 0, 1, block.len(), &mut check);
+        debug_assert_eq!(check_exp, Some(shared_exp), "fused plan: shared exp");
+        debug_assert_eq!(&check, shifts, "fused plan: shifts");
+    }
+    let max_code = fmt.max_code();
+    let m1 = fmt.m() as i32 - 1;
+    let mut done = 0;
+    for &tau in shifts.iter() {
+        let sub_len = k2.min(block.len() - done);
+        let inv_ulp = pow2(-(shared_exp - tau as i32 - m1));
+        let align = beta - tau;
+        for (dst, &x) in codes[done..done + sub_len].iter_mut().zip(&block[done..]) {
+            *dst = if x == 0.0 {
+                // Zeros (incl. -0.0) carry sign 0, matching the engine's
+                // value and packed paths.
+                C::ZERO
+            } else {
+                let rounded = round_half_even_fast(x.abs() as f64 * inv_ulp);
+                let code = (rounded as u64).min(max_code);
+                let aligned = (code as i32) << align;
+                C::from_aligned(if x.is_sign_negative() {
+                    -aligned
+                } else {
+                    aligned
+                })
+            };
+        }
+        done += sub_len;
+    }
+    codes[done..].fill(C::ZERO);
+    Some(shared_exp)
+}
+
 /// Fake-quantizes one strided block in place.
 fn qdq_block_strided(
     fmt: &BdrFormat,

@@ -46,6 +46,40 @@
 //! entirely — see `mx_nn::qflow` for the invalidation contract. The
 //! `inference_steady_state` bench group measures the amortization.
 //!
+//! # Fused activation lowering (pack-on-the-fly) and the dispatch contract
+//!
+//! With B amortized, the remaining per-call quantization cost is the A
+//! (activation) side. Two ways to pay it:
+//!
+//! - **two-pass** ([`quantized_gemm_twopass_scratch`]) — lower all of A to
+//!   a code plane first, then execute over the two planes. One sweep of
+//!   `f32` work, one sweep of integer work; the A plane is materialized in
+//!   full between them.
+//! - **fused** ([`quantized_gemm_fused`]) — quantize A one [`TILE_M`]-row
+//!   strip at a time *inside* the execute loop, through the engine's
+//!   tile-granular block-lowering entry, into a small scratch tile ring
+//!   that is consumed immediately by the same kernels. The strip's codes
+//!   never leave L1, the full A plane is never materialized, and the
+//!   per-sub-block ulp reciprocal is hoisted out of the element loop —
+//!   this is the paper's Fig. 8 compute flow, where quantization is a
+//!   pipeline stage of the consuming dot-product datapath rather than a
+//!   separate kernel.
+//!
+//! [`quantized_gemm_prepacked_scratch`] (and therefore
+//! [`quantized_gemm_prepacked`], `mx-nn`'s `quantized_matmul_ab`, and the
+//! whole `mx-serve` batch path) is the **single shape-aware dispatch
+//! point**: serving-shaped calls (`m ≤` [`FUSED_MAX_M`] rows) take the
+//! fused path, larger (training-shaped) calls keep the two-pass prepack,
+//! whose single long `f32` sweep streams A once instead of interleaving
+//! float and integer phases per tile. Both paths run the identical block
+//! plan, rounding rule, kernels, and accumulation order, so the choice is
+//! **bit-invisible**: fused == two-pass == [`reference_gemm`] bit for bit
+//! for every supported format pair (`tests/gemm_fused.rs` proves it across
+//! presets, ragged K, degenerate shapes, and thread counts). The format
+//! gate itself stays [`pair_class`]-driven exactly as before; the shape
+//! gate only picks *how* A is lowered, never *whether* the code domain
+//! applies.
+//!
 //! # Exactness
 //!
 //! For every supported format pair (see [`code_domain_supported`]) the
@@ -174,26 +208,16 @@ fn c_half(fmt: &BdrFormat) -> i32 {
 /// Storage type for shift-aligned signed codes. Narrow format pairs (every
 /// MX/MSFP preset) use `i16`, whose widening multiply-accumulate maps onto
 /// the CPU's packed 16-bit MAC instructions; wide pairs fall back to `i32`
-/// codes with an `i64` accumulator.
-trait Code: Copy + Send + Sync {
-    /// Lossless narrowing from the aligned `i32` code (guaranteed to fit by
-    /// the [`pair_class`] width gates).
-    fn encode(aligned: i32) -> Self;
+/// codes with an `i64` accumulator. The storage width itself (and the
+/// lossless narrowing from aligned `i32` codes, guaranteed to fit by the
+/// [`pair_class`] width gates) lives in [`engine::AlignedCode`], which the
+/// engine's tile-granular lowering writes directly.
+trait Code: engine::AlignedCode {
     /// Exact integer dot product of two equal-length blocks.
     fn dot(a: &[Self], b: &[Self]) -> i64;
-    /// All-zero code (block padding).
-    const ZERO: Self;
 }
 
 impl Code for i16 {
-    const ZERO: Self = 0;
-
-    #[inline(always)]
-    fn encode(aligned: i32) -> Self {
-        debug_assert!(i32::from(aligned as i16) == aligned);
-        aligned as i16
-    }
-
     #[inline(always)]
     fn dot(a: &[Self], b: &[Self]) -> i64 {
         // The i32 accumulator cannot overflow: pairwise i16 products are
@@ -237,13 +261,6 @@ impl Code for i16 {
 }
 
 impl Code for i32 {
-    const ZERO: Self = 0;
-
-    #[inline(always)]
-    fn encode(aligned: i32) -> Self {
-        aligned
-    }
-
     #[inline(always)]
     fn dot(a: &[Self], b: &[Self]) -> i64 {
         let mut acc = 0i64;
@@ -349,7 +366,7 @@ fn pack_into<C: Code>(
                 let aligned = (engine::quantize_code(x, ulp, max_code) as i32) << (beta - tau);
                 // Zeros (incl. -0.0) carry sign 0, matching the engine's
                 // value and packed paths.
-                *slot = C::encode(if x != 0.0 && x.is_sign_negative() {
+                *slot = C::from_aligned(if x != 0.0 && x.is_sign_negative() {
                     -aligned
                 } else {
                     aligned
@@ -743,6 +760,23 @@ mod avx2 {
         });
     }
 
+    /// Executes the kernel over one already-lowered A tile (rows `0..tm` of
+    /// `ap`), writing the `tm × n` output span — the fused path's per-tile
+    /// entry.
+    pub(super) fn gemm_tile(
+        ap: PlaneView<'_, i16>,
+        tm: usize,
+        bp: PlaneView<'_, i16>,
+        n: usize,
+        c: i32,
+        out: &mut [f32],
+    ) {
+        debug_assert!(ap.k1 == K1 && bp.k1 == K1);
+        // SAFETY: a block-major B plane is only built when `available()`
+        // verified AVX2 support at pack time.
+        unsafe { gemm_rows_avx2(ap, 0, tm, bp, n, c, out) }
+    }
+
     /// # Safety
     ///
     /// Requires AVX2 (checked by [`available`] before dispatch).
@@ -914,11 +948,15 @@ fn execute(
     Some(out)
 }
 
-/// Reusable buffers for ad-hoc A-side packing: the code and exponent vectors
-/// [`quantized_gemm_prepacked_scratch`] lowers activations into, retained
-/// across calls so a steady-state forward pass allocates nothing for the
-/// activation plane. Narrow and wide widths keep separate buffers, so one
-/// scratch serves interleaved format classes without reallocation churn.
+/// Reusable buffers for ad-hoc A-side lowering, shared by both activation
+/// strategies: the **two-pass** path ([`quantized_gemm_twopass_scratch`])
+/// lowers the whole activation plane into the code and exponent vectors,
+/// while the **fused** path ([`quantized_gemm_fused`]) reuses the same
+/// vectors as its [`TILE_M`]-row tile ring, so a steady-state forward pass
+/// allocates nothing for the activation side whichever way the dispatch
+/// goes. Narrow and wide widths
+/// keep separate buffers, so one scratch serves interleaved format classes
+/// without reallocation churn.
 ///
 /// A scratch is plain storage — it carries no format or shape state, so one
 /// instance can serve any sequence of GEMMs (`mx-nn` keeps one per thread).
@@ -940,11 +978,249 @@ impl PackScratch {
     }
 }
 
-/// [`quantized_gemm_prepacked`] with a caller-provided [`PackScratch`]: the
-/// activation code plane is written into `scratch`'s buffers instead of
-/// fresh allocations, closing the last per-call allocation on the inference
-/// steady-state path (measured by the `inference_steady_state` bench's
-/// `prepacked_scratch` case). Bit-identical to the allocating variant.
+/// Largest `M` (activation rows) the automatic dispatch in
+/// [`quantized_gemm_prepacked_scratch`] routes to the fused
+/// pack-on-the-fly path. Serving shapes — autoregressive decode (`m = 1`)
+/// up to coalesced micro-batches (`m = 32`) — quantize their activation
+/// strips inside the execute loop; larger training-shaped GEMMs keep the
+/// two-pass prepack, whose single long `f32` sweep streams A once instead
+/// of interleaving float and integer phases per tile.
+pub const FUSED_MAX_M: usize = 32;
+
+/// A per-tile execute kernel: `(a_tile, tm, b_plane, n, c, out)` computes
+/// the `tm × n` output span from an already-lowered A tile.
+type TileKernel<C> = fn(PlaneView<'_, C>, usize, PlaneView<'_, C>, usize, i32, &mut [f32]);
+
+/// The narrow-pair tile kernel for a B plane in the given layout.
+fn narrow_tile_kernel(block_major: bool) -> TileKernel<i16> {
+    #[cfg(target_arch = "x86_64")]
+    if block_major {
+        return avx2::gemm_tile;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = block_major;
+    |ap, tm, bp, n, c, out| gemm_rows(ap, 0, tm, bp, n, c, out)
+}
+
+/// The fused inner loop over one span of output rows `r0 .. r0 + rows`:
+/// for each [`TILE_M`]-row tile, lower the tile's A strips block by block
+/// through [`engine::lower_block_into`] into the scratch tile ring
+/// (`codes` / `exps`, reused across tiles), then immediately execute
+/// `kernel` over the freshly quantized tile against the cached B plane.
+/// The tile's codes are consumed while still cache-hot and the full A
+/// plane is never materialized.
+///
+/// Per output element the K-block loop order, rounding points, and
+/// accumulation are identical to the two-pass path, so the result is
+/// bit-identical to it (and to [`reference_gemm`]).
+#[allow(clippy::too_many_arguments)] // a GEMM span is dims + operands + buffers
+fn fused_span<C: Code>(
+    a: &[f32],
+    k: usize,
+    fa: &BdrFormat,
+    bp: PlaneView<'_, C>,
+    n: usize,
+    c: i32,
+    r0: usize,
+    rows: usize,
+    codes: &mut Vec<C>,
+    exps: &mut Vec<i32>,
+    shifts: &mut Vec<u32>,
+    out: &mut [f32],
+    kernel: TileKernel<C>,
+) {
+    let k1 = fa.k1();
+    let blocks = blocks_of(k, fa);
+    let kcodes = blocks * k1;
+    let ring_rows = TILE_M.min(rows);
+    codes.clear();
+    codes.resize(ring_rows * kcodes, C::ZERO);
+    exps.clear();
+    exps.resize(ring_rows * blocks, 0);
+    let mut i0 = 0;
+    while i0 < rows {
+        let tm = TILE_M.min(rows - i0);
+        for t in 0..tm {
+            let row = &a[(r0 + i0 + t) * k..][..k];
+            let slot0 = t * blocks;
+            for kb in 0..blocks {
+                let start = kb * k1;
+                let blen = k1.min(k - start);
+                // `lower_block_into` writes every slot of its block
+                // (zeroing the ragged tail and all-zero blocks), so the
+                // ring needs no per-tile clear.
+                let e = engine::lower_block_into(
+                    fa,
+                    &row[start..start + blen],
+                    shifts,
+                    &mut codes[(slot0 + kb) * k1..][..k1],
+                );
+                exps[slot0 + kb] = e.unwrap_or(0);
+            }
+        }
+        let ap = PlaneView {
+            codes,
+            exps,
+            blocks,
+            k1,
+        };
+        kernel(ap, tm, bp, n, c, &mut out[i0 * n..][..tm * n]);
+        i0 += tm;
+    }
+}
+
+/// Runs [`fused_span`] serially through the caller's scratch buffers, or
+/// row-parallel with small per-worker tile rings (each span's tile ring is
+/// `TILE_M` rows — cheap next to the per-span output buffer the parallel
+/// dispatch already allocates). Spans are whole rows, so the output is
+/// bit-identical either way.
+#[allow(clippy::too_many_arguments)] // a GEMM is dims + operands + dispatch knobs
+fn fused_dispatch<C: Code>(
+    a: &[f32],
+    k: usize,
+    fa: &BdrFormat,
+    bp: PlaneView<'_, C>,
+    m: usize,
+    n: usize,
+    c: i32,
+    workers: usize,
+    codes: &mut Vec<C>,
+    exps: &mut Vec<i32>,
+    shifts: &mut Vec<u32>,
+    out: &mut Vec<f32>,
+    kernel: TileKernel<C>,
+) {
+    if workers <= 1 {
+        fused_span(a, k, fa, bp, n, c, 0, m, codes, exps, shifts, out, kernel);
+    } else {
+        dispatch_rows(m, n, workers, out, |r0, rows, part| {
+            fused_span(
+                a,
+                k,
+                fa,
+                bp,
+                n,
+                c,
+                r0,
+                rows,
+                &mut Vec::new(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+                part,
+                kernel,
+            );
+        });
+    }
+}
+
+/// [`quantized_gemm_prepacked`] with the activation operand quantized
+/// **inside the execute loop** (pack-on-the-fly): each [`TILE_M`]-row
+/// strip of A is lowered into a small scratch tile ring and consumed
+/// immediately by the integer kernels, so the A code plane is never
+/// materialized and the strip stays cache-hot between its `f32` and
+/// integer phases. This is the serving hot path for small `m` — the
+/// automatic dispatch in [`quantized_gemm_prepacked_scratch`] routes
+/// `m ≤` [`FUSED_MAX_M`] here.
+///
+/// Bit-identical to [`quantized_gemm_twopass_scratch`] (and therefore to
+/// [`quantized_gemm`] and [`reference_gemm`]) for every supported pairing,
+/// at every thread count: both paths run the same block plan, rounding
+/// rule, kernels, and accumulation order.
+///
+/// Returns `None` under exactly the same conditions as
+/// [`quantized_gemm_prepacked`].
+///
+/// # Panics
+///
+/// Panics if `a.len() != m · packed_b.k()`.
+///
+/// # Examples
+///
+/// ```
+/// use mx_core::bdr::BdrFormat;
+/// use mx_core::gemm::{
+///     quantized_gemm_fused, quantized_gemm_twopass_scratch, PackScratch, PackedOperand,
+/// };
+///
+/// let fmt = BdrFormat::MX6;
+/// let b: Vec<f32> = (0..48 * 5).map(|i| (i as f32 * 0.11).cos()).collect();
+/// let pb = PackedOperand::pack_cols(&b, 48, 5, fmt, fmt).unwrap();
+/// let a: Vec<f32> = (0..2 * 48).map(|i| (i as f32 * 0.23).sin()).collect();
+/// let mut scratch = PackScratch::new();
+/// let fused = quantized_gemm_fused(&a, 2, fmt, &pb, 1, &mut scratch).unwrap();
+/// let two_pass = quantized_gemm_twopass_scratch(&a, 2, fmt, &pb, 1, &mut scratch).unwrap();
+/// // The strategies are bit-invisible: same plan, same rounding, same order.
+/// assert!(fused.iter().zip(&two_pass).all(|(x, y)| x.to_bits() == y.to_bits()));
+/// ```
+pub fn quantized_gemm_fused(
+    a: &[f32],
+    m: usize,
+    fa: BdrFormat,
+    packed_b: &PackedOperand,
+    threads: usize,
+    scratch: &mut PackScratch,
+) -> Option<Vec<f32>> {
+    let (class, k, n, c) = a_side_gate(a, m, &fa, packed_b)?;
+    // Reject a plane holding the other kernel class's code width *before*
+    // the degenerate-dims early return, so the rejection conditions stay
+    // exactly those of the two-pass entry at every shape.
+    match (class, &packed_b.plane) {
+        (PairClass::Narrow, Plane::Narrow(_)) | (PairClass::Wide, Plane::Wide(_)) => {}
+        _ => return None,
+    }
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return Some(out);
+    }
+    let workers = gemm_workers(m, n, k, threads);
+    match (class, &packed_b.plane) {
+        (PairClass::Narrow, Plane::Narrow(bpl)) => fused_dispatch(
+            a,
+            k,
+            &fa,
+            bpl.view(),
+            m,
+            n,
+            c,
+            workers,
+            &mut scratch.narrow_codes,
+            &mut scratch.narrow_exps,
+            &mut scratch.shifts,
+            &mut out,
+            narrow_tile_kernel(packed_b.block_major),
+        ),
+        (PairClass::Wide, Plane::Wide(bpl)) => fused_dispatch(
+            a,
+            k,
+            &fa,
+            bpl.view(),
+            m,
+            n,
+            c,
+            workers,
+            &mut scratch.wide_codes,
+            &mut scratch.wide_exps,
+            &mut scratch.shifts,
+            &mut out,
+            |ap, tm, bp, n, c, out| gemm_rows(ap, 0, tm, bp, n, c, out),
+        ),
+        // `packed_b` was packed for a partner in the other kernel class;
+        // callers fall back rather than silently re-lowering B.
+        _ => return None,
+    }
+    Some(out)
+}
+
+/// [`quantized_gemm_prepacked`] with a caller-provided [`PackScratch`] —
+/// the **shape-aware dispatch point** between the two activation-lowering
+/// strategies (see the module docs): calls with `m ≤` [`FUSED_MAX_M`]
+/// activation rows take the fused pack-on-the-fly path
+/// ([`quantized_gemm_fused`]); larger calls take the two-pass prepack
+/// ([`quantized_gemm_twopass_scratch`]). The choice is bit-invisible —
+/// both strategies run the identical block plan, rounding rule, kernels,
+/// and accumulation order — so callers (`mx-nn`'s `quantized_matmul_ab`,
+/// and through it every layer and the `mx-serve` batch path) pick up the
+/// fused serving hot path with no call-site changes.
 ///
 /// Returns `None` under exactly the same conditions as
 /// [`quantized_gemm_prepacked`].
@@ -960,13 +1236,36 @@ pub fn quantized_gemm_prepacked_scratch(
     threads: usize,
     scratch: &mut PackScratch,
 ) -> Option<Vec<f32>> {
-    if packed_b.side != Side::Cols {
-        return None;
+    if m <= FUSED_MAX_M {
+        quantized_gemm_fused(a, m, fa, packed_b, threads, scratch)
+    } else {
+        quantized_gemm_twopass_scratch(a, m, fa, packed_b, threads, scratch)
     }
-    let class = pair_class(&fa, &packed_b.fmt)?;
-    let k = packed_b.len;
-    assert_eq!(a.len(), m * k, "A is not {m}x{k}");
-    let c = c_half(&fa) + packed_b.c_half;
+}
+
+/// The two-pass activation strategy: lowers **all** of A to a code plane in
+/// `scratch`'s buffers (no fresh allocations on the steady-state path),
+/// then executes the pure integer GEMM over the two planes. This was the
+/// only strategy before the fused path existed; it remains the dispatch
+/// choice for training-shaped calls (`m >` [`FUSED_MAX_M`]), where one
+/// long `f32` sweep over A streams better than per-tile phase
+/// interleaving. Bit-identical to [`quantized_gemm_fused`].
+///
+/// Returns `None` under exactly the same conditions as
+/// [`quantized_gemm_prepacked`].
+///
+/// # Panics
+///
+/// Panics if `a.len() != m · packed_b.k()`.
+pub fn quantized_gemm_twopass_scratch(
+    a: &[f32],
+    m: usize,
+    fa: BdrFormat,
+    packed_b: &PackedOperand,
+    threads: usize,
+    scratch: &mut PackScratch,
+) -> Option<Vec<f32>> {
+    let (class, k, _n, c) = a_side_gate(a, m, &fa, packed_b)?;
     let views = match (class, &packed_b.plane) {
         (PairClass::Narrow, Plane::Narrow(bp)) => {
             let blocks = pack_into::<i16>(
@@ -1030,6 +1329,32 @@ pub fn quantized_gemm_prepacked_scratch(
     )
 }
 
+/// The admission gate both activation strategies share — the plane-side
+/// check, the [`pair_class`] format gate, the operand-shape assertion, and
+/// the execute geometry `(class, k, n, c)`. Keeping it in one place is
+/// what makes "fused and two-pass return `None` under exactly the same
+/// conditions" a structural fact rather than a convention (the remaining
+/// per-strategy rejection — a B plane holding the other kernel class's
+/// code width — lives in each entry's plane match).
+///
+/// # Panics
+///
+/// Panics if `a.len() != m · packed_b.k()`.
+fn a_side_gate(
+    a: &[f32],
+    m: usize,
+    fa: &BdrFormat,
+    packed_b: &PackedOperand,
+) -> Option<(PairClass, usize, usize, i32)> {
+    if packed_b.side != Side::Cols {
+        return None;
+    }
+    let class = pair_class(fa, &packed_b.fmt)?;
+    let k = packed_b.len;
+    assert_eq!(a.len(), m * k, "A is not {m}x{k}");
+    Some((class, k, packed_b.vectors, c_half(fa) + packed_b.c_half))
+}
+
 /// Block count per vector of a `len`-long reduction in `fmt`.
 fn blocks_of(len: usize, fmt: &BdrFormat) -> usize {
     len.div_ceil(fmt.k1())
@@ -1039,8 +1364,10 @@ fn blocks_of(len: usize, fmt: &BdrFormat) -> usize {
 /// operand: only A's rows are lowered to codes, B-side packing is skipped
 /// entirely. This is the inference steady-state entry point — weights are
 /// static, so their [`PackedOperand`] is built once and reused across
-/// forward passes. (Callers on a hot loop can also reuse the activation
-/// plane's buffers via [`quantized_gemm_prepacked_scratch`].)
+/// forward passes. Routes through the shape-aware dispatch of
+/// [`quantized_gemm_prepacked_scratch`] (fused pack-on-the-fly at serving
+/// shapes, two-pass prepack otherwise; callers on a hot loop should use
+/// the scratch variant directly to also reuse the activation buffers).
 ///
 /// Bit-identical to [`quantized_gemm`] (and therefore to
 /// [`reference_gemm`]) for every supported pairing.
