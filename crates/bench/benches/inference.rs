@@ -63,6 +63,10 @@ fn test_matrix(len: usize, salt: usize) -> Vec<f32> {
 fn inference_steady_state(c: &mut Criterion) {
     let fmt = BdrFormat::MX6;
     let threads = bench_threads(1);
+    eprintln!(
+        "inference benches: kernel backend = {}",
+        mx_core::gemm::kernel_backend_name()
+    );
     let a = test_matrix(M * K, 1);
     let w = test_matrix(K * N, 2);
     let mut group = c.benchmark_group("inference_steady_state");

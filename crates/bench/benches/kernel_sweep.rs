@@ -1,0 +1,92 @@
+//! `kernel_sweep` — the acceptance benchmark for the multi-backend kernel
+//! dispatch layer and the generation-2 AVX2 kernel: one group per
+//! serving-relevant M ∈ {1, 4, 8, 16, 32}, sweeping
+//!
+//! - `scalar` / `sse2` / `avx2` — each backend forced via
+//!   `force_kernel_backend` (the B plane is packed *after* forcing, so
+//!   each variant also measures its own plane layout — vector-major for
+//!   scalar/SSE2, panel-major wide tiles for AVX2);
+//! - `avx2_nodefer` — the AVX2 backend with deferred scale-out forced
+//!   off, isolating the deferral win from the wide-tile win;
+//! - `fgemm_f32` — the unquantized FP32 kernel, the floor the fused path
+//!   must beat at **every** M.
+//!
+//! All cases run the fused activation path against a warm weight plane at
+//! the same GPT-ish layer shape as `inference_steady_state` (K = 512 into
+//! an N = 2048 FFN expansion, MX6 × MX6), serial by default
+//! (`MX_BENCH_THREADS` overrides). A backend the CPU cannot run degrades
+//! to the best available (reported once at startup), keeping the sweep
+//! runnable everywhere.
+//!
+//! Results are recorded in `results/kernel_sweep.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mx_bench::bench_threads;
+use mx_core::bdr::BdrFormat;
+use mx_core::fgemm;
+use mx_core::gemm::{
+    force_deferred_scale_out, force_kernel_backend, kernel_backend_name, quantized_gemm_fused,
+    KernelBackend, PackScratch, PackedOperand,
+};
+use std::hint::black_box;
+
+/// Model width and FFN expansion width (the `inference_steady_state` shape).
+const K: usize = 512;
+const N: usize = 2048;
+
+fn test_matrix(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            ((i.wrapping_mul(2654435761).wrapping_add(salt * 911)) % 10_007) as f32 / 10_007.0 - 0.5
+        })
+        .collect()
+}
+
+fn kernel_sweep(c: &mut Criterion) {
+    let fmt = BdrFormat::MX6;
+    let threads = bench_threads(1);
+    eprintln!(
+        "kernel_sweep: auto-selected backend = {}",
+        kernel_backend_name()
+    );
+    let w = test_matrix(K * N, 2);
+    for m in [1usize, 4, 8, 16, 32] {
+        let a = test_matrix(m * K, 3 + m);
+        let mut group = c.benchmark_group(format!("kernel_sweep_m{m}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements((m * N * K) as u64));
+        for backend in [
+            KernelBackend::Scalar,
+            KernelBackend::Sse2,
+            KernelBackend::Avx2,
+        ] {
+            group.bench_function(backend.name(), |bench| {
+                force_kernel_backend(Some(backend));
+                let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
+                let mut scratch = PackScratch::new();
+                bench.iter(|| {
+                    black_box(quantized_gemm_fused(&a, m, fmt, &pw, threads, &mut scratch).unwrap())
+                });
+                force_kernel_backend(None);
+            });
+        }
+        group.bench_function("avx2_nodefer", |bench| {
+            force_kernel_backend(Some(KernelBackend::Avx2));
+            force_deferred_scale_out(Some(false));
+            let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
+            let mut scratch = PackScratch::new();
+            bench.iter(|| {
+                black_box(quantized_gemm_fused(&a, m, fmt, &pw, threads, &mut scratch).unwrap())
+            });
+            force_deferred_scale_out(None);
+            force_kernel_backend(None);
+        });
+        group.bench_function("fgemm_f32", |bench| {
+            bench.iter(|| black_box(fgemm::matmul(&a, &w, m, K, N, threads)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, kernel_sweep);
+criterion_main!(benches);

@@ -136,7 +136,7 @@ fn main() {
     // per-request generation cost on the submission thread.
     let rows: Vec<Vec<f32>> = (0..64).map(|s| request_row(args.d_in, s + 1)).collect();
     println!(
-        "open-loop: {} requests at {:.0} req/s ({}x{} MX6 FFN, workers={}, max_batch={}{})",
+        "open-loop: {} requests at {:.0} req/s ({}x{} MX6 FFN, workers={}, max_batch={}{}, kernel backend={})",
         args.requests,
         args.rate,
         args.d_in,
@@ -144,6 +144,7 @@ fn main() {
         args.workers,
         args.max_batch,
         if args.pad { ", padded" } else { "" },
+        mx_core::gemm::kernel_backend_name(),
     );
 
     let start = Instant::now();

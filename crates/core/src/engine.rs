@@ -579,6 +579,111 @@ pub(crate) fn lower_block_into<C: AlignedCode>(
     Some(shared_exp)
 }
 
+/// Strided sibling of [`lower_block_into`]: plans the block
+/// `data[base + i·stride], i in 0..len` and lowers it to shift-aligned
+/// codes in one pass — the entry [`crate::gemm`]'s column packer walks
+/// `B[K,N]`'s columns through (stride `n`) without materializing a
+/// transpose. Also returns the block's shared exponent via the same
+/// `Option` convention, which is the plan metadata the packer's
+/// deferred-scale-out bookkeeping (per-vector exponent uniformity)
+/// consumes.
+///
+/// `codes` must hold exactly `k1` slots; every slot is written (the ragged
+/// tail past `len` is zeroed, as is the whole slot array for an all-zero
+/// block). The planning filter, clamp, shift formula, reciprocal-multiply
+/// scaling, and branch-free rounding are the same substitutions as
+/// [`lower_block_into`] — the two must stay in step, decision for decision
+/// (both are debug-checked against [`plan_into`] and proven bit-identical
+/// to the division path by the packing consistency suites).
+pub(crate) fn lower_block_strided_into<C: AlignedCode>(
+    fmt: &BdrFormat,
+    data: &[f32],
+    base: usize,
+    stride: usize,
+    len: usize,
+    shifts: &mut Vec<u32>,
+    codes: &mut [C],
+) -> Option<i32> {
+    debug_assert_eq!(codes.len(), fmt.k1());
+    debug_assert!(len <= fmt.k1());
+    let k2 = fmt.k2();
+    let beta = fmt.max_shift();
+    // Pass 1: per-sub-block max |x| as raw abs bits, staged in `shifts`.
+    shifts.clear();
+    let mut block_max = 0u32;
+    let mut sub_start = 0;
+    while sub_start < len {
+        let sub_len = k2.min(len - sub_start);
+        let mut sub_max = 0u32;
+        let mut idx = base + sub_start * stride;
+        for _ in 0..sub_len {
+            let abs = data[idx].to_bits() & 0x7fff_ffff;
+            // Exactly `plan_into`'s filter: x != 0.0 && x.is_finite().
+            if abs < 0x7f80_0000 && abs > sub_max {
+                sub_max = abs;
+            }
+            idx += stride;
+        }
+        shifts.push(sub_max);
+        block_max = block_max.max(sub_max);
+        sub_start += sub_len;
+    }
+    if block_max == 0 {
+        shifts.clear();
+        codes.fill(C::ZERO);
+        return None;
+    }
+    let shared_exp =
+        exponent_of(f32::from_bits(block_max)).clamp(fmt.min_shared_exp(), fmt.max_shared_exp());
+    // Pass 2: staged maxima → microexponent shifts (same formula as
+    // `plan_into`; all-zero sub-blocks take the maximum shift).
+    for s in shifts.iter_mut() {
+        *s = if *s == 0 {
+            beta
+        } else {
+            let e_i = exponent_of(f32::from_bits(*s));
+            (shared_exp.saturating_sub(e_i).max(0) as u32).min(beta)
+        };
+    }
+    #[cfg(debug_assertions)]
+    {
+        let mut check = Vec::new();
+        let check_exp = plan_into(fmt, data, base, stride, len, &mut check);
+        debug_assert_eq!(check_exp, Some(shared_exp), "strided plan: shared exp");
+        debug_assert_eq!(&check, shifts, "strided plan: shifts");
+    }
+    let max_code = fmt.max_code();
+    let m1 = fmt.m() as i32 - 1;
+    let mut done = 0;
+    for &tau in shifts.iter() {
+        let sub_len = k2.min(len - done);
+        let inv_ulp = pow2(-(shared_exp - tau as i32 - m1));
+        let align = beta - tau;
+        let mut idx = base + done * stride;
+        for dst in codes[done..done + sub_len].iter_mut() {
+            let x = data[idx];
+            idx += stride;
+            *dst = if x == 0.0 {
+                // Zeros (incl. -0.0) carry sign 0, matching the engine's
+                // value and packed paths.
+                C::ZERO
+            } else {
+                let rounded = round_half_even_fast(x.abs() as f64 * inv_ulp);
+                let code = (rounded as u64).min(max_code);
+                let aligned = (code as i32) << align;
+                C::from_aligned(if x.is_sign_negative() {
+                    -aligned
+                } else {
+                    aligned
+                })
+            };
+        }
+        done += sub_len;
+    }
+    codes[done..].fill(C::ZERO);
+    Some(shared_exp)
+}
+
 /// Fake-quantizes one strided block in place.
 fn qdq_block_strided(
     fmt: &BdrFormat,

@@ -1,0 +1,286 @@
+//! The kernel-backend dispatch layer: which ISA-specific tile kernel
+//! executes the narrow (`i16`) code-domain path, and whether the
+//! deferred-scale-out optimization is armed.
+//!
+//! # The backend contract
+//!
+//! A backend is a [`SpanKernel`] — a plain function pointer computing one
+//! span of output rows from two already-lowered [`PlaneView`]s. Every
+//! backend must be **bit-identical** to every other (and to
+//! [`super::reference_gemm`]): same per-block integer dots, same one-`f32`
+//! rounding per scale-out, same K-block accumulation order. Backends are
+//! therefore free to differ in *how* they traverse the planes (tile
+//! shapes, SIMD width, deferral) but never in what they round. The
+//! `gemm_backends` integration suite enforces this by forcing every
+//! backend over the full preset matrix.
+//!
+//! Three backends exist today, each in its own sibling module:
+//!
+//! - [`super::scalar`] — portable Rust, no intrinsics; the reference
+//!   implementation and the only backend off x86-64;
+//! - [`super::sse2`] — `pmaddwd` block dots (baseline x86-64 ABI),
+//!   vector-major B;
+//! - [`super::avx2`] — panel-major B, register-blocked 8-column panels
+//!   (two rows at a time where deferral holds) with deferred scale-out
+//!   (generation 2), and an in-register per-block scale-out panel as the
+//!   exact fallback.
+//!
+//! Adding an ISA (AVX-512, NEON) is: write the module, give it a
+//! [`KernelBackend`] variant, extend [`narrow_span_kernel`] — no changes
+//! to packing, dispatch entries, or callers.
+//!
+//! # Selection
+//!
+//! [`selected_backend`] resolves, in priority order: the process-wide
+//! programmatic override ([`force_kernel_backend`], used by tests and the
+//! `kernel_sweep` bench), the `MX_KERNEL_BACKEND` environment variable
+//! (`auto` / `scalar` / `sse2` / `avx2`, read once), then the best backend
+//! the CPU supports. A request the CPU cannot honor degrades to the best
+//! available (forcing `avx2` on a non-AVX2 machine runs SSE2) — the knob
+//! can only *narrow* the ISA, never fake one. [`kernel_backend_name`]
+//! reports the effective choice so benches and `serve_loadgen` can record
+//! which backend actually ran.
+//!
+//! The choice is honored at **pack time**: the AVX2 kernels consume a
+//! panel-major B plane, the others vector-major, so
+//! [`super::PackedOperand::pack_cols`] lays the plane out for the backend
+//! selected when it runs, and execution always follows the plane's layout
+//! (a panel-major plane runs the AVX2 kernels even if the knob has since
+//! changed — the layout exists only on machines that support them).
+
+use super::pack::PlaneView;
+use super::DeferCtx;
+use crate::bdr::BdrFormat;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// The ISA tier executing the narrow (`i16`-code) integer GEMM path. The
+/// wide (`i32`-code) path for exotic custom formats always runs the
+/// portable scalar kernel — it is not serving-critical and keeps the
+/// backend matrix small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Portable Rust, no intrinsics.
+    Scalar,
+    /// `pmaddwd` block dots (part of the x86-64 baseline ABI).
+    Sse2,
+    /// Wide-tile deferred-scale-out kernel over panel-major B.
+    Avx2,
+}
+
+impl KernelBackend {
+    /// The knob spelling of this backend (`scalar` / `sse2` / `avx2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Sse2 => "sse2",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Whether the running CPU supports the AVX2 kernels.
+#[cfg(target_arch = "x86_64")]
+pub(super) fn avx2_available() -> bool {
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(super) fn avx2_available() -> bool {
+    false
+}
+
+/// The best backend the running CPU supports.
+fn best_available() -> KernelBackend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            KernelBackend::Avx2
+        } else {
+            KernelBackend::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    KernelBackend::Scalar
+}
+
+/// Caps a requested backend at what the CPU can actually run.
+fn clamp_available(req: KernelBackend) -> KernelBackend {
+    match req {
+        KernelBackend::Avx2 if !avx2_available() => clamp_available(KernelBackend::Sse2),
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelBackend::Sse2 => KernelBackend::Scalar,
+        other => other,
+    }
+}
+
+/// Programmatic override slot: 0 = none, else `KernelBackend as u8 + 1`.
+static BACKEND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// `MX_KERNEL_BACKEND` parsed once; `None` for unset/`auto`/unrecognized.
+fn env_backend() -> Option<KernelBackend> {
+    static ENV: OnceLock<Option<KernelBackend>> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("MX_KERNEL_BACKEND").ok()?.as_str() {
+        "scalar" => Some(KernelBackend::Scalar),
+        "sse2" => Some(KernelBackend::Sse2),
+        "avx2" => Some(KernelBackend::Avx2),
+        // `auto` and anything unrecognized fall through to detection.
+        _ => None,
+    })
+}
+
+/// The backend the dispatch layer is currently selecting: the
+/// [`force_kernel_backend`] override, else `MX_KERNEL_BACKEND`, else the
+/// best the CPU supports — always capped at what can actually run.
+pub fn selected_backend() -> KernelBackend {
+    let req = match BACKEND_OVERRIDE.load(Ordering::Relaxed) {
+        1 => KernelBackend::Scalar,
+        2 => KernelBackend::Sse2,
+        3 => KernelBackend::Avx2,
+        _ => env_backend().unwrap_or_else(best_available),
+    };
+    clamp_available(req)
+}
+
+/// Name of the effective backend (`"scalar"` / `"sse2"` / `"avx2"`) —
+/// what benches and `serve_loadgen` report alongside their numbers.
+///
+/// # Examples
+///
+/// ```
+/// // Whatever the machine, the name is one of the three tiers.
+/// assert!(["scalar", "sse2", "avx2"].contains(&mx_core::gemm::kernel_backend_name()));
+/// ```
+pub fn kernel_backend_name() -> &'static str {
+    selected_backend().name()
+}
+
+/// Forces the dispatch layer onto one backend (process-wide), or back to
+/// automatic selection with `None`. Intended for tests and benches that
+/// sweep backends; affects the layout of subsequently packed B planes as
+/// well as kernel choice (pack after forcing — see the module docs).
+pub fn force_kernel_backend(backend: Option<KernelBackend>) {
+    let v = match backend {
+        None => 0,
+        Some(KernelBackend::Scalar) => 1,
+        Some(KernelBackend::Sse2) => 2,
+        Some(KernelBackend::Avx2) => 3,
+    };
+    BACKEND_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Deferral override slot: 0 = unset, 1 = force on, 2 = force off.
+static DEFER_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether deferred scale-out is armed: the [`force_deferred_scale_out`]
+/// override, else `MX_KERNEL_DEFER` (`0` / `off` disables), else on.
+/// Disabling it never changes results — deferral is applied only where it
+/// is provably exact — it only forces the per-block scale-out everywhere,
+/// which is what the `kernel_sweep` bench and the equivalence tests use to
+/// isolate the deferral win.
+pub fn deferred_scale_out_enabled() -> bool {
+    match DEFER_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            static ENV: OnceLock<bool> = OnceLock::new();
+            *ENV.get_or_init(|| {
+                !matches!(
+                    std::env::var("MX_KERNEL_DEFER").as_deref(),
+                    Ok("0") | Ok("off") | Ok("false")
+                )
+            })
+        }
+    }
+}
+
+/// Forces deferred scale-out on/off (process-wide), or back to the
+/// environment default with `None`. Results are bit-identical either way.
+pub fn force_deferred_scale_out(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    DEFER_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Builds the per-GEMM deferral context for an `(fa, fb)` pair whose
+/// reduction spans `blocks` `k1`-blocks, with scale-out constant `c`.
+///
+/// # The deferred scale-out headroom invariant
+///
+/// The per-block path computes `acc ← f32(acc + f32(dotⱼ · 2^(eⱼ+c)))`
+/// block by block. Deferral instead sums the integer dots of **all** K
+/// blocks of one output element and applies a single scale — exact (bit
+/// for bit equal to the per-block chain) precisely when every `f32`
+/// addition in that chain was itself exact, which this context guarantees
+/// structurally before any kernel looks at data:
+///
+/// - **Static headroom** (`enabled`): `blocks · Dmax ≤ 2²⁴`, where
+///   `Dmax = k1 · (max_code_a ≪ β_a) · (max_code_b ≪ β_b)` bounds any
+///   single block dot. Then every partial sum of dots is an integer of
+///   magnitude ≤ 2²⁴ — exactly representable in `f32`'s 24-bit mantissa.
+/// - **Uniform exponents** (checked per output element by the kernels):
+///   all nonzero blocks of the A row share one shared exponent `e_a`, and
+///   likewise `e_b` for the B column — so every nonzero contribution sits
+///   on the single fixed-point grid `2^(e_a+e_b+c)` (all-zero blocks
+///   contribute exactly `+0.0` on both paths and are exempt).
+/// - **Grid window** (`e_lo ..= e_hi`): `e_a + e_b + c ∈ [−149, 103]`, so
+///   the grid unit is at or above `f32`'s subnormal floor and
+///   `2²⁴ · 2^(e+c)` stays below `f32::MAX` — integer multiples of the
+///   unit up to 2²⁴ are all exact `f32`s.
+///
+/// Under all three, the per-block chain never rounds, its result is the
+/// exact sum, and the deferred single scale-out reproduces it bit for bit.
+/// Any element (or format pair, or block count) failing a condition takes
+/// the per-block scale-out instead — deferral is an optimization, never a
+/// semantics change.
+pub(super) fn defer_ctx(fa: &BdrFormat, fb: &BdrFormat, blocks: usize, c: i32) -> DeferCtx {
+    let dmax =
+        fa.k1() as u64 * (fa.max_code() << fa.max_shift()) * (fb.max_code() << fb.max_shift());
+    let enabled =
+        deferred_scale_out_enabled() && dmax > 0 && (blocks as u64).saturating_mul(dmax) <= 1 << 24;
+    DeferCtx {
+        enabled,
+        e_lo: -149 - c,
+        e_hi: 103 - c,
+    }
+}
+
+/// A span kernel: computes output rows `r0 .. r0 + rows` (written at
+/// offset 0 of `out`, a `rows × n` slice) from an A plane and a B plane —
+/// the unit of work the row-parallel dispatch and the fused per-tile path
+/// both schedule. See the module docs for the bit-identity contract.
+pub(super) type SpanKernel<C> =
+    fn(PlaneView<'_, C>, usize, usize, PlaneView<'_, C>, usize, i32, DeferCtx, &mut [f32]);
+
+/// The narrow-pair span kernel for a B plane in the given layout: a
+/// panel-major plane always runs the AVX2 kernels (the layout is only ever
+/// built when the CPU supports them); a vector-major plane runs the
+/// selected backend, with AVX2 degrading to SSE2 (its kernels require the
+/// panel-major layout).
+pub(super) fn narrow_span_kernel(b_panel_major: bool) -> SpanKernel<i16> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if b_panel_major {
+            return super::avx2::gemm_span;
+        }
+        match selected_backend() {
+            KernelBackend::Scalar => super::scalar::gemm_span::<i16, false>,
+            _ => super::sse2::gemm_span,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = b_panel_major;
+        super::scalar::gemm_span::<i16, false>
+    }
+}
+
+/// The wide-pair span kernel (exotic custom formats): always the portable
+/// generic kernel with the chunked `i64`-accumulator dot.
+pub(super) fn wide_span_kernel() -> SpanKernel<i32> {
+    super::scalar::gemm_span::<i32, true>
+}

@@ -1,5 +1,6 @@
 //! Integer-domain quantized GEMM fused with the quantization engine, split
-//! into a **prepack / execute** architecture.
+//! into a **prepack / execute** architecture with a multi-backend kernel
+//! dispatch layer.
 //!
 //! The point of the paper's Fig. 8 compute flow is that a BDR datapath never
 //! multiplies wide floats: each operand element is a narrow sign/magnitude
@@ -13,13 +14,14 @@
 //! 2. **integer MACs** — the aligned codes multiply and accumulate in plain
 //!    integer arithmetic (`i64` here, `i32` when the format pair is narrow
 //!    enough to never overflow);
-//! 3. **shared exponent add + one scale-out** — the block-pair total `T` is
+//! 3. **shared exponent add + scale-out** — the block-pair total `T` is
 //!    an exact integer in units of `2^(E_a + E_b + c)`, where `E_a`/`E_b`
 //!    are the two shared exponents and
 //!    `c = −(m_a − 1) − β_a − (m_b − 1) − β_b` accounts for the mantissa
-//!    binary points and the alignment shifts; a single `f32` scale-out per
-//!    block pair converts `T` back to a float, which is accumulated across
-//!    the K blocks.
+//!    binary points and the alignment shifts; an `f32` scale-out converts
+//!    integer totals back to floats — once per block pair in the baseline
+//!    kernels, and once per whole K reduction where **deferred scale-out**
+//!    proves that exact (see below).
 //!
 //! # Prepack / execute
 //!
@@ -30,8 +32,8 @@
 //! therefore separates the two stages:
 //!
 //! - [`PackedOperand::pack_rows`] / [`PackedOperand::pack_cols`] lower an
-//!   operand **once** to a reusable code plane (through the same
-//!   [`crate::engine`] block plan and rounding rule as
+//!   operand **once** to a reusable code plane (through the engine's
+//!   single-pass block lowering — the same plan and rounding rule as
 //!   [`crate::engine::QuantEngine::quantize_block_codes`]);
 //! - [`quantized_gemm_prepacked`] multiplies fresh activations against a
 //!   prepacked weight plane, packing only the A side;
@@ -46,6 +48,28 @@
 //! entirely — see `mx_nn::qflow` for the invalidation contract. The
 //! `inference_steady_state` bench group measures the amortization.
 //!
+//! # Kernel backends
+//!
+//! The execute stage runs on one of three interchangeable **backends** —
+//! portable scalar, SSE2, and AVX2, each its own submodule behind the
+//! span-kernel function-pointer seam in [`backend`] (where the full
+//! dispatch contract is documented). Selection is automatic (best the CPU
+//! supports), overridable with the `MX_KERNEL_BACKEND` env knob or
+//! [`force_kernel_backend`], and reported by [`kernel_backend_name`].
+//! Backends differ only in traversal and ISA — every one is bit-identical
+//! to the others and to [`reference_gemm`], so the choice is a pure
+//! performance knob.
+//!
+//! The AVX2 backend's generation-2 kernel additionally applies **deferred
+//! scale-out**: where the block-plan exponent metadata proves the per-block
+//! `f32` accumulation chain exact (see [`backend::defer_ctx`] for the
+//! headroom invariant), the integer dots of all K blocks accumulate in
+//! registers and the scale-out runs once per output element instead of
+//! once per block pair. Elements that cannot be proven exact fall back to
+//! the per-block chain — deferral never changes results, and
+//! `MX_KERNEL_DEFER=0` (or [`force_deferred_scale_out`]) switches it off
+//! wholesale for A/B measurement.
+//!
 //! # Fused activation lowering (pack-on-the-fly) and the dispatch contract
 //!
 //! With B amortized, the remaining per-call quantization cost is the A
@@ -55,8 +79,8 @@
 //!   a code plane first, then execute over the two planes. One sweep of
 //!   `f32` work, one sweep of integer work; the A plane is materialized in
 //!   full between them.
-//! - **fused** ([`quantized_gemm_fused`]) — quantize A one [`TILE_M`]-row
-//!   strip at a time *inside* the execute loop, through the engine's
+//! - **fused** ([`quantized_gemm_fused`]) — quantize A one
+//!   [`FUSED_MAX_M`]-row strip at a time *inside* the execute loop, through the engine's
 //!   tile-granular block-lowering entry, into a small scratch tile ring
 //!   that is consumed immediately by the same kernels. The strip's codes
 //!   never leave L1, the full A plane is never materialized, and the
@@ -87,9 +111,11 @@
 //! matmul reference ([`reference_gemm`]): dequantized values are exact
 //! integer multiples of their block's ulp, block-pair products and sums fit
 //! in the 52-bit exact-integer range of `f64`, and both paths round once
-//! per block pair before accumulating in `f32` in the same K-block order.
-//! This is an equality, not a tolerance — the consistency suite asserts it
-//! bit for bit, prepacked or not.
+//! per block pair before accumulating in `f32` in the same K-block order —
+//! with deferred scale-out applied only where that chain provably never
+//! rounds at all. This is an equality, not a tolerance — the consistency
+//! and `gemm_backends` suites assert it bit for bit, prepacked or not, on
+//! every backend.
 //!
 //! # Examples
 //!
@@ -112,11 +138,33 @@
 use crate::bdr::BdrFormat;
 use crate::engine::{self, QuantEngine, PARALLEL_GRAIN};
 use crate::parallel;
-use crate::util::pow2;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+pub mod backend;
+mod pack;
+mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod sse2;
+
+pub use backend::{
+    deferred_scale_out_enabled, force_deferred_scale_out, force_kernel_backend,
+    kernel_backend_name, selected_backend, KernelBackend,
+};
+pub use pack::{PackScratch, PackedOperand};
+
+use backend::SpanKernel;
+use pack::{pack_into, Plane, PlaneView, MIXED_EXP};
 
 /// Rows of A processed per tile: each loaded B column-block is reused for
 /// this many output rows, cutting B-code traffic by the tile height.
 const TILE_M: usize = 8;
+
+/// Columns per register-blocked panel in the panel-major B layout the AVX2
+/// kernels consume (see [`PackedOperand::pack_cols`]): one panel's codes
+/// for the whole reduction are contiguous, and 8 columns is what fits in
+/// `i32` accumulator registers with room for the operands.
+const PANEL_N: usize = 8;
 
 /// How a supported format pair runs on the integer path: `Narrow` pairs use
 /// `i16` codes with an `i32` block accumulator (the packed 16-bit MAC
@@ -213,47 +261,38 @@ fn c_half(fmt: &BdrFormat) -> i32 {
 /// [`pair_class`] width gates) lives in [`engine::AlignedCode`], which the
 /// engine's tile-granular lowering writes directly.
 trait Code: engine::AlignedCode {
-    /// Exact integer dot product of two equal-length blocks.
+    /// Exact integer dot product of two equal-length blocks, using the
+    /// best baseline-ISA instruction available.
     fn dot(a: &[Self], b: &[Self]) -> i64;
+
+    /// Exact integer dot product in pure portable Rust — what the forced
+    /// `scalar` backend runs.
+    fn dot_scalar(a: &[Self], b: &[Self]) -> i64;
 }
 
 impl Code for i16 {
     #[inline(always)]
     fn dot(a: &[Self], b: &[Self]) -> i64 {
-        // The i32 accumulator cannot overflow: pairwise i16 products are
-        // below 2^31 because `w_a + w_b ≤ 30`, and the block total is
-        // bounded by the `w_a + w_b + ⌈log2 k1⌉ ≤ 31` dispatch gate.
-        let mut acc = 0i32;
-        let mut done = 0;
         // `pmaddwd` (SSE2, part of the x86-64 baseline ABI) is the exact
         // hardware form of this datapath: packed 16-bit multiplies with
         // pairwise 32-bit accumulation — one instruction per 8 codes.
         #[cfg(target_arch = "x86_64")]
         {
-            use std::arch::x86_64::{
-                __m128i, _mm_add_epi32, _mm_cvtsi128_si32, _mm_loadu_si128, _mm_madd_epi16,
-                _mm_setzero_si128, _mm_shuffle_epi32,
-            };
-            let vecs = a.len() / 8;
-            if vecs > 0 {
-                // SAFETY: SSE2 is unconditionally available on x86_64, and
-                // each unaligned 16-byte load reads lanes `8·i .. 8·i + 8`,
-                // in bounds for both slices by the `vecs` bound.
-                unsafe {
-                    let mut vacc = _mm_setzero_si128();
-                    for i in 0..vecs {
-                        let va = _mm_loadu_si128(a.as_ptr().add(8 * i) as *const __m128i);
-                        let vb = _mm_loadu_si128(b.as_ptr().add(8 * i) as *const __m128i);
-                        vacc = _mm_add_epi32(vacc, _mm_madd_epi16(va, vb));
-                    }
-                    let high = _mm_add_epi32(vacc, _mm_shuffle_epi32(vacc, 0b01_00_11_10));
-                    let total = _mm_add_epi32(high, _mm_shuffle_epi32(high, 0b10_11_00_01));
-                    acc = _mm_cvtsi128_si32(total);
-                }
-                done = 8 * vecs;
-            }
+            sse2::dot(a, b) as i64
         }
-        for (&x, &y) in a[done..].iter().zip(b[done..].iter()) {
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self::dot_scalar(a, b)
+        }
+    }
+
+    #[inline(always)]
+    fn dot_scalar(a: &[Self], b: &[Self]) -> i64 {
+        // The i32 accumulator cannot overflow: pairwise i16 products are
+        // below 2^31 because `w_a + w_b ≤ 30`, and the block total is
+        // bounded by the `w_a + w_b + ⌈log2 k1⌉ ≤ 31` dispatch gate.
+        let mut acc = 0i32;
+        for (&x, &y) in a.iter().zip(b.iter()) {
             acc += i32::from(x) * i32::from(y);
         }
         acc as i64
@@ -277,136 +316,10 @@ impl Code for i32 {
         }
         acc
     }
-}
 
-/// One GEMM operand lowered to shift-aligned integer codes: `vectors`
-/// reduction-dimension vectors (A rows or B columns), each split into
-/// `blocks` `k1`-blocks, zero-padded so every block is exactly `k1` codes.
-#[derive(Clone)]
-struct CodePlane<C> {
-    /// Signed, shift-aligned codes `± code · 2^(β − τ)`, laid out
-    /// `[vector][block][k1]` — contiguous along the reduction dimension.
-    codes: Vec<C>,
-    /// Shared exponent per `[vector][block]` (0 for all-zero blocks, whose
-    /// codes are all zero anyway).
-    exps: Vec<i32>,
-    blocks: usize,
-    k1: usize,
-}
-
-impl<C> CodePlane<C> {
-    fn view(&self) -> PlaneView<'_, C> {
-        PlaneView {
-            codes: &self.codes,
-            exps: &self.exps,
-            blocks: self.blocks,
-            k1: self.k1,
-        }
-    }
-}
-
-/// Borrowed view of a code plane — what the execute kernels actually
-/// consume. Owned [`CodePlane`]s (inside a [`PackedOperand`]) and
-/// [`PackScratch`]-backed ad-hoc planes both lower to this, so the kernels
-/// are oblivious to who owns the buffers.
-#[derive(Clone, Copy)]
-struct PlaneView<'a, C> {
-    codes: &'a [C],
-    exps: &'a [i32],
-    blocks: usize,
-    k1: usize,
-}
-
-/// Lowers `vectors` strided vectors of `len` elements to aligned codes,
-/// writing into caller-provided buffers (cleared and resized; capacity is
-/// reused across calls — the point of [`PackScratch`]). Vector `v` reads
-/// `data[base_of(v) + i·stride]` — rows use `(|i| i·len, 1)`, columns of a
-/// `[len, vectors]` matrix use `(|j| j, vectors)`. `slot_of(v, kb)` picks
-/// the storage layout: the generic kernels use vector-major
-/// `v·blocks + kb`, the column-vectorized kernel packs B block-major
-/// `kb·vectors + v` so the blocks of adjacent columns sit next to each
-/// other. Returns the block count per vector.
-#[allow(clippy::too_many_arguments)] // operand geometry + layout + three buffers
-fn pack_into<C: Code>(
-    data: &[f32],
-    vectors: usize,
-    len: usize,
-    base_of: impl Fn(usize) -> usize,
-    stride: usize,
-    slot_of: impl Fn(usize, usize) -> usize,
-    fmt: &BdrFormat,
-    codes: &mut Vec<C>,
-    exps: &mut Vec<i32>,
-    shifts: &mut Vec<u32>,
-) -> usize {
-    let k1 = fmt.k1();
-    let k2 = fmt.k2();
-    let beta = fmt.max_shift();
-    let max_code = fmt.max_code();
-    let blocks = len.div_ceil(k1);
-    codes.clear();
-    codes.resize(vectors * blocks * k1, C::ZERO);
-    exps.clear();
-    exps.resize(vectors * blocks, 0);
-    for v in 0..vectors {
-        for kb in 0..blocks {
-            let start = kb * k1;
-            let blen = k1.min(len - start);
-            let base = base_of(v) + start * stride;
-            let Some(e) = engine::plan_into(fmt, data, base, stride, blen, shifts) else {
-                continue;
-            };
-            let slot = slot_of(v, kb);
-            exps[slot] = e;
-            let out = &mut codes[slot * k1..][..blen];
-            for (i, slot) in out.iter_mut().enumerate() {
-                let x = data[base + i * stride];
-                let tau = shifts[i / k2];
-                let ulp = engine::ulp_of(fmt, e, tau);
-                let aligned = (engine::quantize_code(x, ulp, max_code) as i32) << (beta - tau);
-                // Zeros (incl. -0.0) carry sign 0, matching the engine's
-                // value and packed paths.
-                *slot = C::from_aligned(if x != 0.0 && x.is_sign_negative() {
-                    -aligned
-                } else {
-                    aligned
-                });
-            }
-        }
-    }
-    blocks
-}
-
-/// [`pack_into`] into freshly allocated buffers, returning an owned plane.
-fn pack<C: Code>(
-    data: &[f32],
-    vectors: usize,
-    len: usize,
-    base_of: impl Fn(usize) -> usize,
-    stride: usize,
-    slot_of: impl Fn(usize, usize) -> usize,
-    fmt: &BdrFormat,
-) -> CodePlane<C> {
-    let mut codes = Vec::new();
-    let mut exps = Vec::new();
-    let mut shifts = Vec::new();
-    let blocks = pack_into(
-        data,
-        vectors,
-        len,
-        base_of,
-        stride,
-        slot_of,
-        fmt,
-        &mut codes,
-        &mut exps,
-        &mut shifts,
-    );
-    CodePlane {
-        codes,
-        exps,
-        blocks,
-        k1: fmt.k1(),
+    #[inline(always)]
+    fn dot_scalar(a: &[Self], b: &[Self]) -> i64 {
+        Self::dot(a, b)
     }
 }
 
@@ -420,256 +333,27 @@ pub enum Side {
     Cols,
 }
 
-/// The concrete code storage behind a [`PackedOperand`].
-#[derive(Clone)]
-enum Plane {
-    /// `i16` codes (narrow pairs — every MX/MSFP preset).
-    Narrow(CodePlane<i16>),
-    /// `i32` codes (wide custom formats).
-    Wide(CodePlane<i32>),
+/// Per-GEMM deferred-scale-out context, built by [`backend::defer_ctx`]
+/// (which documents the exactness invariant): whether the static headroom
+/// bound holds for this format pair and block count, and the exponent grid
+/// window an output element's `E_a + E_b` must land in to defer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeferCtx {
+    pub(crate) enabled: bool,
+    pub(crate) e_lo: i32,
+    pub(crate) e_hi: i32,
 }
 
-/// A GEMM operand lowered **once** to shift-aligned sign/magnitude codes
-/// plus per-block shared exponents — the reusable "prepack" half of the
-/// prepack/execute split.
-///
-/// Built by [`PackedOperand::pack_rows`] (A side) or
-/// [`PackedOperand::pack_cols`] (B side) against a *partner* format. The
-/// codes themselves depend only on the operand's own format; the partner
-/// decides the code width (`i16` vs `i32`) and, for the B side, the storage
-/// layout (block-major when the AVX2 kernel will consume it). A plane is
-/// therefore executable against any partner format that lands in the same
-/// kernel class as the one it was packed for — e.g. a plane packed for an
-/// MX6 partner also serves MX9 activations, since every preset pair is
-/// narrow — and [`quantized_gemm_packed`] returns `None` (rather than
-/// silently re-lowering) when the executed pair needs a different code
-/// width than the plane holds.
-///
-/// Packing is the only stage that reads `f32` data; executing a GEMM over
-/// two packed operands is pure integer work plus one `f32` scale-out per
-/// block pair. Weights are static across inference steps, so `mx-nn`
-/// caches the weight-side plane and amortizes this cost to zero.
-#[derive(Clone)]
-pub struct PackedOperand {
-    side: Side,
-    fmt: BdrFormat,
-    /// Reduction-dimension length `K`.
-    len: usize,
-    /// Number of packed vectors: `M` for a [`Side::Rows`] plane, `N` for a
-    /// [`Side::Cols`] plane.
-    vectors: usize,
-    /// Whether the codes are laid out block-major (`[kb][vector][k1]`) for
-    /// the AVX2 four-columns-per-step kernel, instead of vector-major.
-    block_major: bool,
-    /// This operand's half of the scale-out constant: `−(m − 1) − β`.
-    c_half: i32,
-    plane: Plane,
-}
-
-impl std::fmt::Debug for PackedOperand {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "PackedOperand({:?}, {} x{} vectors, k={}, {}{})",
-            self.side,
-            self.fmt,
-            self.vectors,
-            self.len,
-            match self.plane {
-                Plane::Narrow(_) => "i16",
-                Plane::Wide(_) => "i32",
-            },
-            if self.block_major {
-                ", block-major"
-            } else {
-                ""
-            },
-        )
-    }
-}
-
-/// Whether the AVX2 block-major layout applies to a B-side pack of this
-/// block size on the running machine.
+/// Whether the AVX2 panel-major layout applies to a B-side pack of this
+/// block size under the currently selected backend.
 #[cfg(target_arch = "x86_64")]
 fn avx2_layout(k1: usize) -> bool {
-    k1 == avx2::K1 && avx2::available()
+    k1 == avx2::K1 && selected_backend() == KernelBackend::Avx2
 }
 
 #[cfg(not(target_arch = "x86_64"))]
 fn avx2_layout(_k1: usize) -> bool {
     false
-}
-
-impl PackedOperand {
-    /// Lowers `A[m,k]`'s rows to aligned integer codes for multiplication
-    /// against a `fb`-format B operand. Returns `None` when the `(fa, fb)`
-    /// pair is unsupported (see [`code_domain_supported`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `a.len() != m·k`.
-    pub fn pack_rows(a: &[f32], m: usize, k: usize, fa: BdrFormat, fb: BdrFormat) -> Option<Self> {
-        let class = pair_class(&fa, &fb)?;
-        assert_eq!(a.len(), m * k, "A is not {m}x{k}");
-        let blocks = k.div_ceil(fa.k1());
-        let plane = match class {
-            PairClass::Narrow => Plane::Narrow(pack::<i16>(
-                a,
-                m,
-                k,
-                |i| i * k,
-                1,
-                |v, kb| v * blocks + kb,
-                &fa,
-            )),
-            PairClass::Wide => Plane::Wide(pack::<i32>(
-                a,
-                m,
-                k,
-                |i| i * k,
-                1,
-                |v, kb| v * blocks + kb,
-                &fa,
-            )),
-        };
-        Some(PackedOperand {
-            side: Side::Rows,
-            fmt: fa,
-            len: k,
-            vectors: m,
-            block_major: false,
-            c_half: c_half(&fa),
-            plane,
-        })
-    }
-
-    /// Lowers `B[k,n]`'s columns to aligned integer codes for multiplication
-    /// against `fa`-format activations. Returns `None` when the `(fa, fb)`
-    /// pair is unsupported (see [`code_domain_supported`]).
-    ///
-    /// When the narrow AVX2 kernel will consume the plane, columns are laid
-    /// out block-major so the code blocks of adjacent columns sit next to
-    /// each other.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `b.len() != k·n`.
-    pub fn pack_cols(b: &[f32], k: usize, n: usize, fa: BdrFormat, fb: BdrFormat) -> Option<Self> {
-        let class = pair_class(&fa, &fb)?;
-        assert_eq!(b.len(), k * n, "B is not {k}x{n}");
-        let blocks = k.div_ceil(fb.k1());
-        let block_major = class == PairClass::Narrow && avx2_layout(fb.k1());
-        let plane = match class {
-            PairClass::Narrow => Plane::Narrow(pack::<i16>(
-                b,
-                n,
-                k,
-                |j| j,
-                n,
-                |v, kb| {
-                    if block_major {
-                        kb * n + v
-                    } else {
-                        v * blocks + kb
-                    }
-                },
-                &fb,
-            )),
-            PairClass::Wide => {
-                Plane::Wide(pack::<i32>(b, n, k, |j| j, n, |v, kb| v * blocks + kb, &fb))
-            }
-        };
-        Some(PackedOperand {
-            side: Side::Cols,
-            fmt: fb,
-            len: k,
-            vectors: n,
-            block_major,
-            c_half: c_half(&fb),
-            plane,
-        })
-    }
-
-    /// The operand side this plane packs ([`Side::Rows`] for A,
-    /// [`Side::Cols`] for B).
-    pub fn side(&self) -> Side {
-        self.side
-    }
-
-    /// The BDR format the codes were quantized in.
-    pub fn format(&self) -> BdrFormat {
-        self.fmt
-    }
-
-    /// Reduction-dimension length `K`.
-    pub fn k(&self) -> usize {
-        self.len
-    }
-
-    /// Number of packed vectors (`M` rows or `N` columns).
-    pub fn vectors(&self) -> usize {
-        self.vectors
-    }
-
-    /// Bytes of code and exponent storage the plane holds — the memory the
-    /// weight cache retains to skip per-call packing.
-    pub fn packed_bytes(&self) -> usize {
-        match &self.plane {
-            Plane::Narrow(p) => {
-                std::mem::size_of_val(&p.codes[..]) + std::mem::size_of_val(&p.exps[..])
-            }
-            Plane::Wide(p) => {
-                std::mem::size_of_val(&p.codes[..]) + std::mem::size_of_val(&p.exps[..])
-            }
-        }
-    }
-}
-
-/// Computes output rows `r0 .. r0 + rows` into `out` (a `rows × n` slice):
-/// for each block pair, one integer dot product and one `f32` scale-out
-/// `T · 2^(E_a + E_b + c)`, accumulated across K blocks in `f32`.
-///
-/// Rows are processed [`TILE_M`] at a time so each loaded B column (and its
-/// exponents) is reused for the whole tile; per output element the K loop
-/// walks two contiguous code arrays.
-fn gemm_rows<C: Code>(
-    ap: PlaneView<'_, C>,
-    r0: usize,
-    rows: usize,
-    bp: PlaneView<'_, C>,
-    n: usize,
-    c: i32,
-    out: &mut [f32],
-) {
-    let k1 = ap.k1;
-    let blocks = ap.blocks;
-    let kcodes = blocks * k1;
-    let mut i0 = 0;
-    while i0 < rows {
-        let tm = TILE_M.min(rows - i0);
-        for j in 0..n {
-            let bcol = &bp.codes[j * kcodes..][..kcodes];
-            let bexps = &bp.exps[j * blocks..][..blocks];
-            for t in 0..tm {
-                let row = r0 + i0 + t;
-                let arow = &ap.codes[row * kcodes..][..kcodes];
-                let aexps = &ap.exps[row * blocks..][..blocks];
-                let mut acc = 0.0f32;
-                for ((ab, bb), (&ea, &eb)) in arow
-                    .chunks_exact(k1)
-                    .zip(bcol.chunks_exact(k1))
-                    .zip(aexps.iter().zip(bexps.iter()))
-                {
-                    let dot = C::dot(ab, bb);
-                    if dot != 0 {
-                        acc += (dot as f64 * pow2(ea + eb + c)) as f32;
-                    }
-                }
-                out[(i0 + t) * n + j] = acc;
-            }
-        }
-        i0 += tm;
-    }
 }
 
 /// Runs `kernel(start_row, rows, out_span)` over row spans, serially or on
@@ -720,144 +404,6 @@ pub(crate) fn gemm_workers(m: usize, n: usize, k: usize, threads: usize) -> usiz
     }
 }
 
-/// Runtime-dispatched AVX2 kernel for the `i16` code path with the preset
-/// block size `k1 = 16`: one `vpmaddwd` covers a whole block, four output
-/// columns are produced per step (B is packed block-major so their code
-/// blocks are contiguous), and the per-block-pair scale-out — exponent add,
-/// `2^e` bit construction, `f64` multiply, one `f32` rounding — runs four
-/// lanes wide. The per-output accumulation order and rounding points are
-/// identical to [`gemm_rows`], so the result is bit-identical to the
-/// generic path (and to [`reference_gemm`]).
-#[cfg(target_arch = "x86_64")]
-mod avx2 {
-    use super::{dispatch_rows, Code, PlaneView, TILE_M};
-    use crate::util::pow2;
-
-    /// The preset first-level block size this kernel is specialized for.
-    pub(super) const K1: usize = 16;
-
-    /// Whether the running CPU supports the kernel.
-    pub(super) fn available() -> bool {
-        std::arch::is_x86_feature_detected!("avx2")
-    }
-
-    /// Runs the kernel row-parallel over a vector-major A plane and a
-    /// block-major B plane.
-    pub(super) fn gemm(
-        ap: PlaneView<'_, i16>,
-        bp: PlaneView<'_, i16>,
-        m: usize,
-        n: usize,
-        c: i32,
-        workers: usize,
-        out: &mut Vec<f32>,
-    ) {
-        debug_assert!(ap.k1 == K1 && bp.k1 == K1);
-        dispatch_rows(m, n, workers, out, |start, rows, part| {
-            // SAFETY: `available()` verified AVX2 support at pack time, and
-            // a block-major plane is only built when it did.
-            unsafe { gemm_rows_avx2(ap, start, rows, bp, n, c, part) }
-        });
-    }
-
-    /// Executes the kernel over one already-lowered A tile (rows `0..tm` of
-    /// `ap`), writing the `tm × n` output span — the fused path's per-tile
-    /// entry.
-    pub(super) fn gemm_tile(
-        ap: PlaneView<'_, i16>,
-        tm: usize,
-        bp: PlaneView<'_, i16>,
-        n: usize,
-        c: i32,
-        out: &mut [f32],
-    ) {
-        debug_assert!(ap.k1 == K1 && bp.k1 == K1);
-        // SAFETY: a block-major B plane is only built when `available()`
-        // verified AVX2 support at pack time.
-        unsafe { gemm_rows_avx2(ap, 0, tm, bp, n, c, out) }
-    }
-
-    /// # Safety
-    ///
-    /// Requires AVX2 (checked by [`available`] before dispatch).
-    #[target_feature(enable = "avx2")]
-    unsafe fn gemm_rows_avx2(
-        ap: PlaneView<'_, i16>,
-        r0: usize,
-        rows: usize,
-        bp: PlaneView<'_, i16>,
-        n: usize,
-        c: i32,
-        out: &mut [f32],
-    ) {
-        use std::arch::x86_64::*;
-        let blocks = ap.blocks;
-        let n4 = n & !3;
-        let mut i0 = 0;
-        while i0 < rows {
-            let tm = TILE_M.min(rows - i0);
-            for kb in 0..blocks {
-                let brow_codes = &bp.codes[kb * n * K1..][..n * K1];
-                let brow_exps = &bp.exps[kb * n..][..n];
-                for t in 0..tm {
-                    let row = r0 + i0 + t;
-                    let slot = row * blocks + kb;
-                    let va = _mm256_loadu_si256(ap.codes[slot * K1..].as_ptr() as *const __m256i);
-                    let ea_c = ap.exps[slot] + c;
-                    let vea_c = _mm_set1_epi32(ea_c);
-                    let out_row = &mut out[(i0 + t) * n..][..n];
-                    let mut j = 0;
-                    while j < n4 {
-                        // Four block dots: vpmaddwd gives pairwise i32
-                        // sums; two hadd rounds + a cross-lane add reduce
-                        // them to [s0, s1, s2, s3].
-                        let bptr = brow_codes[j * K1..].as_ptr() as *const __m256i;
-                        let m0 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr));
-                        let m1 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(1)));
-                        let m2 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(2)));
-                        let m3 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(3)));
-                        let q =
-                            _mm256_hadd_epi32(_mm256_hadd_epi32(m0, m1), _mm256_hadd_epi32(m2, m3));
-                        let dots = _mm_add_epi32(
-                            _mm256_castsi256_si128(q),
-                            _mm256_extracti128_si256(q, 1),
-                        );
-                        // Scale-out: 2^(E_a + E_b + c) per lane, built as
-                        // f64 bit patterns ((e + 1023) << 52), times the
-                        // exact dot, rounded to f32 once.
-                        let e4 = _mm_add_epi32(
-                            vea_c,
-                            _mm_loadu_si128(brow_exps[j..].as_ptr() as *const __m128i),
-                        );
-                        let bits = _mm256_slli_epi64(
-                            _mm256_add_epi64(_mm256_cvtepi32_epi64(e4), _mm256_set1_epi64x(1023)),
-                            52,
-                        );
-                        let contrib = _mm256_cvtpd_ps(_mm256_mul_pd(
-                            _mm256_cvtepi32_pd(dots),
-                            _mm256_castsi256_pd(bits),
-                        ));
-                        let acc = _mm_add_ps(_mm_loadu_ps(out_row[j..].as_ptr()), contrib);
-                        _mm_storeu_ps(out_row[j..].as_mut_ptr(), acc);
-                        j += 4;
-                    }
-                    // Ragged column tail: same dot, same scale-out.
-                    for j in n4..n {
-                        let dot = <i16 as Code>::dot(
-                            &ap.codes[slot * K1..][..K1],
-                            &brow_codes[j * K1..][..K1],
-                        );
-                        if dot != 0 {
-                            out_row[j] += (dot as f64 * pow2(ea_c + brow_exps[j])) as f32;
-                        }
-                    }
-                }
-            }
-            i0 += tm;
-        }
-    }
-}
-
 /// Executes the integer GEMM over two prepacked operands — the pure
 /// "execute" half of the split, with zero packing cost.
 ///
@@ -888,14 +434,17 @@ pub fn quantized_gemm_packed(
         // rather than silently re-lowering.
         _ => return None,
     };
+    let c = pa.c_half + pb.c_half;
+    let ctx = backend::defer_ctx(&pa.fmt, &pb.fmt, blocks_of(pa.len, &pa.fmt), c);
     execute(
         views,
-        pb.block_major,
+        pb.panel_major,
         class,
         pa.vectors,
         pb.vectors,
         pa.len,
-        pa.c_half + pb.c_half,
+        c,
+        ctx,
         threads,
     )
 }
@@ -907,17 +456,19 @@ enum PairViews<'a> {
 }
 
 /// The shared execute stage: runs the integer GEMM over two already-lowered
-/// planes. Returns `None` when the planes' code width disagrees with what
-/// `class` requires (packed for a partner in the other kernel class).
+/// planes on the backend the dispatch layer selects. Returns `None` when
+/// the planes' code width disagrees with what `class` requires (packed for
+/// a partner in the other kernel class).
 #[allow(clippy::too_many_arguments)] // a GEMM is dims + operands + dispatch knobs
 fn execute(
     views: PairViews<'_>,
-    b_block_major: bool,
+    b_panel_major: bool,
     class: PairClass,
     m: usize,
     n: usize,
     k: usize,
     c: i32,
+    ctx: DeferCtx,
     threads: usize,
 ) -> Option<Vec<f32>> {
     let mut out = vec![0.0f32; m * n];
@@ -927,55 +478,20 @@ fn execute(
     let workers = gemm_workers(m, n, k, threads);
     match views {
         PairViews::Narrow(ap, bp) if class == PairClass::Narrow => {
-            #[cfg(target_arch = "x86_64")]
-            if b_block_major {
-                avx2::gemm(ap, bp, m, n, c, workers, &mut out);
-                return Some(out);
-            }
-            #[cfg(not(target_arch = "x86_64"))]
-            let _ = b_block_major;
+            let kernel = backend::narrow_span_kernel(b_panel_major);
             dispatch_rows(m, n, workers, &mut out, |start, rows, part| {
-                gemm_rows(ap, start, rows, bp, n, c, part);
+                kernel(ap, start, rows, bp, n, c, ctx, part);
             });
         }
         PairViews::Wide(ap, bp) if class == PairClass::Wide => {
+            let kernel = backend::wide_span_kernel();
             dispatch_rows(m, n, workers, &mut out, |start, rows, part| {
-                gemm_rows(ap, start, rows, bp, n, c, part);
+                kernel(ap, start, rows, bp, n, c, ctx, part);
             });
         }
         _ => return None,
     }
     Some(out)
-}
-
-/// Reusable buffers for ad-hoc A-side lowering, shared by both activation
-/// strategies: the **two-pass** path ([`quantized_gemm_twopass_scratch`])
-/// lowers the whole activation plane into the code and exponent vectors,
-/// while the **fused** path ([`quantized_gemm_fused`]) reuses the same
-/// vectors as its [`TILE_M`]-row tile ring, so a steady-state forward pass
-/// allocates nothing for the activation side whichever way the dispatch
-/// goes. Narrow and wide widths
-/// keep separate buffers, so one scratch serves interleaved format classes
-/// without reallocation churn.
-///
-/// A scratch is plain storage — it carries no format or shape state, so one
-/// instance can serve any sequence of GEMMs (`mx-nn` keeps one per thread).
-#[derive(Default)]
-pub struct PackScratch {
-    narrow_codes: Vec<i16>,
-    narrow_exps: Vec<i32>,
-    wide_codes: Vec<i32>,
-    wide_exps: Vec<i32>,
-    /// Per-block microexponent shift workspace for the engine's planner.
-    shifts: Vec<u32>,
-}
-
-impl PackScratch {
-    /// Creates an empty scratch; buffers grow on first use and are reused
-    /// afterwards.
-    pub fn new() -> Self {
-        Self::default()
-    }
 }
 
 /// Largest `M` (activation rows) the automatic dispatch in
@@ -987,28 +503,19 @@ impl PackScratch {
 /// of interleaving float and integer phases per tile.
 pub const FUSED_MAX_M: usize = 32;
 
-/// A per-tile execute kernel: `(a_tile, tm, b_plane, n, c, out)` computes
-/// the `tm × n` output span from an already-lowered A tile.
-type TileKernel<C> = fn(PlaneView<'_, C>, usize, PlaneView<'_, C>, usize, i32, &mut [f32]);
-
-/// The narrow-pair tile kernel for a B plane in the given layout.
-fn narrow_tile_kernel(block_major: bool) -> TileKernel<i16> {
-    #[cfg(target_arch = "x86_64")]
-    if block_major {
-        return avx2::gemm_tile;
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    let _ = block_major;
-    |ap, tm, bp, n, c, out| gemm_rows(ap, 0, tm, bp, n, c, out)
-}
-
 /// The fused inner loop over one span of output rows `r0 .. r0 + rows`:
-/// for each [`TILE_M`]-row tile, lower the tile's A strips block by block
-/// through [`engine::lower_block_into`] into the scratch tile ring
-/// (`codes` / `exps`, reused across tiles), then immediately execute
-/// `kernel` over the freshly quantized tile against the cached B plane.
-/// The tile's codes are consumed while still cache-hot and the full A
-/// plane is never materialized.
+/// for each strip of up to [`FUSED_MAX_M`] rows, lower the strip's A rows
+/// block by block through [`engine::lower_block_into`] into the scratch
+/// tile ring (`codes` / `exps` / `uexp`, reused across strips), then
+/// execute `kernel` over the freshly quantized strip against the cached B
+/// plane. The strip's codes are consumed while still cache-hot and the
+/// full A plane is never materialized. Strips are as tall as the fused
+/// dispatch cap so the kernel sees the widest row span it can block over —
+/// the kernel's own row tiling (not the strip height) decides how often
+/// the B plane is re-streamed, which is what bounds B traffic at serving
+/// shapes. The per-row uniform-exponent metadata the deferral decision
+/// needs is collected during lowering, so the fused path sees the same
+/// [`DeferCtx`] coverage as the prepacked paths.
 ///
 /// Per output element the K-block loop order, rounding points, and
 /// accumulation are identical to the two-pass path, so the result is
@@ -1021,28 +528,34 @@ fn fused_span<C: Code>(
     bp: PlaneView<'_, C>,
     n: usize,
     c: i32,
+    ctx: DeferCtx,
     r0: usize,
     rows: usize,
     codes: &mut Vec<C>,
     exps: &mut Vec<i32>,
+    uexp: &mut Vec<i32>,
     shifts: &mut Vec<u32>,
     out: &mut [f32],
-    kernel: TileKernel<C>,
+    kernel: SpanKernel<C>,
 ) {
     let k1 = fa.k1();
     let blocks = blocks_of(k, fa);
     let kcodes = blocks * k1;
-    let ring_rows = TILE_M.min(rows);
+    let ring_rows = FUSED_MAX_M.min(rows);
     codes.clear();
     codes.resize(ring_rows * kcodes, C::ZERO);
     exps.clear();
     exps.resize(ring_rows * blocks, 0);
+    uexp.clear();
+    uexp.resize(ring_rows, 0);
     let mut i0 = 0;
     while i0 < rows {
-        let tm = TILE_M.min(rows - i0);
+        let tm = ring_rows.min(rows - i0);
         for t in 0..tm {
             let row = &a[(r0 + i0 + t) * k..][..k];
             let slot0 = t * blocks;
+            let mut seen: Option<i32> = None;
+            let mut mixed = false;
             for kb in 0..blocks {
                 let start = kb * k1;
                 let blen = k1.min(k - start);
@@ -1056,23 +569,32 @@ fn fused_span<C: Code>(
                     &mut codes[(slot0 + kb) * k1..][..k1],
                 );
                 exps[slot0 + kb] = e.unwrap_or(0);
+                if let Some(e) = e {
+                    match seen {
+                        None => seen = Some(e),
+                        Some(u) if u != e => mixed = true,
+                        _ => {}
+                    }
+                }
             }
+            uexp[t] = if mixed { MIXED_EXP } else { seen.unwrap_or(0) };
         }
         let ap = PlaneView {
             codes,
             exps,
+            uexp,
             blocks,
             k1,
         };
-        kernel(ap, tm, bp, n, c, &mut out[i0 * n..][..tm * n]);
+        kernel(ap, 0, tm, bp, n, c, ctx, &mut out[i0 * n..][..tm * n]);
         i0 += tm;
     }
 }
 
 /// Runs [`fused_span`] serially through the caller's scratch buffers, or
 /// row-parallel with small per-worker tile rings (each span's tile ring is
-/// `TILE_M` rows — cheap next to the per-span output buffer the parallel
-/// dispatch already allocates). Spans are whole rows, so the output is
+/// at most [`FUSED_MAX_M`] rows — cheap next to the per-span output buffer
+/// the parallel dispatch already allocates). Spans are whole rows, so the output is
 /// bit-identical either way.
 #[allow(clippy::too_many_arguments)] // a GEMM is dims + operands + dispatch knobs
 fn fused_dispatch<C: Code>(
@@ -1083,15 +605,19 @@ fn fused_dispatch<C: Code>(
     m: usize,
     n: usize,
     c: i32,
+    ctx: DeferCtx,
     workers: usize,
     codes: &mut Vec<C>,
     exps: &mut Vec<i32>,
+    uexp: &mut Vec<i32>,
     shifts: &mut Vec<u32>,
     out: &mut Vec<f32>,
-    kernel: TileKernel<C>,
+    kernel: SpanKernel<C>,
 ) {
     if workers <= 1 {
-        fused_span(a, k, fa, bp, n, c, 0, m, codes, exps, shifts, out, kernel);
+        fused_span(
+            a, k, fa, bp, n, c, ctx, 0, m, codes, exps, uexp, shifts, out, kernel,
+        );
     } else {
         dispatch_rows(m, n, workers, out, |r0, rows, part| {
             fused_span(
@@ -1101,8 +627,10 @@ fn fused_dispatch<C: Code>(
                 bp,
                 n,
                 c,
+                ctx,
                 r0,
                 rows,
+                &mut Vec::new(),
                 &mut Vec::new(),
                 &mut Vec::new(),
                 &mut Vec::new(),
@@ -1114,8 +642,8 @@ fn fused_dispatch<C: Code>(
 }
 
 /// [`quantized_gemm_prepacked`] with the activation operand quantized
-/// **inside the execute loop** (pack-on-the-fly): each [`TILE_M`]-row
-/// strip of A is lowered into a small scratch tile ring and consumed
+/// **inside the execute loop** (pack-on-the-fly): each strip of up to
+/// [`FUSED_MAX_M`] rows of A is lowered into a scratch tile ring and consumed
 /// immediately by the integer kernels, so the A code plane is never
 /// materialized and the strip stays cache-hot between its `f32` and
 /// integer phases. This is the serving hot path for small `m` — the
@@ -1173,6 +701,7 @@ pub fn quantized_gemm_fused(
         return Some(out);
     }
     let workers = gemm_workers(m, n, k, threads);
+    let ctx = backend::defer_ctx(&fa, &packed_b.fmt, blocks_of(k, &fa), c);
     match (class, &packed_b.plane) {
         (PairClass::Narrow, Plane::Narrow(bpl)) => fused_dispatch(
             a,
@@ -1182,12 +711,14 @@ pub fn quantized_gemm_fused(
             m,
             n,
             c,
+            ctx,
             workers,
             &mut scratch.narrow_codes,
             &mut scratch.narrow_exps,
+            &mut scratch.uexp,
             &mut scratch.shifts,
             &mut out,
-            narrow_tile_kernel(packed_b.block_major),
+            backend::narrow_span_kernel(packed_b.panel_major),
         ),
         (PairClass::Wide, Plane::Wide(bpl)) => fused_dispatch(
             a,
@@ -1197,12 +728,14 @@ pub fn quantized_gemm_fused(
             m,
             n,
             c,
+            ctx,
             workers,
             &mut scratch.wide_codes,
             &mut scratch.wide_exps,
+            &mut scratch.uexp,
             &mut scratch.shifts,
             &mut out,
-            |ap, tm, bp, n, c, out| gemm_rows(ap, 0, tm, bp, n, c, out),
+            backend::wide_span_kernel(),
         ),
         // `packed_b` was packed for a partner in the other kernel class;
         // callers fall back rather than silently re-lowering B.
@@ -1278,12 +811,14 @@ pub fn quantized_gemm_twopass_scratch(
                 &fa,
                 &mut scratch.narrow_codes,
                 &mut scratch.narrow_exps,
+                &mut scratch.uexp,
                 &mut scratch.shifts,
             );
             PairViews::Narrow(
                 PlaneView {
                     codes: &scratch.narrow_codes,
                     exps: &scratch.narrow_exps,
+                    uexp: &scratch.uexp,
                     blocks,
                     k1: fa.k1(),
                 },
@@ -1301,12 +836,14 @@ pub fn quantized_gemm_twopass_scratch(
                 &fa,
                 &mut scratch.wide_codes,
                 &mut scratch.wide_exps,
+                &mut scratch.uexp,
                 &mut scratch.shifts,
             );
             PairViews::Wide(
                 PlaneView {
                     codes: &scratch.wide_codes,
                     exps: &scratch.wide_exps,
+                    uexp: &scratch.uexp,
                     blocks,
                     k1: fa.k1(),
                 },
@@ -1317,14 +854,16 @@ pub fn quantized_gemm_twopass_scratch(
         // callers fall back rather than silently re-lowering B.
         _ => return None,
     };
+    let ctx = backend::defer_ctx(&fa, &packed_b.fmt, blocks_of(k, &fa), c);
     execute(
         views,
-        packed_b.block_major,
+        packed_b.panel_major,
         class,
         m,
         packed_b.vectors,
         k,
         c,
+        ctx,
         threads,
     )
 }
@@ -1395,8 +934,8 @@ pub fn quantized_gemm_prepacked(
 ///
 /// A thin wrapper over the prepack/execute split that packs **both** sides
 /// ad hoc: A's rows and B's columns are quantized to aligned integer codes
-/// once per call, then the GEMM runs over codes, tiled [`TILE_M`] output
-/// rows at a time and dispatched row-parallel across `threads` workers
+/// once per call, then the GEMM runs over codes, row-tiled per backend
+/// and dispatched row-parallel across `threads` workers
 /// (`0` = all cores; the split is block-aligned, so the result is
 /// bit-identical regardless of thread count). Callers with a static B
 /// should pack it once with [`PackedOperand::pack_cols`] and call
@@ -1622,7 +1161,7 @@ mod tests {
         let b = ramp(k * n, 42);
         let pb = PackedOperand::pack_cols(&b, k, n, fmt, fmt).unwrap();
         assert!(matches!(pb.plane, Plane::Wide(_)));
-        assert!(!pb.block_major);
+        assert!(!pb.panel_major);
         let got = quantized_gemm_prepacked(&a, m, fmt, &pb, 1).unwrap();
         let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
         assert!(got
@@ -1801,8 +1340,62 @@ mod tests {
     #[test]
     fn ceil_log2_values() {
         assert_eq!(ceil_log2(1), 0);
-        assert_eq!(ceil_log2(2), 1);
         assert_eq!(ceil_log2(16), 4);
+        assert_eq!(ceil_log2(2), 1);
         assert_eq!(ceil_log2(17), 5);
+    }
+
+    #[test]
+    fn uniform_exponent_metadata_is_recorded() {
+        // One column per uexp case: uniform nonzero, mixed, all-zero.
+        let fmt = BdrFormat::MX6;
+        let k = 32; // two blocks
+        let mut b = vec![0.0f32; k * 3];
+        for i in 0..k {
+            b[i * 3] = 1.5; // both blocks share exponent 0
+            b[i * 3 + 1] = if i < 16 { 1.5 } else { 100.0 }; // differing exponents
+                                                             // column 2 stays all-zero
+        }
+        let pb = PackedOperand::pack_cols(&b, k, 3, fmt, fmt).unwrap();
+        let Plane::Narrow(ref plane) = pb.plane else {
+            panic!("preset pair must pack narrow");
+        };
+        assert_eq!(plane.uexp.len(), 3);
+        assert_ne!(plane.uexp[0], MIXED_EXP);
+        assert_eq!(plane.uexp[1], MIXED_EXP);
+        assert_eq!(plane.uexp[2], 0);
+    }
+
+    #[test]
+    fn forced_backends_and_deferral_match_reference() {
+        // The in-module smoke version of the `gemm_backends` suite: every
+        // backend × deferral on/off reproduces the reference bit for bit.
+        // (Serialized against other tests by the env override being
+        // process-wide: this is the only in-module test that touches it.)
+        let fmt = BdrFormat::MX6;
+        let (m, k, n) = (9, 80, 11);
+        let a = ramp(m * k, 101);
+        let b = ramp(k * n, 102);
+        let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+        for backend in [
+            KernelBackend::Scalar,
+            KernelBackend::Sse2,
+            KernelBackend::Avx2,
+        ] {
+            for defer in [true, false] {
+                force_kernel_backend(Some(backend));
+                force_deferred_scale_out(Some(defer));
+                let got = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
+                force_kernel_backend(None);
+                force_deferred_scale_out(None);
+                assert!(
+                    got.iter()
+                        .zip(want.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "backend={} defer={defer}",
+                    backend.name()
+                );
+            }
+        }
     }
 }

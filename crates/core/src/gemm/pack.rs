@@ -1,0 +1,417 @@
+//! Operand lowering: code planes, the prepack entry points, and the
+//! reusable pack scratch.
+//!
+//! Packing is the only stage of the integer GEMM that reads `f32` data.
+//! Every pack in this module lowers blocks through the engine's
+//! single-pass strided entry (`engine::lower_block_strided_into` — one
+//! branch-light integer scan for the plan, a hoisted reciprocal multiply
+//! and branch-free round-to-even per element), the same substitutions the
+//! fused path quantizes activation strips with, so prepacked planes and
+//! fused strips are bit-identical by construction.
+//!
+//! While lowering, the packer also records the per-vector **exponent
+//! uniformity** metadata ([`PlaneView::uexp`]) the deferred-scale-out
+//! decision consumes: for each packed vector, the one shared exponent all
+//! its nonzero blocks agree on, or [`MIXED_EXP`] when they differ (all-zero
+//! vectors report 0 — their dots vanish, so any grid is correct).
+
+use super::{avx2_layout, c_half, pair_class, Code, PairClass, Side, PANEL_N};
+use crate::bdr::BdrFormat;
+use crate::engine;
+
+/// Sentinel for "this vector's nonzero blocks do not share one exponent":
+/// deferral is off for every output element the vector touches.
+pub(super) const MIXED_EXP: i32 = i32::MIN;
+
+/// One GEMM operand lowered to shift-aligned integer codes: `vectors`
+/// reduction-dimension vectors (A rows or B columns), each split into
+/// `blocks` `k1`-blocks, zero-padded so every block is exactly `k1` codes.
+#[derive(Clone)]
+pub(super) struct CodePlane<C> {
+    /// Signed, shift-aligned codes `± code · 2^(β − τ)`, laid out
+    /// `[vector][block][k1]` — contiguous along the reduction dimension —
+    /// or panel-major `[panel][block][lane][k1]` for the AVX2 kernels
+    /// (see [`PackedOperand::pack_cols`]).
+    pub(super) codes: Vec<C>,
+    /// Shared exponent per `[vector][block]` slot (0 for all-zero blocks,
+    /// whose codes are all zero anyway).
+    pub(super) exps: Vec<i32>,
+    /// Per-vector uniform shared exponent, or [`MIXED_EXP`] — the
+    /// deferred-scale-out metadata.
+    pub(super) uexp: Vec<i32>,
+    pub(super) blocks: usize,
+    pub(super) k1: usize,
+}
+
+impl<C> CodePlane<C> {
+    pub(super) fn view(&self) -> PlaneView<'_, C> {
+        PlaneView {
+            codes: &self.codes,
+            exps: &self.exps,
+            uexp: &self.uexp,
+            blocks: self.blocks,
+            k1: self.k1,
+        }
+    }
+}
+
+/// Borrowed view of a code plane — what the execute kernels actually
+/// consume. Owned [`CodePlane`]s (inside a [`PackedOperand`]) and
+/// [`PackScratch`]-backed ad-hoc planes both lower to this, so the kernels
+/// are oblivious to who owns the buffers.
+#[derive(Clone, Copy)]
+pub(super) struct PlaneView<'a, C> {
+    pub(super) codes: &'a [C],
+    pub(super) exps: &'a [i32],
+    /// Per-vector uniform exponent or [`MIXED_EXP`].
+    pub(super) uexp: &'a [i32],
+    pub(super) blocks: usize,
+    pub(super) k1: usize,
+}
+
+/// Lowers `vectors` strided vectors of `len` elements to aligned codes,
+/// writing into caller-provided buffers (cleared and resized; capacity is
+/// reused across calls — the point of [`PackScratch`]). Vector `v` reads
+/// `data[base_of(v) + i·stride]` — rows use `(|i| i·len, 1)`, columns of a
+/// `[len, vectors]` matrix use `(|j| j, vectors)`. `slot_of(v, kb)` picks
+/// the storage layout: the generic kernels use vector-major
+/// `v·blocks + kb`, the AVX2 kernels consume B packed panel-major (see
+/// [`PackedOperand::pack_cols`]). `uexp` receives one entry per vector
+/// (see [`MIXED_EXP`]). Returns the block count per vector.
+#[allow(clippy::too_many_arguments)] // operand geometry + layout + four buffers
+pub(super) fn pack_into<C: Code>(
+    data: &[f32],
+    vectors: usize,
+    len: usize,
+    base_of: impl Fn(usize) -> usize,
+    stride: usize,
+    slot_of: impl Fn(usize, usize) -> usize,
+    fmt: &BdrFormat,
+    codes: &mut Vec<C>,
+    exps: &mut Vec<i32>,
+    uexp: &mut Vec<i32>,
+    shifts: &mut Vec<u32>,
+) -> usize {
+    let k1 = fmt.k1();
+    let blocks = len.div_ceil(k1);
+    codes.clear();
+    codes.resize(vectors * blocks * k1, C::ZERO);
+    exps.clear();
+    exps.resize(vectors * blocks, 0);
+    uexp.clear();
+    uexp.resize(vectors, 0);
+    for (v, u) in uexp.iter_mut().enumerate() {
+        let base = base_of(v);
+        let mut seen: Option<i32> = None;
+        let mut mixed = false;
+        for kb in 0..blocks {
+            let start = kb * k1;
+            let blen = k1.min(len - start);
+            let slot = slot_of(v, kb);
+            // The single-pass lowering writes all k1 slots (zeroing the
+            // ragged tail, and the whole block when it is all-zero).
+            if let Some(e) = engine::lower_block_strided_into(
+                fmt,
+                data,
+                base + start * stride,
+                stride,
+                blen,
+                shifts,
+                &mut codes[slot * k1..][..k1],
+            ) {
+                exps[slot] = e;
+                match seen {
+                    None => seen = Some(e),
+                    Some(prev) if prev != e => mixed = true,
+                    _ => {}
+                }
+            }
+        }
+        *u = if mixed { MIXED_EXP } else { seen.unwrap_or(0) };
+    }
+    blocks
+}
+
+/// Block-slot index of `(column v, block kb)` in a panel-major plane of
+/// `vectors` columns × `blocks` blocks: column panels of width [`PANEL_N`]
+/// (the last one `vectors mod PANEL_N` wide), `[block][lane]` inside each.
+/// Both the codes (scaled by `k1`) and the per-block exponents use this
+/// slot order, so a panel's exponents for one block are `PANEL_N`
+/// contiguous entries too.
+pub(super) fn panel_slot(v: usize, kb: usize, vectors: usize, blocks: usize) -> usize {
+    let p = v / PANEL_N;
+    let width = PANEL_N.min(vectors - p * PANEL_N);
+    p * PANEL_N * blocks + kb * width + (v - p * PANEL_N)
+}
+
+/// [`pack_into`] into freshly allocated buffers, returning an owned plane.
+fn pack<C: Code>(
+    data: &[f32],
+    vectors: usize,
+    len: usize,
+    base_of: impl Fn(usize) -> usize,
+    stride: usize,
+    slot_of: impl Fn(usize, usize) -> usize,
+    fmt: &BdrFormat,
+) -> CodePlane<C> {
+    let mut codes = Vec::new();
+    let mut exps = Vec::new();
+    let mut uexp = Vec::new();
+    let mut shifts = Vec::new();
+    let blocks = pack_into(
+        data,
+        vectors,
+        len,
+        base_of,
+        stride,
+        slot_of,
+        fmt,
+        &mut codes,
+        &mut exps,
+        &mut uexp,
+        &mut shifts,
+    );
+    CodePlane {
+        codes,
+        exps,
+        uexp,
+        blocks,
+        k1: fmt.k1(),
+    }
+}
+
+/// The concrete code storage behind a [`PackedOperand`].
+#[derive(Clone)]
+pub(super) enum Plane {
+    /// `i16` codes (narrow pairs — every MX/MSFP preset).
+    Narrow(CodePlane<i16>),
+    /// `i32` codes (wide custom formats).
+    Wide(CodePlane<i32>),
+}
+
+/// A GEMM operand lowered **once** to shift-aligned sign/magnitude codes
+/// plus per-block shared exponents — the reusable "prepack" half of the
+/// prepack/execute split.
+///
+/// Built by [`PackedOperand::pack_rows`] (A side) or
+/// [`PackedOperand::pack_cols`] (B side) against a *partner* format. The
+/// codes themselves depend only on the operand's own format; the partner
+/// decides the code width (`i16` vs `i32`) and, for the B side, the
+/// storage layout (panel-major when the AVX2 kernels will consume it). A
+/// plane is therefore executable against any partner format that lands in
+/// the same kernel class as the one it was packed for — e.g. a plane
+/// packed for an MX6 partner also serves MX9 activations, since every
+/// preset pair is narrow — and
+/// [`super::quantized_gemm_packed`] returns `None` (rather than silently
+/// re-lowering) when the executed pair needs a different code width than
+/// the plane holds.
+///
+/// Packing is the only stage that reads `f32` data; executing a GEMM over
+/// two packed operands is pure integer work plus the scale-outs. Weights
+/// are static across inference steps, so `mx-nn` caches the weight-side
+/// plane and amortizes this cost to zero.
+#[derive(Clone)]
+pub struct PackedOperand {
+    pub(super) side: Side,
+    pub(super) fmt: BdrFormat,
+    /// Reduction-dimension length `K`.
+    pub(super) len: usize,
+    /// Number of packed vectors: `M` for a [`Side::Rows`] plane, `N` for a
+    /// [`Side::Cols`] plane.
+    pub(super) vectors: usize,
+    /// Whether the codes are laid out panel-major
+    /// (`[panel][block][lane][k1]`) for the AVX2 kernels, instead of
+    /// vector-major.
+    pub(super) panel_major: bool,
+    /// This operand's half of the scale-out constant: `−(m − 1) − β`.
+    pub(super) c_half: i32,
+    pub(super) plane: Plane,
+}
+
+impl std::fmt::Debug for PackedOperand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PackedOperand({:?}, {} x{} vectors, k={}, {}{})",
+            self.side,
+            self.fmt,
+            self.vectors,
+            self.len,
+            match self.plane {
+                Plane::Narrow(_) => "i16",
+                Plane::Wide(_) => "i32",
+            },
+            if self.panel_major {
+                ", panel-major"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+impl PackedOperand {
+    /// Lowers `A[m,k]`'s rows to aligned integer codes for multiplication
+    /// against a `fb`-format B operand. Returns `None` when the `(fa, fb)`
+    /// pair is unsupported (see [`super::code_domain_supported`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m·k`.
+    pub fn pack_rows(a: &[f32], m: usize, k: usize, fa: BdrFormat, fb: BdrFormat) -> Option<Self> {
+        let class = pair_class(&fa, &fb)?;
+        assert_eq!(a.len(), m * k, "A is not {m}x{k}");
+        let blocks = k.div_ceil(fa.k1());
+        let plane = match class {
+            PairClass::Narrow => Plane::Narrow(pack::<i16>(
+                a,
+                m,
+                k,
+                |i| i * k,
+                1,
+                |v, kb| v * blocks + kb,
+                &fa,
+            )),
+            PairClass::Wide => Plane::Wide(pack::<i32>(
+                a,
+                m,
+                k,
+                |i| i * k,
+                1,
+                |v, kb| v * blocks + kb,
+                &fa,
+            )),
+        };
+        Some(PackedOperand {
+            side: Side::Rows,
+            fmt: fa,
+            len: k,
+            vectors: m,
+            panel_major: false,
+            c_half: c_half(&fa),
+            plane,
+        })
+    }
+
+    /// Lowers `B[k,n]`'s columns to aligned integer codes for multiplication
+    /// against `fa`-format activations. Returns `None` when the `(fa, fb)`
+    /// pair is unsupported (see [`super::code_domain_supported`]).
+    ///
+    /// When the narrow AVX2 kernels will consume the plane (the selected
+    /// backend — see [`super::kernel_backend_name`] — is `avx2` and the
+    /// block size matches), columns are laid out **panel-major**: columns
+    /// are grouped into [`PANEL_N`]-wide panels, and within a panel the
+    /// codes are ordered `[block][lane][k1]` — so one panel's entire
+    /// reduction (`blocks · PANEL_N · k1` codes, ≈ 8 KB at the serving
+    /// shapes) is a single contiguous, L1-resident streak. The last panel
+    /// is simply narrower when `n mod PANEL_N ≠ 0`. (A plain
+    /// `[block][column][k1]` block-major order would put consecutive
+    /// blocks of one panel `n·k1` codes apart — a large power-of-two
+    /// stride at typical layer widths that aliases the same L1 sets and
+    /// thrashes the cache.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k·n`.
+    pub fn pack_cols(b: &[f32], k: usize, n: usize, fa: BdrFormat, fb: BdrFormat) -> Option<Self> {
+        let class = pair_class(&fa, &fb)?;
+        assert_eq!(b.len(), k * n, "B is not {k}x{n}");
+        let blocks = k.div_ceil(fb.k1());
+        let panel_major = class == PairClass::Narrow && avx2_layout(fb.k1());
+        let plane = match class {
+            PairClass::Narrow => Plane::Narrow(pack::<i16>(
+                b,
+                n,
+                k,
+                |j| j,
+                n,
+                |v, kb| {
+                    if panel_major {
+                        panel_slot(v, kb, n, blocks)
+                    } else {
+                        v * blocks + kb
+                    }
+                },
+                &fb,
+            )),
+            PairClass::Wide => {
+                Plane::Wide(pack::<i32>(b, n, k, |j| j, n, |v, kb| v * blocks + kb, &fb))
+            }
+        };
+        Some(PackedOperand {
+            side: Side::Cols,
+            fmt: fb,
+            len: k,
+            vectors: n,
+            panel_major,
+            c_half: c_half(&fb),
+            plane,
+        })
+    }
+
+    /// The operand side this plane packs ([`Side::Rows`] for A,
+    /// [`Side::Cols`] for B).
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// The BDR format the codes were quantized in.
+    pub fn format(&self) -> BdrFormat {
+        self.fmt
+    }
+
+    /// Reduction-dimension length `K`.
+    pub fn k(&self) -> usize {
+        self.len
+    }
+
+    /// Number of packed vectors (`M` rows or `N` columns).
+    pub fn vectors(&self) -> usize {
+        self.vectors
+    }
+
+    /// Bytes of code and exponent storage the plane holds — the memory the
+    /// weight cache retains to skip per-call packing.
+    pub fn packed_bytes(&self) -> usize {
+        match &self.plane {
+            Plane::Narrow(p) => {
+                std::mem::size_of_val(&p.codes[..]) + std::mem::size_of_val(&p.exps[..])
+            }
+            Plane::Wide(p) => {
+                std::mem::size_of_val(&p.codes[..]) + std::mem::size_of_val(&p.exps[..])
+            }
+        }
+    }
+}
+
+/// Reusable buffers for ad-hoc A-side lowering, shared by both activation
+/// strategies: the **two-pass** path
+/// ([`super::quantized_gemm_twopass_scratch`]) lowers the whole activation
+/// plane into the code and exponent vectors, while the **fused** path
+/// ([`super::quantized_gemm_fused`]) reuses the same vectors as its
+/// tile ring, so a steady-state forward pass allocates nothing for the
+/// activation side whichever way the dispatch goes. Narrow and wide widths
+/// keep separate buffers, so one scratch serves interleaved format classes
+/// without reallocation churn.
+///
+/// A scratch is plain storage — it carries no format or shape state, so one
+/// instance can serve any sequence of GEMMs (`mx-nn` keeps one per thread).
+#[derive(Default)]
+pub struct PackScratch {
+    pub(super) narrow_codes: Vec<i16>,
+    pub(super) narrow_exps: Vec<i32>,
+    pub(super) wide_codes: Vec<i32>,
+    pub(super) wide_exps: Vec<i32>,
+    /// Per-vector uniform-exponent metadata (either width's plane).
+    pub(super) uexp: Vec<i32>,
+    /// Per-block microexponent shift workspace for the engine's planner.
+    pub(super) shifts: Vec<u32>,
+}
+
+impl PackScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -1,0 +1,59 @@
+//! The SSE2 backend: the portable traversal of [`super::scalar`] with the
+//! block dot lowered to `pmaddwd` — packed 16-bit multiplies with pairwise
+//! 32-bit accumulation, the exact hardware form of the paper's narrow BDR
+//! MAC datapath, one instruction per 8 codes. SSE2 is part of the x86-64
+//! baseline ABI, so this backend needs no runtime feature detection.
+
+use super::pack::PlaneView;
+use super::DeferCtx;
+
+/// The narrow span kernel with the `pmaddwd` block dot (consumes a
+/// vector-major B plane).
+#[allow(clippy::too_many_arguments)] // the SpanKernel signature: dims + operands + dispatch context
+pub(super) fn gemm_span(
+    ap: PlaneView<'_, i16>,
+    r0: usize,
+    rows: usize,
+    bp: PlaneView<'_, i16>,
+    n: usize,
+    c: i32,
+    ctx: DeferCtx,
+    out: &mut [f32],
+) {
+    super::scalar::gemm_span::<i16, true>(ap, r0, rows, bp, n, c, ctx, out)
+}
+
+/// Exact `i16` block dot via `pmaddwd`. The i32 accumulator cannot
+/// overflow: pairwise i16 products are below 2^31 because `w_a + w_b ≤ 30`,
+/// and the block total is bounded by the `w_a + w_b + ⌈log2 k1⌉ ≤ 31`
+/// dispatch gate.
+pub(super) fn dot(a: &[i16], b: &[i16]) -> i32 {
+    use std::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_cvtsi128_si32, _mm_loadu_si128, _mm_madd_epi16,
+        _mm_setzero_si128, _mm_shuffle_epi32,
+    };
+    let mut acc = 0i32;
+    let mut done = 0;
+    let vecs = a.len() / 8;
+    if vecs > 0 {
+        // SAFETY: SSE2 is unconditionally available on x86_64, and each
+        // unaligned 16-byte load reads lanes `8·i .. 8·i + 8`, in bounds
+        // for both slices by the `vecs` bound.
+        unsafe {
+            let mut vacc = _mm_setzero_si128();
+            for i in 0..vecs {
+                let va = _mm_loadu_si128(a.as_ptr().add(8 * i) as *const __m128i);
+                let vb = _mm_loadu_si128(b.as_ptr().add(8 * i) as *const __m128i);
+                vacc = _mm_add_epi32(vacc, _mm_madd_epi16(va, vb));
+            }
+            let high = _mm_add_epi32(vacc, _mm_shuffle_epi32(vacc, 0b01_00_11_10));
+            let total = _mm_add_epi32(high, _mm_shuffle_epi32(high, 0b10_11_00_01));
+            acc = _mm_cvtsi128_si32(total);
+        }
+        done = 8 * vecs;
+    }
+    for (&x, &y) in a[done..].iter().zip(b[done..].iter()) {
+        acc += i32::from(x) * i32::from(y);
+    }
+    acc
+}

@@ -1,0 +1,329 @@
+//! Forced-backend bit-identity suite: every kernel backend (scalar, SSE2,
+//! AVX2 where the CPU has it) must reproduce the quantize → dequantize →
+//! `f32` matmul reference **bit for bit** over the full preset matrix,
+//! ragged K tails, every serving-relevant M, and every thread count — and
+//! deferred scale-out must be provably invisible: forcing it on or off
+//! never changes a single output bit, including on adversarial exponent
+//! spreads built to straddle every deferral gate (mixed per-vector
+//! exponents, all-zero blocks and vectors, magnitudes pushed outside the
+//! `f32` grid window, and block counts exceeding the static headroom
+//! bound).
+//!
+//! The backend and deferral knobs are process-wide, so every test that
+//! touches them serializes on one mutex and restores automatic selection
+//! before releasing it.
+
+use std::sync::{Mutex, MutexGuard};
+
+use mx::core::bdr::BdrFormat;
+use mx::core::gemm::{
+    force_deferred_scale_out, force_kernel_backend, quantized_gemm, quantized_gemm_fused,
+    quantized_gemm_prepacked, quantized_gemm_twopass_scratch, reference_gemm, selected_backend,
+    KernelBackend, PackScratch, PackedOperand,
+};
+
+const PRESETS: [BdrFormat; 5] = [
+    BdrFormat::MX4,
+    BdrFormat::MX6,
+    BdrFormat::MX9,
+    BdrFormat::MSFP12,
+    BdrFormat::MSFP16,
+];
+
+const BACKENDS: [KernelBackend; 3] = [
+    KernelBackend::Scalar,
+    KernelBackend::Sse2,
+    KernelBackend::Avx2,
+];
+
+/// Serializes tests that touch the process-wide dispatch knobs.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII guard: holds the lock and restores automatic selection on drop
+/// (also on panic, so one failing test cannot poison the others' knobs).
+struct KnobGuard<'a>(#[allow(dead_code)] MutexGuard<'a, ()>);
+
+fn lock_knobs() -> KnobGuard<'static> {
+    let guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    KnobGuard(guard)
+}
+
+impl Drop for KnobGuard<'_> {
+    fn drop(&mut self) {
+        force_kernel_backend(None);
+        force_deferred_scale_out(None);
+    }
+}
+
+/// Deterministic stress data: outliers, sign flips, scattered zeros, wide
+/// magnitude spread, and periodic all-zero `k1 = 16` blocks.
+fn stress_vector(n: usize, salt: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            if (i / 16) % 4 == 3 {
+                return 0.0;
+            }
+            let h = (i.wrapping_mul(2654435761).wrapping_add(salt * 97)) % 10_007;
+            let base = h as f32 / 10_007.0 - 0.5;
+            match i % 7 {
+                0 => 0.0,
+                1 => base * 1e4,
+                2 => -base * 1e-4,
+                3 => -0.0,
+                _ => base,
+            }
+        })
+        .collect()
+}
+
+/// Adversarial exponent spreads for the deferral gates: vector `salt`
+/// selects among uniform-exponent data (maximal deferral), per-block
+/// exponent jumps (MIXED_EXP vectors), tiny magnitudes that push
+/// `e_a + e_b + c` below the `f32` grid window, huge magnitudes that push
+/// it above, and interleaved zero blocks.
+fn exponent_spread_vector(n: usize, salt: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i.wrapping_mul(2654435761).wrapping_add(salt * 131)) % 997;
+            let base = 1.0 + h as f32 / 997.0; // [1, 2): exponent 0
+            let sign = if (h >> 3) & 1 == 0 { 1.0 } else { -1.0 };
+            match salt % 5 {
+                // Uniform shared exponent across every block.
+                0 => sign * base,
+                // Alternate blocks 2^40 apart: mixed per-vector exponents.
+                1 => {
+                    sign * base
+                        * if (i / 16) % 2 == 0 {
+                            1.0
+                        } else {
+                            2.0f32.powi(40)
+                        }
+                }
+                // Tiny: e_a + e_b lands below the grid window when both
+                // sides use this scale.
+                2 => sign * base * 2.0f32.powi(-75),
+                // Huge: e_a + e_b lands above the grid window.
+                3 => sign * base * 2.0f32.powi(55),
+                // Zero blocks interleaved with uniform data.
+                _ => {
+                    if (i / 16) % 2 == 0 {
+                        0.0
+                    } else {
+                        sign * base
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{ctx}: element {i} differs: {g} ({:#x}) vs {w} ({:#x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+/// Every backend × the full preset matrix × ragged K × all serving Ms
+/// (both sides of the `FUSED_MAX_M` boundary and the tile boundary)
+/// reproduces the reference bit for bit. Packing happens after forcing, so
+/// each backend also exercises its own B-plane layout.
+#[test]
+fn forced_backend_matrix_is_bit_identical_to_reference() {
+    let _guard = lock_knobs();
+    let (k, n) = (40, 7); // ragged K tail: 40 = 2·16 + 8
+    for backend in BACKENDS {
+        force_kernel_backend(Some(backend));
+        let effective = selected_backend();
+        for fa in PRESETS {
+            for fb in PRESETS {
+                for m in [1usize, 7, 8, 32, 33] {
+                    let a = stress_vector(m * k, 3 * m + 1);
+                    let b = stress_vector(k * n, 5 * m + 2);
+                    let want = reference_gemm(&a, &b, m, k, n, fa, fb);
+                    let got = quantized_gemm(&a, &b, m, k, n, fa, fb, 1).unwrap();
+                    assert_bits_eq(
+                        &got,
+                        &want,
+                        &format!("{}({}) {fa}/{fb} m={m}", backend.name(), effective.name()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Forced backends stay bit-identical under row-parallel dispatch at every
+/// thread count, through the prepacked and fused entries alike.
+#[test]
+fn forced_backends_are_thread_count_invariant() {
+    let _guard = lock_knobs();
+    let fmt = BdrFormat::MX6;
+    let (k, n) = (96, 24);
+    for backend in BACKENDS {
+        force_kernel_backend(Some(backend));
+        for m in [8usize, 32, 33] {
+            let a = stress_vector(m * k, 7 * m);
+            let b = stress_vector(k * n, 11 * m);
+            let pb = PackedOperand::pack_cols(&b, k, n, fmt, fmt).unwrap();
+            let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+            for threads in [1usize, 2, 3, 7, 0] {
+                let got = quantized_gemm_prepacked(&a, m, fmt, &pb, threads).unwrap();
+                assert_bits_eq(
+                    &got,
+                    &want,
+                    &format!("{} m={m} threads={threads}", backend.name()),
+                );
+            }
+        }
+    }
+}
+
+/// A B plane packed under one backend still executes correctly after the
+/// knob moves: execution follows the plane's layout, and results stay
+/// bit-identical to the reference regardless of which backend packed it.
+#[test]
+fn planes_packed_under_one_backend_execute_under_another() {
+    let _guard = lock_knobs();
+    let fmt = BdrFormat::MX9;
+    let (m, k, n) = (5, 48, 9);
+    let a = stress_vector(m * k, 201);
+    let b = stress_vector(k * n, 202);
+    let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+    for packer in BACKENDS {
+        force_kernel_backend(Some(packer));
+        let pb = PackedOperand::pack_cols(&b, k, n, fmt, fmt).unwrap();
+        for runner in BACKENDS {
+            force_kernel_backend(Some(runner));
+            let got = quantized_gemm_prepacked(&a, m, fmt, &pb, 1).unwrap();
+            assert_bits_eq(
+                &got,
+                &want,
+                &format!(
+                    "packed under {}, run under {}",
+                    packer.name(),
+                    runner.name()
+                ),
+            );
+        }
+    }
+}
+
+/// Deferred scale-out is bit-invisible on every backend: forcing it on and
+/// off produces identical bits (and both match the reference) on data
+/// built to straddle every deferral gate — uniform exponents, mixed
+/// per-vector exponents, magnitudes outside the grid window on either
+/// side, and interleaved zero blocks, in every A-case × B-case
+/// combination.
+#[test]
+fn deferral_is_bit_invisible_on_adversarial_exponent_spreads() {
+    let _guard = lock_knobs();
+    let (k, n) = (64, 6);
+    for backend in BACKENDS {
+        force_kernel_backend(Some(backend));
+        for a_case in 0..5usize {
+            for b_case in 0..5usize {
+                for m in [1usize, 8, 9] {
+                    let a = exponent_spread_vector(m * k, a_case + 5 * (m + 1));
+                    let b = exponent_spread_vector(k * n, b_case + 5 * (m + 7));
+                    let want = reference_gemm(&a, &b, m, k, n, BdrFormat::MX6, BdrFormat::MX6);
+                    let mut runs = Vec::new();
+                    for defer in [true, false] {
+                        force_deferred_scale_out(Some(defer));
+                        let got =
+                            quantized_gemm(&a, &b, m, k, n, BdrFormat::MX6, BdrFormat::MX6, 1)
+                                .unwrap();
+                        assert_bits_eq(
+                            &got,
+                            &want,
+                            &format!(
+                                "{} a_case={a_case} b_case={b_case} m={m} defer={defer}",
+                                backend.name()
+                            ),
+                        );
+                        runs.push(got);
+                    }
+                    force_deferred_scale_out(None);
+                    assert_bits_eq(&runs[0], &runs[1], "defer on vs off");
+                }
+            }
+        }
+    }
+}
+
+/// Block counts that exceed the static headroom bound (MX9 × MX9 at large
+/// K: `blocks · Dmax > 2²⁴`) disarm deferral; results still match the
+/// reference bit for bit with the knob forced either way.
+#[test]
+fn headroom_exceeded_pairs_fall_back_exactly() {
+    let _guard = lock_knobs();
+    let fmt = BdrFormat::MX9;
+    let (m, k, n) = (4, 512, 5);
+    let a = stress_vector(m * k, 301);
+    let b = stress_vector(k * n, 302);
+    let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+    for backend in BACKENDS {
+        force_kernel_backend(Some(backend));
+        for defer in [true, false] {
+            force_deferred_scale_out(Some(defer));
+            let got = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
+            assert_bits_eq(
+                &got,
+                &want,
+                &format!("{} k=512 defer={defer}", backend.name()),
+            );
+        }
+        force_deferred_scale_out(None);
+    }
+}
+
+/// The fused and two-pass activation strategies agree bit for bit under
+/// every forced backend (the strategy seam and the backend seam are
+/// independent).
+#[test]
+fn fused_and_two_pass_agree_under_forced_backends() {
+    let _guard = lock_knobs();
+    let fmt = BdrFormat::MX6;
+    let (m, k, n) = (9, 80, 11);
+    let a = exponent_spread_vector(m * k, 10);
+    let b = exponent_spread_vector(k * n, 11);
+    for backend in BACKENDS {
+        force_kernel_backend(Some(backend));
+        let pb = PackedOperand::pack_cols(&b, k, n, fmt, fmt).unwrap();
+        let mut scratch = PackScratch::new();
+        let fused = quantized_gemm_fused(&a, m, fmt, &pb, 1, &mut scratch).unwrap();
+        let two_pass = quantized_gemm_twopass_scratch(&a, m, fmt, &pb, 1, &mut scratch).unwrap();
+        assert_bits_eq(
+            &fused,
+            &two_pass,
+            &format!("{} fused vs two-pass", backend.name()),
+        );
+        assert_bits_eq(
+            &fused,
+            &reference_gemm(&a, &b, m, k, n, fmt, fmt),
+            &format!("{} fused vs reference", backend.name()),
+        );
+    }
+}
+
+/// Wide custom formats (i32 codes) always run the portable kernel; forcing
+/// any backend neither crashes nor changes their bits.
+#[test]
+fn wide_pairs_are_backend_invariant() {
+    let _guard = lock_knobs();
+    let wide = BdrFormat::new(16, 8, 0, 16, 16).unwrap();
+    let (m, k, n) = (3, 40, 4);
+    let a = stress_vector(m * k, 401);
+    let b = stress_vector(k * n, 402);
+    let want = reference_gemm(&a, &b, m, k, n, wide, wide);
+    for backend in BACKENDS {
+        force_kernel_backend(Some(backend));
+        let got = quantized_gemm(&a, &b, m, k, n, wide, wide, 1).unwrap();
+        assert_bits_eq(&got, &want, &format!("wide pair under {}", backend.name()));
+    }
+}

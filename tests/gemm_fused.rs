@@ -172,7 +172,7 @@ fn fused_wide_format_pair() {
 /// A narrow pair with a non-preset block size runs the generic
 /// (vector-major, non-AVX2) fused kernel.
 #[test]
-fn fused_non_block_major_narrow_pair() {
+fn fused_non_panel_major_narrow_pair() {
     let k32 = BdrFormat::new(4, 8, 1, 32, 2).unwrap();
     check_all_paths(3, 80, 4, k32, k32, 71);
     check_all_paths(1, 32, 6, k32, k32, 72);
