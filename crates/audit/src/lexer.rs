@@ -1,0 +1,303 @@
+//! A hand-rolled lexical scanner for Rust source.
+//!
+//! The auditor cannot use `syn` (the build container has no crates.io
+//! access), and it does not need a parse tree — every rule it enforces is
+//! about *which channel* a token lives in: executable code, comment text,
+//! or string-literal content. So this module splits each line of a source
+//! file into exactly those three channels:
+//!
+//! - **code** — the line with comments stripped and every string/char
+//!   literal blanked to an empty literal (`""` / `''`). Rules that match
+//!   keywords, macro invocations, or index expressions scan this channel,
+//!   which makes them immune to `unsafe` appearing in a doc comment or
+//!   `panic!` appearing inside a fixture string.
+//! - **comments** — the text of `//`, `///`, `//!`, and `/* */` comments,
+//!   per line. `// SAFETY:` justifications and `audit:allow(...)`
+//!   suppressions are looked up here.
+//! - **strings** — the contents of every string literal, tagged with the
+//!   1-based line it starts on. `MX_*` knob names and
+//!   `target_feature`/`is_x86_feature_detected!` feature names travel
+//!   through this channel.
+//!
+//! The scanner handles line comments, nested block comments, regular and
+//! raw (`r"…"`, `r#"…"#`, byte) strings spanning multiple lines, and the
+//! char-literal vs lifetime ambiguity (`'a'` vs `'a`). It does not try to
+//! be a full lexer — float exponents, numeric suffixes, and the rest of
+//! the token grammar pass through the code channel untouched, which is
+//! exactly what the rules want.
+
+/// One source file split into per-line code/comment channels plus the
+/// string-literal contents.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Per line: code with comments removed and literals blanked.
+    pub code: Vec<String>,
+    /// Per line: concatenated comment text (empty when none).
+    pub comments: Vec<String>,
+    /// `(1-based start line, contents)` of every string literal.
+    pub strings: Vec<(usize, String)>,
+}
+
+/// Cross-line scanner state.
+enum Mode {
+    /// Plain code.
+    Code,
+    /// Inside a block comment at the given nesting depth.
+    Block(u32),
+    /// Inside a regular (escaped) string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` + this many `#`s.
+    RawStr(u32),
+}
+
+/// Splits `src` into the three channels. Never fails: unterminated
+/// constructs simply stay in their mode until end of input.
+pub fn lex(src: &str) -> LexedFile {
+    let mut out = LexedFile::default();
+    let mut mode = Mode::Code;
+    let mut cur_str = String::new();
+    let mut cur_str_line = 0usize;
+
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut i = 0;
+
+        while i < chars.len() {
+            match mode {
+                Mode::Block(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        mode = if depth <= 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if chars[i] == '\\' {
+                        // Keep the escaped char verbatim; rules only do
+                        // whole-literal or substring matching.
+                        cur_str.push('\\');
+                        if let Some(&c) = chars.get(i + 1) {
+                            cur_str.push(c);
+                        }
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        out.strings
+                            .push((cur_str_line, std::mem::take(&mut cur_str)));
+                        code.push_str("\"\"");
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        cur_str.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if chars[i] == '"'
+                        && (i + 1..=i + hashes as usize).all(|j| chars.get(j) == Some(&'#'))
+                    {
+                        out.strings
+                            .push((cur_str_line, std::mem::take(&mut cur_str)));
+                        code.push_str("\"\"");
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        cur_str.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment (also ///, //!): rest of line.
+                        comment.push_str(&chars[i + 2..].iter().collect::<String>());
+                        i = chars.len();
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        mode = Mode::Str;
+                        cur_str_line = lineno;
+                        i += 1;
+                    } else if (c == 'r' || c == 'b') && !prev_is_ident(&code) {
+                        // Possible raw/byte string prefix: [b] r #* " or b".
+                        let mut j = i;
+                        if chars[j] == 'b' {
+                            j += 1;
+                        }
+                        let raw = chars.get(j) == Some(&'r');
+                        if raw {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        // The branch is entered on 'r'/'b', so any match is
+                        // a legal prefix; hashes are only legal on raw
+                        // strings.
+                        let opens = chars.get(j) == Some(&'"') && (raw || hashes == 0);
+                        if opens {
+                            cur_str_line = lineno;
+                            mode = if raw { Mode::RawStr(hashes) } else { Mode::Str };
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal vs lifetime. A literal is '\…' or a
+                        // single char followed by a closing quote.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: scan to the closing '.
+                            code.push_str("''");
+                            let mut j = i + 2;
+                            while j < chars.len() {
+                                if chars[j] == '\\' {
+                                    j += 2;
+                                } else if chars[j] == '\'' {
+                                    j += 1;
+                                    break;
+                                } else {
+                                    j += 1;
+                                }
+                            }
+                            i = j;
+                        } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'')
+                        {
+                            code.push_str("''");
+                            i += 3;
+                        } else {
+                            // Lifetime (or label): keep the tick in code.
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        // A regular string only continues to the next line if the source
+        // really does (lines() dropped the newline, which is legal string
+        // content); record it so substring matching still works.
+        if matches!(mode, Mode::Str | Mode::RawStr(_)) {
+            cur_str.push('\n');
+        }
+        out.code.push(code);
+        out.comments.push(comment);
+    }
+    out
+}
+
+/// True when `code` ends in an identifier character — used to keep the
+/// `r`/`b` raw-string prefix detection from firing inside identifiers
+/// like `var` or `grab`.
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Byte offsets of `word` in `line` at identifier boundaries (not preceded
+/// or followed by `[A-Za-z0-9_]`).
+pub fn find_word(line: &str, word: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(word) {
+        let at = from + rel;
+        let pre_ok = at == 0 || {
+            let p = bytes[at - 1];
+            !(p.is_ascii_alphanumeric() || p == b'_')
+        };
+        let end = at + word.len();
+        let post_ok = end >= bytes.len() || {
+            let n = bytes[end];
+            !(n.is_ascii_alphanumeric() || n == b'_')
+        };
+        if pre_ok && post_ok {
+            hits.push(at);
+        }
+        from = at + word.len();
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_split_from_code() {
+        let lx = lex("let x = 1; // unsafe panic!\n/* block\nstill comment */ let y = 2;");
+        assert_eq!(lx.code[0].trim(), "let x = 1;");
+        assert!(lx.comments[0].contains("unsafe panic!"));
+        assert_eq!(lx.code[1], "");
+        assert!(lx.comments[1].contains("block"));
+        assert_eq!(lx.code[2].trim(), "let y = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("a /* one /* two */ still */ b");
+        assert_eq!(lx.code[0].replace(' ', ""), "ab");
+    }
+
+    #[test]
+    fn strings_are_blanked_and_captured() {
+        let lx = lex("env(\"MX_DEMO_KNOB\"); let s = \"panic!\";");
+        assert!(!lx.code[0].contains("MX_DEMO_KNOB"));
+        assert!(!lx.code[0].contains("panic!"));
+        assert_eq!(lx.strings[0], (1, "MX_DEMO_KNOB".to_string()));
+        assert_eq!(lx.strings[1], (1, "panic!".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_multiline() {
+        let lx = lex("let s = r#\"line \"quoted\"\nnext\"#; code()");
+        assert_eq!(lx.strings.len(), 1);
+        assert_eq!(lx.strings[0].0, 1);
+        assert!(lx.strings[0].1.contains("quoted"));
+        assert!(lx.strings[0].1.contains("next"));
+        assert!(lx.code[1].contains("code()"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let lx = lex("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; }");
+        // Lifetimes stay (as ticks), char contents are blanked so brace
+        // counting is not fooled by '{'.
+        assert!(!lx.code[0].contains('{') || lx.code[0].matches('{').count() == 1);
+        assert!(lx.code[0].contains("''"));
+    }
+
+    #[test]
+    fn find_word_respects_boundaries() {
+        assert_eq!(find_word("unsafe fn x", "unsafe"), vec![0]);
+        assert!(find_word("deny(unsafe_op_in_unsafe_fn)", "unsafe").is_empty());
+        assert_eq!(find_word("assert!(x)", "assert"), vec![0]);
+        assert!(find_word("debug_assert!(x)", "assert").is_empty());
+    }
+
+    #[test]
+    fn comment_containing_quote_does_not_open_string() {
+        let lx = lex("// it's \"quoted\"\nlet x = 1;");
+        assert_eq!(lx.code[1].trim(), "let x = 1;");
+        assert!(lx.strings.is_empty());
+    }
+}

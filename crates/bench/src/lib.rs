@@ -85,7 +85,7 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Returns true when the `MX_FULL` environment variable asks for
 /// publication-scale settings (slower, closer to the paper's sample sizes).
 pub fn full_scale() -> bool {
-    std::env::var("MX_FULL").map(|v| v == "1").unwrap_or(false)
+    mx_core::knobs::raw("MX_FULL").is_some_and(|v| v == "1")
 }
 
 /// Worker-thread budget for the parallel bench cases: the
@@ -97,8 +97,7 @@ pub fn full_scale() -> bool {
 /// parallel-scaling suites with this knob on a multi-core box (see the
 /// notes in `results/*.md`).
 pub fn bench_threads(default: usize) -> usize {
-    std::env::var("MX_BENCH_THREADS")
-        .ok()
+    mx_core::knobs::raw("MX_BENCH_THREADS")
         .and_then(|v| v.trim().parse().ok())
         .unwrap_or(default)
 }

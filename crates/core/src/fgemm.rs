@@ -249,51 +249,63 @@ unsafe fn tile_avx2<const R: usize, const SKIP: bool>(
     let mut j = 0;
     // Main step: 16 columns, 2·R accumulator registers.
     while j + 16 <= n {
-        let mut acc0 = [_mm256_setzero_ps(); R];
-        let mut acc1 = [_mm256_setzero_ps(); R];
-        for r in 0..R {
-            acc0[r] = _mm256_loadu_ps(out.as_ptr().add(r * n + j));
-            acc1[r] = _mm256_loadu_ps(out.as_ptr().add(r * n + j + 8));
-        }
-        for p in pc..pc + kc {
-            let vb0 = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
-            let vb1 = _mm256_loadu_ps(b.as_ptr().add(p * n + j + 8));
+        // SAFETY: `j + 16 ≤ n` keeps every 8-lane load/store at
+        // `r·n + j (+8)` inside `out` (`R × n`) and every B load at
+        // `p·n + j (+8)` inside rows `pc .. pc + kc` of B (`k × n`);
+        // `a.get_unchecked(abase + r·k + p)` is in bounds because A holds
+        // rows `abase .. abase + R·k` (debug-asserted above).
+        unsafe {
+            let mut acc0 = [_mm256_setzero_ps(); R];
+            let mut acc1 = [_mm256_setzero_ps(); R];
             for r in 0..R {
-                let av = *a.get_unchecked(abase + r * k + p);
-                if SKIP && av == 0.0 {
-                    continue;
-                }
-                // Separate mul + add: each product rounds to f32 before
-                // the accumulate, exactly like the scalar `acc += a * b`.
-                let va = _mm256_set1_ps(av);
-                acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(va, vb0));
-                acc1[r] = _mm256_add_ps(acc1[r], _mm256_mul_ps(va, vb1));
+                acc0[r] = _mm256_loadu_ps(out.as_ptr().add(r * n + j));
+                acc1[r] = _mm256_loadu_ps(out.as_ptr().add(r * n + j + 8));
             }
-        }
-        for r in 0..R {
-            _mm256_storeu_ps(out.as_mut_ptr().add(r * n + j), acc0[r]);
-            _mm256_storeu_ps(out.as_mut_ptr().add(r * n + j + 8), acc1[r]);
+            for p in pc..pc + kc {
+                let vb0 = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+                let vb1 = _mm256_loadu_ps(b.as_ptr().add(p * n + j + 8));
+                for r in 0..R {
+                    let av = *a.get_unchecked(abase + r * k + p);
+                    if SKIP && av == 0.0 {
+                        continue;
+                    }
+                    // Separate mul + add: each product rounds to f32
+                    // before the accumulate, exactly like the scalar
+                    // `acc += a * b`.
+                    let va = _mm256_set1_ps(av);
+                    acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(va, vb0));
+                    acc1[r] = _mm256_add_ps(acc1[r], _mm256_mul_ps(va, vb1));
+                }
+            }
+            for r in 0..R {
+                _mm256_storeu_ps(out.as_mut_ptr().add(r * n + j), acc0[r]);
+                _mm256_storeu_ps(out.as_mut_ptr().add(r * n + j + 8), acc1[r]);
+            }
         }
         j += 16;
     }
     // Single-vector step for an 8..16-column remainder.
     while j + 8 <= n {
-        let mut acc = [_mm256_setzero_ps(); R];
-        for (r, slot) in acc.iter_mut().enumerate() {
-            *slot = _mm256_loadu_ps(out.as_ptr().add(r * n + j));
-        }
-        for p in pc..pc + kc {
-            let vb = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+        // SAFETY: `j + 8 ≤ n` bounds the single 8-lane column group the
+        // same way as the 16-column step above.
+        unsafe {
+            let mut acc = [_mm256_setzero_ps(); R];
             for (r, slot) in acc.iter_mut().enumerate() {
-                let av = *a.get_unchecked(abase + r * k + p);
-                if SKIP && av == 0.0 {
-                    continue;
-                }
-                *slot = _mm256_add_ps(*slot, _mm256_mul_ps(_mm256_set1_ps(av), vb));
+                *slot = _mm256_loadu_ps(out.as_ptr().add(r * n + j));
             }
-        }
-        for (r, slot) in acc.iter().enumerate() {
-            _mm256_storeu_ps(out.as_mut_ptr().add(r * n + j), *slot);
+            for p in pc..pc + kc {
+                let vb = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+                for (r, slot) in acc.iter_mut().enumerate() {
+                    let av = *a.get_unchecked(abase + r * k + p);
+                    if SKIP && av == 0.0 {
+                        continue;
+                    }
+                    *slot = _mm256_add_ps(*slot, _mm256_mul_ps(_mm256_set1_ps(av), vb));
+                }
+            }
+            for (r, slot) in acc.iter().enumerate() {
+                _mm256_storeu_ps(out.as_mut_ptr().add(r * n + j), *slot);
+            }
         }
         j += 8;
     }
@@ -322,48 +334,60 @@ unsafe fn tile_sse2<const R: usize, const SKIP: bool>(
     use std::arch::x86_64::*;
     let mut j = 0;
     while j + 8 <= n {
-        let mut acc0 = [_mm_setzero_ps(); R];
-        let mut acc1 = [_mm_setzero_ps(); R];
-        for r in 0..R {
-            acc0[r] = _mm_loadu_ps(out.as_ptr().add(r * n + j));
-            acc1[r] = _mm_loadu_ps(out.as_ptr().add(r * n + j + 4));
-        }
-        for p in pc..pc + kc {
-            let vb0 = _mm_loadu_ps(b.as_ptr().add(p * n + j));
-            let vb1 = _mm_loadu_ps(b.as_ptr().add(p * n + j + 4));
+        // SAFETY: `j + 8 ≤ n` keeps every 4-lane load/store at
+        // `r·n + j (+4)` inside `out` (`R × n`) and every B load at
+        // `p·n + j (+4)` inside rows `pc .. pc + kc` of B (`k × n`);
+        // `a.get_unchecked(abase + r·k + p)` is in bounds because A holds
+        // rows `abase .. abase + R·k`. SSE2 is x86-64 baseline, so the
+        // intrinsics themselves are always available.
+        unsafe {
+            let mut acc0 = [_mm_setzero_ps(); R];
+            let mut acc1 = [_mm_setzero_ps(); R];
             for r in 0..R {
-                let av = *a.get_unchecked(abase + r * k + p);
-                if SKIP && av == 0.0 {
-                    continue;
-                }
-                let va = _mm_set1_ps(av);
-                acc0[r] = _mm_add_ps(acc0[r], _mm_mul_ps(va, vb0));
-                acc1[r] = _mm_add_ps(acc1[r], _mm_mul_ps(va, vb1));
+                acc0[r] = _mm_loadu_ps(out.as_ptr().add(r * n + j));
+                acc1[r] = _mm_loadu_ps(out.as_ptr().add(r * n + j + 4));
             }
-        }
-        for r in 0..R {
-            _mm_storeu_ps(out.as_mut_ptr().add(r * n + j), acc0[r]);
-            _mm_storeu_ps(out.as_mut_ptr().add(r * n + j + 4), acc1[r]);
+            for p in pc..pc + kc {
+                let vb0 = _mm_loadu_ps(b.as_ptr().add(p * n + j));
+                let vb1 = _mm_loadu_ps(b.as_ptr().add(p * n + j + 4));
+                for r in 0..R {
+                    let av = *a.get_unchecked(abase + r * k + p);
+                    if SKIP && av == 0.0 {
+                        continue;
+                    }
+                    let va = _mm_set1_ps(av);
+                    acc0[r] = _mm_add_ps(acc0[r], _mm_mul_ps(va, vb0));
+                    acc1[r] = _mm_add_ps(acc1[r], _mm_mul_ps(va, vb1));
+                }
+            }
+            for r in 0..R {
+                _mm_storeu_ps(out.as_mut_ptr().add(r * n + j), acc0[r]);
+                _mm_storeu_ps(out.as_mut_ptr().add(r * n + j + 4), acc1[r]);
+            }
         }
         j += 8;
     }
     while j + 4 <= n {
-        let mut acc = [_mm_setzero_ps(); R];
-        for (r, slot) in acc.iter_mut().enumerate() {
-            *slot = _mm_loadu_ps(out.as_ptr().add(r * n + j));
-        }
-        for p in pc..pc + kc {
-            let vb = _mm_loadu_ps(b.as_ptr().add(p * n + j));
+        // SAFETY: `j + 4 ≤ n` bounds the single 4-lane column group the
+        // same way as the 8-column step above.
+        unsafe {
+            let mut acc = [_mm_setzero_ps(); R];
             for (r, slot) in acc.iter_mut().enumerate() {
-                let av = *a.get_unchecked(abase + r * k + p);
-                if SKIP && av == 0.0 {
-                    continue;
-                }
-                *slot = _mm_add_ps(*slot, _mm_mul_ps(_mm_set1_ps(av), vb));
+                *slot = _mm_loadu_ps(out.as_ptr().add(r * n + j));
             }
-        }
-        for (r, slot) in acc.iter().enumerate() {
-            _mm_storeu_ps(out.as_mut_ptr().add(r * n + j), *slot);
+            for p in pc..pc + kc {
+                let vb = _mm_loadu_ps(b.as_ptr().add(p * n + j));
+                for (r, slot) in acc.iter_mut().enumerate() {
+                    let av = *a.get_unchecked(abase + r * k + p);
+                    if SKIP && av == 0.0 {
+                        continue;
+                    }
+                    *slot = _mm_add_ps(*slot, _mm_mul_ps(_mm_set1_ps(av), vb));
+                }
+            }
+            for (r, slot) in acc.iter().enumerate() {
+                _mm_storeu_ps(out.as_mut_ptr().add(r * n + j), *slot);
+            }
         }
         j += 4;
     }

@@ -68,6 +68,9 @@ pub(super) fn gemm_span(
 /// # Safety
 ///
 /// Requires AVX2 (verified at pack time before a panel-major plane exists).
+/// `ap`/`bp` must be consistent planes (`k1 = 16`, codes/exponents sized to
+/// `blocks`), `r0 + rows` within the A plane, `n` within the B plane, and
+/// `out` at least `rows × n`.
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)] // the SpanKernel signature: dims + operands + dispatch context
 unsafe fn gemm_span_avx2(
@@ -110,16 +113,27 @@ unsafe fn gemm_span_avx2(
                     if panel_defers(au1) {
                         let acodes1 = &ap.codes[(row + 1) * blocks * K1..][..blocks * K1];
                         let (out0, out1) = out[(i0 + t) * n..][..2 * n].split_at_mut(n);
-                        panel8x2_deferred(acodes, acodes1, au, au1, bp, pbase, j, c, out0, out1);
+                        // SAFETY: AVX2 is enabled on this fn; both code
+                        // slices are exactly `blocks·K1` lanes, both out
+                        // rows are `n` wide, and `j + PANEL_N ≤ n8 ≤ n`
+                        // bounds the panel's columns and exponents.
+                        unsafe {
+                            panel8x2_deferred(acodes, acodes1, au, au1, bp, pbase, j, c, out0, out1)
+                        };
                         t += 2;
                         continue;
                     }
                 }
                 let out_row = &mut out[(i0 + t) * n..][..n];
                 if defer {
-                    panel8_deferred(acodes, au, bp, pbase, j, c, out_row);
+                    // SAFETY: AVX2 is enabled on this fn; `acodes` is
+                    // `blocks·K1` lanes, `out_row` is `n` wide, and
+                    // `j + PANEL_N ≤ n8 ≤ n` bounds the panel.
+                    unsafe { panel8_deferred(acodes, au, bp, pbase, j, c, out_row) };
                 } else {
-                    panel8_per_block(acodes, ap, row, bp, pbase, j, c, out_row);
+                    // SAFETY: same bounds as the deferred call; `row` is a
+                    // valid A-plane row, so its per-block exponents exist.
+                    unsafe { panel8_per_block(acodes, ap, row, bp, pbase, j, c, out_row) };
                 }
                 t += 1;
             }
@@ -136,20 +150,26 @@ unsafe fn gemm_span_avx2(
                 let acodes = &ap.codes[row * blocks * K1..][..blocks * K1];
                 let out_row = &mut out[(i0 + t) * n..][..n];
                 for (lane, slot) in out_row[n8..].iter_mut().enumerate() {
-                    col_one(
-                        acodes,
-                        ap,
-                        row,
-                        au,
-                        bp,
-                        pbase,
-                        width,
-                        lane,
-                        n8 + lane,
-                        c,
-                        ctx,
-                        slot,
-                    );
+                    // SAFETY: AVX2 is enabled on this fn; `lane < width`
+                    // (the iterator covers the `n − n8` tail columns), so
+                    // every ragged-panel block slot `pbase + kb·width +
+                    // lane` is in bounds of the B plane.
+                    unsafe {
+                        col_one(
+                            acodes,
+                            ap,
+                            row,
+                            au,
+                            bp,
+                            pbase,
+                            width,
+                            lane,
+                            n8 + lane,
+                            c,
+                            ctx,
+                            slot,
+                        )
+                    };
                 }
             }
         }
@@ -164,6 +184,12 @@ unsafe fn gemm_span_avx2(
 /// the single-row path's 9). Same dots, same single scale-out per element,
 /// same headroom bound — pairing changes only which registers hold which
 /// partial, never a rounding point.
+///
+/// # Safety
+///
+/// Requires AVX2. `acodes0`/`acodes1` must each hold `bp.blocks · K1`
+/// codes, `out0`/`out1` must each be at least `j + PANEL_N` wide, and the
+/// panel at `pbase` (columns `j .. j + PANEL_N`) must exist in `bp`.
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)] // two rows' operands + panel addressing
 unsafe fn panel8x2_deferred(
@@ -182,18 +208,30 @@ unsafe fn panel8x2_deferred(
     let panel = &bp.codes[pbase * K1..][..blocks * PANEL_N * K1];
     for half in 0..2 {
         let off = half * 4;
-        let (d0, d1) = half4x2(acodes0, acodes1, panel, off, blocks);
-        let eb = _mm_loadu_si128(bp.uexp[j + off..].as_ptr() as *const __m128i);
-        let e0 = _mm_add_epi32(_mm_set1_epi32(au0 + c), eb);
-        let e1 = _mm_add_epi32(_mm_set1_epi32(au1 + c), eb);
-        _mm_storeu_ps(out0[j + off..].as_mut_ptr(), scale4(d0, e0));
-        _mm_storeu_ps(out1[j + off..].as_mut_ptr(), scale4(d1, e1));
+        // SAFETY: `off + 4 ≤ PANEL_N`, so the 4-lane exponent load at
+        // `uexp[j + off..]` and the 4-lane stores at `out·[j + off..]` are
+        // in bounds by this fn's preconditions; `half4x2` and `scale4`
+        // inherit AVX2 and receive exactly the slices they require.
+        unsafe {
+            let (d0, d1) = half4x2(acodes0, acodes1, panel, off, blocks);
+            let eb = _mm_loadu_si128(bp.uexp[j + off..].as_ptr() as *const __m128i);
+            let e0 = _mm_add_epi32(_mm_set1_epi32(au0 + c), eb);
+            let e1 = _mm_add_epi32(_mm_set1_epi32(au1 + c), eb);
+            _mm_storeu_ps(out0[j + off..].as_mut_ptr(), scale4(d0, e0));
+            _mm_storeu_ps(out1[j + off..].as_mut_ptr(), scale4(d1, e1));
+        }
     }
 }
 
 /// The 2-row × 4-column accumulation core: integer dots of two A rows
 /// against panel columns `off .. off + 4` over the whole reduction,
 /// returned as two 4-lane dot vectors (row 0, row 1).
+///
+/// # Safety
+///
+/// Requires AVX2. `acodes0`/`acodes1` must each hold `blocks · K1` codes,
+/// `panel` must hold `blocks · PANEL_N · K1` codes, and `off + 4 ≤
+/// PANEL_N`.
 #[target_feature(enable = "avx2")]
 unsafe fn half4x2(
     acodes0: &[i16],
@@ -211,21 +249,27 @@ unsafe fn half4x2(
     let mut a12 = _mm256_setzero_si256();
     let mut a13 = _mm256_setzero_si256();
     for kb in 0..blocks {
-        let va0 = _mm256_loadu_si256(acodes0[kb * K1..].as_ptr() as *const __m256i);
-        let va1 = _mm256_loadu_si256(acodes1[kb * K1..].as_ptr() as *const __m256i);
-        let bptr = panel[(kb * PANEL_N + off) * K1..].as_ptr() as *const __m256i;
-        let b0 = _mm256_loadu_si256(bptr);
-        let b1 = _mm256_loadu_si256(bptr.add(1));
-        let b2 = _mm256_loadu_si256(bptr.add(2));
-        let b3 = _mm256_loadu_si256(bptr.add(3));
-        a00 = _mm256_add_epi32(a00, _mm256_madd_epi16(va0, b0));
-        a01 = _mm256_add_epi32(a01, _mm256_madd_epi16(va0, b1));
-        a02 = _mm256_add_epi32(a02, _mm256_madd_epi16(va0, b2));
-        a03 = _mm256_add_epi32(a03, _mm256_madd_epi16(va0, b3));
-        a10 = _mm256_add_epi32(a10, _mm256_madd_epi16(va1, b0));
-        a11 = _mm256_add_epi32(a11, _mm256_madd_epi16(va1, b1));
-        a12 = _mm256_add_epi32(a12, _mm256_madd_epi16(va1, b2));
-        a13 = _mm256_add_epi32(a13, _mm256_madd_epi16(va1, b3));
+        // SAFETY: each 16-lane load reads `K1 = 16` i16s — the A loads at
+        // `kb·K1` (both slices hold `blocks·K1` codes) and the four B
+        // column loads at `(kb·PANEL_N + off + 0..4)·K1` (in bounds since
+        // `off + 4 ≤ PANEL_N` and `panel` holds `blocks·PANEL_N·K1`).
+        unsafe {
+            let va0 = _mm256_loadu_si256(acodes0[kb * K1..].as_ptr() as *const __m256i);
+            let va1 = _mm256_loadu_si256(acodes1[kb * K1..].as_ptr() as *const __m256i);
+            let bptr = panel[(kb * PANEL_N + off) * K1..].as_ptr() as *const __m256i;
+            let b0 = _mm256_loadu_si256(bptr);
+            let b1 = _mm256_loadu_si256(bptr.add(1));
+            let b2 = _mm256_loadu_si256(bptr.add(2));
+            let b3 = _mm256_loadu_si256(bptr.add(3));
+            a00 = _mm256_add_epi32(a00, _mm256_madd_epi16(va0, b0));
+            a01 = _mm256_add_epi32(a01, _mm256_madd_epi16(va0, b1));
+            a02 = _mm256_add_epi32(a02, _mm256_madd_epi16(va0, b2));
+            a03 = _mm256_add_epi32(a03, _mm256_madd_epi16(va0, b3));
+            a10 = _mm256_add_epi32(a10, _mm256_madd_epi16(va1, b0));
+            a11 = _mm256_add_epi32(a11, _mm256_madd_epi16(va1, b1));
+            a12 = _mm256_add_epi32(a12, _mm256_madd_epi16(va1, b2));
+            a13 = _mm256_add_epi32(a13, _mm256_madd_epi16(va1, b3));
+        }
     }
     let q0 = _mm256_hadd_epi32(_mm256_hadd_epi32(a00, a01), _mm256_hadd_epi32(a02, a03));
     let d0 = _mm_add_epi32(_mm256_castsi256_si128(q0), _mm256_extracti128_si256(q0, 1));
@@ -239,6 +283,12 @@ unsafe fn half4x2(
 /// per block per column, lanes reduced once at the end. The static
 /// headroom bound (`blocks · Dmax ≤ 2²⁴`) caps every `i32` lane partial at
 /// 2²¹, so no overflow.
+///
+/// # Safety
+///
+/// Requires AVX2. `acodes` must hold `bp.blocks · K1` codes, `out_row`
+/// must be at least `j + PANEL_N` wide, and the panel at `pbase` (columns
+/// `j .. j + PANEL_N`) must exist in `bp`.
 #[target_feature(enable = "avx2")]
 unsafe fn panel8_deferred(
     acodes: &[i16],
@@ -260,16 +310,22 @@ unsafe fn panel8_deferred(
     let mut acc6 = _mm256_setzero_si256();
     let mut acc7 = _mm256_setzero_si256();
     for kb in 0..blocks {
-        let va = _mm256_loadu_si256(acodes[kb * K1..].as_ptr() as *const __m256i);
-        let bptr = panel[kb * PANEL_N * K1..].as_ptr() as *const __m256i;
-        acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr)));
-        acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(1))));
-        acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(2))));
-        acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(3))));
-        acc4 = _mm256_add_epi32(acc4, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(4))));
-        acc5 = _mm256_add_epi32(acc5, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(5))));
-        acc6 = _mm256_add_epi32(acc6, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(6))));
-        acc7 = _mm256_add_epi32(acc7, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(7))));
+        // SAFETY: each 16-lane load reads `K1 = 16` i16s — the A load at
+        // `kb·K1` (`acodes` holds `blocks·K1`) and the 8 panel-column
+        // loads at `(kb·PANEL_N + 0..8)·K1` (`panel` holds
+        // `blocks·PANEL_N·K1`).
+        unsafe {
+            let va = _mm256_loadu_si256(acodes[kb * K1..].as_ptr() as *const __m256i);
+            let bptr = panel[kb * PANEL_N * K1..].as_ptr() as *const __m256i;
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr)));
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(1))));
+            acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(2))));
+            acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(3))));
+            acc4 = _mm256_add_epi32(acc4, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(4))));
+            acc5 = _mm256_add_epi32(acc5, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(5))));
+            acc6 = _mm256_add_epi32(acc6, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(6))));
+            acc7 = _mm256_add_epi32(acc7, _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(7))));
+        }
     }
     // One transpose/reduce per 8-column group: two hadd rounds + a
     // cross-lane add give [d0..d3], [d4..d7] — exact integer dots,
@@ -278,16 +334,21 @@ unsafe fn panel8_deferred(
     let d03 = _mm_add_epi32(_mm256_castsi256_si128(q0), _mm256_extracti128_si256(q0, 1));
     let q1 = _mm256_hadd_epi32(_mm256_hadd_epi32(acc4, acc5), _mm256_hadd_epi32(acc6, acc7));
     let d47 = _mm_add_epi32(_mm256_castsi256_si128(q1), _mm256_extracti128_si256(q1, 1));
-    let e03 = _mm_add_epi32(
-        _mm_set1_epi32(au + c),
-        _mm_loadu_si128(bp.uexp[j..].as_ptr() as *const __m128i),
-    );
-    let e47 = _mm_add_epi32(
-        _mm_set1_epi32(au + c),
-        _mm_loadu_si128(bp.uexp[j + 4..].as_ptr() as *const __m128i),
-    );
-    _mm_storeu_ps(out_row[j..].as_mut_ptr(), scale4(d03, e03));
-    _mm_storeu_ps(out_row[j + 4..].as_mut_ptr(), scale4(d47, e47));
+    // SAFETY: `j + PANEL_N` bounds both 4-lane exponent loads (`uexp` has
+    // one entry per column) and both 4-lane stores into `out_row`, per
+    // this fn's preconditions; `scale4` inherits AVX2.
+    unsafe {
+        let e03 = _mm_add_epi32(
+            _mm_set1_epi32(au + c),
+            _mm_loadu_si128(bp.uexp[j..].as_ptr() as *const __m128i),
+        );
+        let e47 = _mm_add_epi32(
+            _mm_set1_epi32(au + c),
+            _mm_loadu_si128(bp.uexp[j + 4..].as_ptr() as *const __m128i),
+        );
+        _mm_storeu_ps(out_row[j..].as_mut_ptr(), scale4(d03, e03));
+        _mm_storeu_ps(out_row[j + 4..].as_mut_ptr(), scale4(d47, e47));
+    }
 }
 
 /// Per-block scale-out for one (row, 8-column panel): per block, 8
@@ -296,6 +357,13 @@ unsafe fn panel8_deferred(
 /// kernel's rounding chain (one `f32` rounding per block pair, `f32`
 /// accumulation in K-block order), with the output round trips through
 /// memory hoisted out of the K loop.
+///
+/// # Safety
+///
+/// Requires AVX2. `acodes` must hold `ap.blocks · K1` codes, `row` must be
+/// a valid row of `ap` (its per-block exponents exist), `out_row` must be
+/// at least `j + PANEL_N` wide, and the panel at `pbase` (columns `j .. j
+/// + PANEL_N`) must exist in `bp`.
 #[allow(clippy::too_many_arguments)] // one row's operands + panel addressing
 #[target_feature(enable = "avx2")]
 unsafe fn panel8_per_block(
@@ -315,37 +383,47 @@ unsafe fn panel8_per_block(
     let mut f03 = _mm_setzero_ps();
     let mut f47 = _mm_setzero_ps();
     for kb in 0..blocks {
-        let va = _mm256_loadu_si256(acodes[kb * K1..].as_ptr() as *const __m256i);
-        let bptr = panel[kb * PANEL_N * K1..].as_ptr() as *const __m256i;
-        let m0 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr));
-        let m1 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(1)));
-        let m2 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(2)));
-        let m3 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(3)));
-        let m4 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(4)));
-        let m5 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(5)));
-        let m6 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(6)));
-        let m7 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(7)));
-        let q0 = _mm256_hadd_epi32(_mm256_hadd_epi32(m0, m1), _mm256_hadd_epi32(m2, m3));
-        let d03 = _mm_add_epi32(_mm256_castsi256_si128(q0), _mm256_extracti128_si256(q0, 1));
-        let q1 = _mm256_hadd_epi32(_mm256_hadd_epi32(m4, m5), _mm256_hadd_epi32(m6, m7));
-        let d47 = _mm_add_epi32(_mm256_castsi256_si128(q1), _mm256_extracti128_si256(q1, 1));
-        // Scale-out: 2^(E_a + E_b + c) per lane (panel-major exponents are
-        // contiguous per block), times the exact dot, rounded to f32 once
-        // per block pair.
-        let vea_c = _mm_set1_epi32(aexps[kb] + c);
-        let e03 = _mm_add_epi32(
-            vea_c,
-            _mm_loadu_si128(pexps[kb * PANEL_N..].as_ptr() as *const __m128i),
-        );
-        let e47 = _mm_add_epi32(
-            vea_c,
-            _mm_loadu_si128(pexps[kb * PANEL_N + 4..].as_ptr() as *const __m128i),
-        );
-        f03 = _mm_add_ps(f03, scale4(d03, e03));
-        f47 = _mm_add_ps(f47, scale4(d47, e47));
+        // SAFETY: the A load at `kb·K1` and the 8 panel-column loads at
+        // `(kb·PANEL_N + 0..8)·K1` read 16 i16s each, in bounds of slices
+        // sized `blocks·K1` / `blocks·PANEL_N·K1`; the two 4-lane
+        // exponent loads read `pexps[kb·PANEL_N .. kb·PANEL_N + 8]`
+        // (`pexps` holds `blocks·PANEL_N`); `scale4` inherits AVX2.
+        unsafe {
+            let va = _mm256_loadu_si256(acodes[kb * K1..].as_ptr() as *const __m256i);
+            let bptr = panel[kb * PANEL_N * K1..].as_ptr() as *const __m256i;
+            let m0 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr));
+            let m1 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(1)));
+            let m2 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(2)));
+            let m3 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(3)));
+            let m4 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(4)));
+            let m5 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(5)));
+            let m6 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(6)));
+            let m7 = _mm256_madd_epi16(va, _mm256_loadu_si256(bptr.add(7)));
+            let q0 = _mm256_hadd_epi32(_mm256_hadd_epi32(m0, m1), _mm256_hadd_epi32(m2, m3));
+            let d03 = _mm_add_epi32(_mm256_castsi256_si128(q0), _mm256_extracti128_si256(q0, 1));
+            let q1 = _mm256_hadd_epi32(_mm256_hadd_epi32(m4, m5), _mm256_hadd_epi32(m6, m7));
+            let d47 = _mm_add_epi32(_mm256_castsi256_si128(q1), _mm256_extracti128_si256(q1, 1));
+            // Scale-out: 2^(E_a + E_b + c) per lane (panel-major exponents
+            // are contiguous per block), times the exact dot, rounded to
+            // f32 once per block pair.
+            let vea_c = _mm_set1_epi32(aexps[kb] + c);
+            let e03 = _mm_add_epi32(
+                vea_c,
+                _mm_loadu_si128(pexps[kb * PANEL_N..].as_ptr() as *const __m128i),
+            );
+            let e47 = _mm_add_epi32(
+                vea_c,
+                _mm_loadu_si128(pexps[kb * PANEL_N + 4..].as_ptr() as *const __m128i),
+            );
+            f03 = _mm_add_ps(f03, scale4(d03, e03));
+            f47 = _mm_add_ps(f47, scale4(d47, e47));
+        }
     }
-    _mm_storeu_ps(out_row[j..].as_mut_ptr(), f03);
-    _mm_storeu_ps(out_row[j + 4..].as_mut_ptr(), f47);
+    // SAFETY: `j + PANEL_N` bounds both 4-lane stores into `out_row`.
+    unsafe {
+        _mm_storeu_ps(out_row[j..].as_mut_ptr(), f03);
+        _mm_storeu_ps(out_row[j + 4..].as_mut_ptr(), f47);
+    }
 }
 
 /// `dots[i] · 2^(es[i])` rounded to `f32` once, 4 lanes wide: the power of
@@ -353,6 +431,10 @@ unsafe fn panel8_per_block(
 /// users keep `e` in normal-`f64` range, the deferred path by the grid
 /// window and the per-block path by the format ulp floors), the product is
 /// an exact `f64`, and `vcvtpd2ps` performs the one rounding.
+///
+/// # Safety
+///
+/// Requires AVX2 (register-only: no memory access, no other precondition).
 #[target_feature(enable = "avx2")]
 unsafe fn scale4(dots: __m128i, es: __m128i) -> __m128 {
     let bits = _mm256_slli_epi64(
@@ -367,12 +449,20 @@ unsafe fn scale4(dots: __m128i, es: __m128i) -> __m128 {
 
 /// One i16 block dot with a whole-block `vpmaddwd` (no SSE2-width split,
 /// so the tail path needs no second kernel module).
+///
+/// # Safety
+///
+/// Requires AVX2; `a` and `b` must each hold at least `K1 = 16` codes.
 #[target_feature(enable = "avx2")]
 unsafe fn dot16(a: &[i16], b: &[i16]) -> i32 {
-    let m = _mm256_madd_epi16(
-        _mm256_loadu_si256(a.as_ptr() as *const __m256i),
-        _mm256_loadu_si256(b.as_ptr() as *const __m256i),
-    );
+    // SAFETY: both 16-lane loads read exactly `K1 = 16` i16s, in bounds by
+    // this fn's precondition.
+    let m = unsafe {
+        _mm256_madd_epi16(
+            _mm256_loadu_si256(a.as_ptr() as *const __m256i),
+            _mm256_loadu_si256(b.as_ptr() as *const __m256i),
+        )
+    };
     let s = _mm_add_epi32(_mm256_castsi256_si128(m), _mm256_extracti128_si256(m, 1));
     let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_01_10_11));
     let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
@@ -383,6 +473,12 @@ unsafe fn dot16(a: &[i16], b: &[i16]) -> i32 {
 /// block-slot base `pbase`, panel lane `lane`, output column `j`):
 /// deferred when its column qualifies, the per-block scale-out chain
 /// otherwise.
+///
+/// # Safety
+///
+/// Requires AVX2. `acodes` must hold `ap.blocks · K1` codes, `lane <
+/// width`, `j` must be a valid B-plane column, and the ragged panel's
+/// block slots `pbase + kb·width + lane` must exist in `bp`.
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)] // one output element's full addressing context
 unsafe fn col_one(
@@ -409,14 +505,20 @@ unsafe fn col_one(
     {
         let mut total = 0i64;
         for kb in 0..blocks {
-            total += dot16(&acodes[kb * K1..][..K1], &bp.codes[slot(kb) * K1..][..K1]) as i64;
+            // SAFETY: both operand slices are exactly `K1` codes (the
+            // block slot is in bounds by this fn's preconditions) and
+            // `dot16` inherits AVX2.
+            let d = unsafe { dot16(&acodes[kb * K1..][..K1], &bp.codes[slot(kb) * K1..][..K1]) };
+            total += d as i64;
         }
         *out = (total as f64 * pow2(au + bu + c)) as f32;
     } else {
         let aexps = &ap.exps[row * blocks..][..blocks];
         let mut acc = 0.0f32;
         for kb in 0..blocks {
-            let d = dot16(&acodes[kb * K1..][..K1], &bp.codes[slot(kb) * K1..][..K1]);
+            // SAFETY: same `K1`-sized slices and AVX2 inheritance as the
+            // deferred arm above.
+            let d = unsafe { dot16(&acodes[kb * K1..][..K1], &bp.codes[slot(kb) * K1..][..K1]) };
             if d != 0 {
                 acc += (d as f64 * pow2(aexps[kb] + bp.exps[slot(kb)] + c)) as f32;
             }

@@ -29,6 +29,38 @@
 //! [`KernelBackend`] variant, extend [`narrow_span_kernel`] — no changes
 //! to packing, dispatch entries, or callers.
 //!
+//! # Backend author checklist
+//!
+//! The invariants below are not conventions — `mx-audit` (run in CI and
+//! by the `clean_repo` suite) fails the build when a new kernel module
+//! violates them:
+//!
+//! 1. **Every `unsafe` block carries an adjacent `// SAFETY:` comment**
+//!    justifying the specific bounds/ISA precondition it relies on, and
+//!    every `unsafe fn` documents its contract in a `# Safety` doc
+//!    section (rule `unsafe-safety`). The kernel crates compile under
+//!    `#![deny(unsafe_op_in_unsafe_fn)]`, so each unsafe operation sits
+//!    in its own scoped block — justify the block, not the function.
+//! 2. **`#[target_feature(enable = "X")]` fns are `unsafe`, are not
+//!    `pub`, and `X` is gated by `is_x86_feature_detected!("X")`**
+//!    somewhere in the crate (rule `target-feature`). The dispatch layer
+//!    here is that gate: a new ISA variant must only be selectable after
+//!    detection says so, exactly like [`KernelBackend::Avx2`]. (`sse2`
+//!    is exempt — it is part of the x86-64 baseline ABI.)
+//! 3. **Wire the backend into CI** (rule `ci-wiring`): extend the
+//!    `gemm_backends` suite to force the new variant over the preset
+//!    matrix, and if you add a new test file or bench harness, name it
+//!    in `.github/workflows/ci.yml`.
+//! 4. **New tuning knobs go through `mx_core::knobs`** (rule
+//!    `env-knobs`): declare the `MX_*` variable in
+//!    [`crate::knobs::KNOBS`], read it with [`crate::knobs::raw`], and
+//!    document it in the README's knob table — the auditor
+//!    cross-checks all three.
+//! 5. **Bit-identity is the contract**: deferral or layout tricks may
+//!    change traversal, never rounding. Assert the new backend against
+//!    [`super::reference_gemm`] in `gemm_backends` before enabling it
+//!    in [`selected_backend`].
+//!
 //! # Selection
 //!
 //! [`selected_backend`] resolves, in priority order: the process-wide
@@ -121,7 +153,7 @@ static BACKEND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 /// `MX_KERNEL_BACKEND` parsed once; `None` for unset/`auto`/unrecognized.
 fn env_backend() -> Option<KernelBackend> {
     static ENV: OnceLock<Option<KernelBackend>> = OnceLock::new();
-    *ENV.get_or_init(|| match std::env::var("MX_KERNEL_BACKEND").ok()?.as_str() {
+    *ENV.get_or_init(|| match crate::knobs::raw("MX_KERNEL_BACKEND")?.as_str() {
         "scalar" => Some(KernelBackend::Scalar),
         "sse2" => Some(KernelBackend::Sse2),
         "avx2" => Some(KernelBackend::Avx2),
@@ -187,8 +219,8 @@ pub fn deferred_scale_out_enabled() -> bool {
             static ENV: OnceLock<bool> = OnceLock::new();
             *ENV.get_or_init(|| {
                 !matches!(
-                    std::env::var("MX_KERNEL_DEFER").as_deref(),
-                    Ok("0") | Ok("off") | Ok("false")
+                    crate::knobs::raw("MX_KERNEL_DEFER").as_deref(),
+                    Some("0") | Some("off") | Some("false")
                 )
             })
         }

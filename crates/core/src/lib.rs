@@ -53,9 +53,14 @@
 //! | [`qsnr`] | Eq. 3 — quantization signal-to-noise methodology |
 //! | [`theory`] | Theorem 1 — QSNR lower bound |
 //! | [`taxonomy`] | Table I as data |
+//! | [`knobs`] | Registry of `MX_*` environment knobs |
 //! | [`bits`], [`util`] | Bit-exact plumbing |
 
 #![warn(missing_docs)]
+// Every unsafe operation inside an `unsafe fn` must sit in its own scoped
+// `unsafe {}` block with a `// SAFETY:` justification — the contract
+// `mx-audit` enforces on the kernel modules.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bdr;
 pub mod bits;
@@ -65,6 +70,7 @@ pub mod fgemm;
 pub mod fp_scaled;
 pub mod gemm;
 pub mod int_quant;
+pub mod knobs;
 pub mod mx;
 pub mod parallel;
 pub mod qsnr;

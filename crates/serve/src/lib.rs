@@ -117,6 +117,23 @@ pub enum ServeError {
         /// Elements the request carried.
         got: usize,
     },
+    /// The model panicked while executing a batch (this request's or an
+    /// earlier one that poisoned the model). The worker survives; other
+    /// models keep serving.
+    ModelPanicked {
+        /// Model name whose `forward_batch` (or quant switch) panicked.
+        model: String,
+    },
+    /// The model returned a buffer whose length is not
+    /// `batch · output_len()`, so per-request rows cannot be sliced out.
+    BadModelOutput {
+        /// Model name that violated its output contract.
+        model: String,
+        /// Elements the contract promised (`batch · output_len()`).
+        expected: usize,
+        /// Elements the model actually returned.
+        got: usize,
+    },
     /// The server shut down before answering.
     Disconnected,
 }
@@ -137,6 +154,17 @@ impl fmt::Display for ServeError {
             } => write!(
                 f,
                 "model {model:?} expects {expected} elements per request, got {got}"
+            ),
+            ServeError::ModelPanicked { model } => {
+                write!(f, "model {model:?} panicked while executing a batch")
+            }
+            ServeError::BadModelOutput {
+                model,
+                expected,
+                got,
+            } => write!(
+                f,
+                "model {model:?} returned {got} elements, contract promised {expected}"
             ),
             ServeError::Disconnected => write!(f, "server shut down before responding"),
         }
@@ -185,7 +213,7 @@ struct Job {
     cfg: QuantConfig,
     input: RequestInput,
     enqueued: Instant,
-    resp: Sender<Vec<f32>>,
+    resp: Sender<ServeResult>,
 }
 
 /// A coalesced group of same-model / same-config jobs.
@@ -217,7 +245,10 @@ impl Server {
     ///
     /// Panics if `workers` or `max_batch` is zero.
     pub fn new(config: ServerConfig) -> Self {
+        // audit:allow(serve-panic): construction-time contract, not the
+        // request path — a misconfigured server should fail at build time.
         assert!(config.workers > 0, "at least one worker");
+        // audit:allow(serve-panic): construction-time contract.
         assert!(config.max_batch > 0, "batches must hold at least 1 request");
         Server {
             config,
@@ -233,6 +264,8 @@ impl Server {
     ///
     /// Panics if the name is already taken.
     pub fn register(&mut self, name: &str, model: Box<dyn BatchModel>) -> &mut Self {
+        // audit:allow(serve-panic): construction-time contract, not the
+        // request path — duplicate names are a deployment bug.
         assert!(
             self.registry.iter().all(|e| e.name != name),
             "model {name:?} already registered"
@@ -362,8 +395,44 @@ fn dispatch_loop(job_rx: Receiver<Job>, batch_tx: Sender<Batch>, max_batch: usiz
 }
 
 /// Runs one coalesced batch on its model and answers every member request.
+///
+/// Model failures — a poisoned mutex from an earlier panic, a panic during
+/// this batch, an output buffer that violates the length contract — are
+/// answered as [`ServeError`]s on every member request. The worker thread
+/// itself never unwinds, so one misbehaving model cannot take down the
+/// server: other models (and this one's error reporting) keep serving.
 fn execute_batch(batch: Batch, registry: &[ModelEntry], stats: &StatsInner, config: &ServerConfig) {
-    let entry = &registry[batch.model];
+    let n = batch.jobs.len();
+    let result = run_batch(&batch, registry, config);
+    // Publish telemetry *before* answering: a synchronous client that just
+    // got its response must see itself counted in the next snapshot.
+    // Failed batches still count — the requests were accepted and answered.
+    let latencies: Vec<_> = batch.jobs.iter().map(|j| j.enqueued.elapsed()).collect();
+    stats.in_flight.fetch_sub(n, Ordering::Relaxed);
+    stats.record_batch(n, &latencies);
+    match result {
+        Ok(rows) => {
+            for (job, row) in batch.jobs.into_iter().zip(rows) {
+                // A client that dropped its Pending receiver discards the row.
+                let _ = job.resp.send(Ok(row));
+            }
+        }
+        Err(err) => {
+            for job in batch.jobs {
+                let _ = job.resp.send(Err(err.clone()));
+            }
+        }
+    }
+}
+
+/// Executes the model call for one batch, returning per-request output rows
+/// or the error every member request should be answered with.
+fn run_batch(
+    batch: &Batch,
+    registry: &[ModelEntry],
+    config: &ServerConfig,
+) -> Result<Vec<Vec<f32>>, ServeError> {
+    let entry = registry.get(batch.model).ok_or(ServeError::Disconnected)?; // index minted at submit; defensive
     let n = batch.jobs.len();
     // Padding keeps the executed GEMM at the full batch shape; the padded
     // rows are zero requests whose outputs are sliced away below.
@@ -373,47 +442,83 @@ fn execute_batch(batch: Batch, registry: &[ModelEntry], stats: &StatsInner, conf
         n
     };
     let per_in = entry.input_len;
-    let out = {
-        let mut model = entry.model.lock().expect("model poisoned");
-        // Per-request format selection = direct cast on the shared model.
-        // Weights are untouched, so each format's cached weight plane stays
-        // warm across config switches.
-        model.set_quant(batch.cfg);
-        match entry.kind {
-            InputKind::Tokens => {
-                let mut buf = Vec::with_capacity(eff * per_in);
-                for job in &batch.jobs {
-                    let RequestInput::Tokens(t) = &job.input else {
-                        unreachable!("kind validated at submit");
-                    };
-                    buf.extend_from_slice(t);
-                }
-                buf.resize(eff * per_in, 0);
-                model.forward_batch(ZooInput::Tokens(&buf), eff)
+    // Concatenate the (submit-validated) payloads. A kind mismatch here
+    // would be an internal bug; report it as the kind error rather than
+    // killing the worker.
+    let out = match entry.kind {
+        InputKind::Tokens => {
+            let mut buf = Vec::with_capacity(eff * per_in);
+            for job in &batch.jobs {
+                let RequestInput::Tokens(t) = &job.input else {
+                    return Err(ServeError::WrongInputKind {
+                        model: entry.name.clone(),
+                        expected: InputKind::Tokens,
+                        got: job.input.kind(),
+                    });
+                };
+                buf.extend_from_slice(t);
             }
-            InputKind::Pixels => {
-                let mut buf = Vec::with_capacity(eff * per_in);
-                for job in &batch.jobs {
-                    let RequestInput::Pixels(p) = &job.input else {
-                        unreachable!("kind validated at submit");
-                    };
-                    buf.extend_from_slice(p);
-                }
-                buf.resize(eff * per_in, 0.0);
-                model.forward_batch(ZooInput::Pixels(&buf), eff)
+            buf.resize(eff * per_in, 0);
+            forward_guarded(entry, batch.cfg, ZooInput::Tokens(&buf), eff)?
+        }
+        InputKind::Pixels => {
+            let mut buf = Vec::with_capacity(eff * per_in);
+            for job in &batch.jobs {
+                let RequestInput::Pixels(p) = &job.input else {
+                    return Err(ServeError::WrongInputKind {
+                        model: entry.name.clone(),
+                        expected: InputKind::Pixels,
+                        got: job.input.kind(),
+                    });
+                };
+                buf.extend_from_slice(p);
             }
+            buf.resize(eff * per_in, 0.0);
+            forward_guarded(entry, batch.cfg, ZooInput::Pixels(&buf), eff)?
         }
     };
     let per_out = entry.output_len;
-    // Publish telemetry *before* answering: a synchronous client that just
-    // got its response must see itself counted in the next snapshot.
-    let latencies: Vec<_> = batch.jobs.iter().map(|j| j.enqueued.elapsed()).collect();
-    stats.in_flight.fetch_sub(n, Ordering::Relaxed);
-    stats.record_batch(n, &latencies);
-    for (i, job) in batch.jobs.into_iter().enumerate() {
-        // A client that dropped its Pending receiver just discards the row.
-        let _ = job.resp.send(out[i * per_out..(i + 1) * per_out].to_vec());
+    if out.len() != eff * per_out {
+        return Err(ServeError::BadModelOutput {
+            model: entry.name.clone(),
+            expected: eff * per_out,
+            got: out.len(),
+        });
     }
+    if per_out == 0 {
+        // Zero-width outputs: every row is empty; `chunks(0)` would panic.
+        return Ok(vec![Vec::new(); n]);
+    }
+    Ok(out.chunks(per_out).take(n).map(<[f32]>::to_vec).collect())
+}
+
+/// Locks the model and runs `set_quant` + `forward_batch` with a panic
+/// guard. A panic inside the model poisons its mutex (the guard is moved
+/// into the unwinding closure and dropped mid-panic), so later batches for
+/// the same model fail fast with [`ServeError::ModelPanicked`] while the
+/// worker — and every other model — keeps running.
+fn forward_guarded(
+    entry: &ModelEntry,
+    cfg: QuantConfig,
+    input: ZooInput<'_>,
+    eff: usize,
+) -> Result<Vec<f32>, ServeError> {
+    let Ok(guard) = entry.model.lock() else {
+        return Err(ServeError::ModelPanicked {
+            model: entry.name.clone(),
+        });
+    };
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let mut model = guard;
+        // Per-request format selection = direct cast on the shared model.
+        // Weights are untouched, so each format's cached weight plane stays
+        // warm across config switches.
+        model.set_quant(cfg);
+        model.forward_batch(input, eff)
+    }))
+    .map_err(|_| ServeError::ModelPanicked {
+        model: entry.name.clone(),
+    })
 }
 
 /// Client handle to a running server: submit requests (from any thread —
@@ -428,13 +533,16 @@ pub struct ServerHandle {
 /// A response that has not arrived yet (returned by
 /// [`ServerHandle::submit`]).
 pub struct Pending {
-    rx: Receiver<Vec<f32>>,
+    rx: Receiver<ServeResult>,
 }
 
 impl Pending {
     /// Blocks until the response arrives.
     pub fn wait(self) -> ServeResult {
-        self.rx.recv().map_err(|_| ServeError::Disconnected)
+        match self.rx.recv() {
+            Ok(res) => res,
+            Err(_) => Err(ServeError::Disconnected),
+        }
     }
 }
 
@@ -449,12 +557,12 @@ impl ServerHandle {
         cfg: QuantConfig,
         input: RequestInput,
     ) -> Result<Pending, ServeError> {
-        let id = self
+        let (id, entry) = self
             .registry
             .iter()
-            .position(|e| e.name == model)
+            .enumerate()
+            .find(|(_, e)| e.name == model)
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
-        let entry = &self.registry[id];
         if input.kind() != entry.kind {
             return Err(ServeError::WrongInputKind {
                 model: model.to_string(),
@@ -469,19 +577,19 @@ impl ServerHandle {
                 got: input.len(),
             });
         }
+        // `job_tx` is cleared only by shutdown, which takes the handle by
+        // value — but answer `Disconnected` rather than panicking if that
+        // invariant ever breaks.
+        let tx = self.job_tx.as_ref().ok_or(ServeError::Disconnected)?;
         let (resp, rx) = unbounded();
         self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-        let sent = self
-            .job_tx
-            .as_ref()
-            .expect("sender lives until shutdown")
-            .send(Job {
-                model: id,
-                cfg,
-                input,
-                enqueued: Instant::now(),
-                resp,
-            });
+        let sent = tx.send(Job {
+            model: id,
+            cfg,
+            input,
+            enqueued: Instant::now(),
+            resp,
+        });
         if sent.is_err() {
             self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
             return Err(ServeError::Disconnected);
@@ -644,6 +752,134 @@ mod tests {
             .unwrap();
         handle.shutdown(); // drains the in-flight request first
         assert_eq!(p.wait().unwrap().len(), 16);
+    }
+
+    /// Pixel model that panics when a request's first feature is the magic
+    /// value, and otherwise echoes `input_len` zeros per request — the
+    /// misbehaving-tenant stand-in for the fault-isolation tests.
+    struct Grenade;
+
+    impl BatchModel for Grenade {
+        fn input_kind(&self) -> InputKind {
+            InputKind::Pixels
+        }
+
+        fn input_len(&self) -> usize {
+            4
+        }
+
+        fn output_len(&self) -> usize {
+            2
+        }
+
+        fn set_quant(&mut self, _cfg: QuantConfig) {}
+
+        fn forward_batch(&mut self, input: ZooInput<'_>, batch: usize) -> Vec<f32> {
+            let ZooInput::Pixels(px) = input else {
+                panic!("pixels expected")
+            };
+            assert!(!px.first().is_some_and(|&v| v == 13.0), "boom");
+            vec![0.0; batch * 2]
+        }
+    }
+
+    /// Model whose output violates the `batch · output_len()` contract.
+    struct ShortChanger;
+
+    impl BatchModel for ShortChanger {
+        fn input_kind(&self) -> InputKind {
+            InputKind::Pixels
+        }
+
+        fn input_len(&self) -> usize {
+            4
+        }
+
+        fn output_len(&self) -> usize {
+            8
+        }
+
+        fn set_quant(&mut self, _cfg: QuantConfig) {}
+
+        fn forward_batch(&mut self, _input: ZooInput<'_>, _batch: usize) -> Vec<f32> {
+            vec![1.0; 3] // never batch · 8
+        }
+    }
+
+    #[test]
+    fn model_panic_answers_requests_and_spares_other_models() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut server = Server::new(ServerConfig::default());
+        server.register("grenade", Box::new(Grenade));
+        server.register(
+            "dense",
+            Box::new(DenseGemm::new(&mut rng, 32, 16, QuantConfig::fp32())),
+        );
+        let handle = server.start();
+
+        // Healthy request first: the model works.
+        let ok = handle
+            .infer("grenade", mx6(), RequestInput::Pixels(vec![0.0; 4]))
+            .unwrap();
+        assert_eq!(ok, vec![0.0, 0.0]);
+
+        // Trigger the panic: the client gets an error, not a hang, and the
+        // worker thread survives.
+        let err = handle
+            .infer(
+                "grenade",
+                mx6(),
+                RequestInput::Pixels(vec![13.0, 0.0, 0.0, 0.0]),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::ModelPanicked {
+                model: "grenade".into()
+            }
+        );
+
+        // The panic poisoned the model: later requests fail fast with the
+        // same error instead of touching half-updated state.
+        let err = handle
+            .infer("grenade", mx6(), RequestInput::Pixels(vec![0.0; 4]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::ModelPanicked { .. }));
+
+        // Fault isolation: the other model still serves on the same worker.
+        let y = handle
+            .infer("dense", mx6(), RequestInput::Pixels(row(1)))
+            .unwrap();
+        assert_eq!(y.len(), 16);
+
+        // Every request above was answered and counted.
+        assert_eq!(handle.stats().completed, 4);
+        assert_eq!(handle.stats().queue_depth, 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn bad_output_length_is_an_error_not_a_worker_crash() {
+        let mut server = Server::new(ServerConfig::default());
+        server.register("short", Box::new(ShortChanger));
+        let handle = server.start();
+        let err = handle
+            .infer("short", mx6(), RequestInput::Pixels(vec![0.0; 4]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::BadModelOutput {
+                model: "short".into(),
+                expected: 8,
+                got: 3,
+            }
+        );
+        // The worker survives to answer another (still broken) request.
+        let err = handle
+            .infer("short", mx6(), RequestInput::Pixels(vec![0.0; 4]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadModelOutput { .. }));
+        handle.shutdown();
     }
 
     #[test]

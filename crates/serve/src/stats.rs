@@ -58,26 +58,35 @@ impl StatsInner {
     pub(crate) fn record_batch(&self, size: usize, latencies: &[Duration]) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.completed.fetch_add(size as u64, Ordering::Relaxed);
-        self.hist.lock().expect("stats poisoned")[size - 1] += 1;
-        let mut ring = self.latencies.lock().expect("stats poisoned");
+        // Telemetry is plain counters — a recorder that panicked mid-update
+        // leaves nothing inconsistent worth propagating, so a poisoned lock
+        // is simply reclaimed rather than cascading into the workers.
+        let mut hist = self.hist.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(slot) = size.checked_sub(1).and_then(|i| hist.get_mut(i)) {
+            *slot += 1;
+        }
+        drop(hist);
+        let mut ring = self.latencies.lock().unwrap_or_else(|p| p.into_inner());
         for lat in latencies {
             let us = lat.as_micros().min(u128::from(u64::MAX)) as u64;
             if ring.samples.len() < LATENCY_CAP {
                 ring.samples.push(us);
             } else {
                 let slot = ring.next;
-                ring.samples[slot] = us;
+                if let Some(s) = ring.samples.get_mut(slot) {
+                    *s = us;
+                }
             }
             ring.next = (ring.next + 1) % LATENCY_CAP;
         }
     }
 
     pub(crate) fn snapshot(&self) -> ServeStats {
-        let hist = self.hist.lock().expect("stats poisoned").clone();
+        let hist = self.hist.lock().unwrap_or_else(|p| p.into_inner()).clone();
         let mut sorted = self
             .latencies
             .lock()
-            .expect("stats poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .samples
             .clone();
         sorted.sort_unstable();
@@ -98,10 +107,8 @@ impl StatsInner {
 /// `p`-th percentile of an ascending-sorted sample set (classic
 /// nearest-rank: the `⌈p/100 · len⌉`-th smallest sample; 0 when empty).
 fn percentile(sorted: &[u64], p: usize) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    sorted[(p * sorted.len()).div_ceil(100).max(1) - 1]
+    let idx = (p * sorted.len()).div_ceil(100).max(1) - 1;
+    sorted.get(idx).copied().unwrap_or(0)
 }
 
 /// A point-in-time view of a server's behavior.

@@ -13,7 +13,7 @@ use mx::hw::cost::FormatConfig;
 use mx::sweep::eval::{evaluate_all, SweepSettings};
 use mx::sweep::pareto::{db_below_frontier, pareto_indices};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<usize> = std::env::args()
         .skip(1)
         .filter_map(|a| a.parse().ok())
@@ -29,7 +29,7 @@ fn main() {
         Ok(f) => f,
         Err(e) => {
             eprintln!("invalid format: {e}");
-            std::process::exit(1);
+            return std::process::ExitCode::FAILURE;
         }
     };
 
@@ -63,4 +63,5 @@ fn main() {
             p.label, p.qsnr_db, p.product, status
         );
     }
+    std::process::ExitCode::SUCCESS
 }

@@ -87,6 +87,9 @@ impl IntoBenchmarkId for String {
 }
 
 fn measure_budget() -> Duration {
+    // Vendored crate: cannot route through `mx_core::knobs::raw`, but the
+    // knob is declared in that registry and documented in the README.
+    #[allow(clippy::disallowed_methods)]
     let ms = std::env::var("MX_BENCH_MEASURE_MS")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
