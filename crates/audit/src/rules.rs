@@ -645,6 +645,39 @@ mod tests {
     }
 
     #[test]
+    fn target_feature_avx512_multi_feature_attr_needs_every_gate() {
+        // Comma-separated feature lists (the AVX-512 kernel style) are
+        // checked feature by feature: a VNNI-featured fn in a crate that
+        // only gates the F/BW baseline fires on exactly the missing name.
+        let kernel = "/// # Safety\n/// Requires AVX-512 F/BW/VNNI.\n#[target_feature(enable = \"avx512f,avx512bw,avx512vnni\")]\nunsafe fn fused() {}\n";
+        let gate = "fn baseline() -> bool {\n    std::arch::is_x86_feature_detected!(\"avx512f\")\n        && std::arch::is_x86_feature_detected!(\"avx512bw\")\n}\n";
+        let w = ws(vec![
+            file("crates/core/src/kern.rs", kernel),
+            file("crates/core/src/gate.rs", gate),
+        ]);
+        let mut found = Vec::new();
+        rule_target_feature(&w, &mut found);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("\"avx512vnni\""), "{found:?}");
+    }
+
+    #[test]
+    fn target_feature_avx512_detected_unsafe_private_is_clean() {
+        // The full AVX-512 kernel contract: private `unsafe fn`s behind a
+        // comma-separated feature attr, every name (including the
+        // separately detected VNNI) runtime-gated in the same crate.
+        let kernel = "/// # Safety\n/// Requires AVX-512 F/BW.\n#[target_feature(enable = \"avx512f,avx512bw\")]\nunsafe fn wide() {}\n\n/// # Safety\n/// Requires AVX-512 F/BW/VNNI.\n#[target_feature(enable = \"avx512f,avx512bw,avx512vnni\")]\nunsafe fn fused() {}\n";
+        let gate = "fn gates() -> bool {\n    std::arch::is_x86_feature_detected!(\"avx512f\")\n        && std::arch::is_x86_feature_detected!(\"avx512bw\")\n        && std::arch::is_x86_feature_detected!(\"avx512vnni\")\n}\n";
+        let w = ws(vec![
+            file("crates/core/src/kern.rs", kernel),
+            file("crates/core/src/gate.rs", gate),
+        ]);
+        let mut found = Vec::new();
+        rule_target_feature(&w, &mut found);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
     fn ci_wiring_flags_unnamed_suites_and_benches() {
         let mut w = ws(vec![]);
         w.test_stems = vec!["alpha".into(), "beta".into()];

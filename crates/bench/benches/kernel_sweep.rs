@@ -1,22 +1,26 @@
 //! `kernel_sweep` — the acceptance benchmark for the multi-backend kernel
-//! dispatch layer and the generation-2 AVX2 kernel: one group per
+//! dispatch layer and the generation-2/3 SIMD kernels: one group per
 //! serving-relevant M ∈ {1, 4, 8, 16, 32}, sweeping
 //!
-//! - `scalar` / `sse2` / `avx2` — each backend forced via
+//! - `scalar` / `sse2` / `avx2` / `avx512` — each backend forced via
 //!   `force_kernel_backend` (the B plane is packed *after* forcing, so
 //!   each variant also measures its own plane layout — vector-major for
-//!   scalar/SSE2, panel-major wide tiles for AVX2);
-//! - `avx2_nodefer` — the AVX2 backend with deferred scale-out forced
-//!   off, isolating the deferral win from the wide-tile win;
+//!   scalar/SSE2, 8-column panel-major for AVX2, 4-column chunk-paired
+//!   panel-major for AVX-512);
+//! - `avx512_bw` — the AVX-512 kernel with VNNI forced off
+//!   (`force_vnni`), isolating the `vpdpwssd` win over the
+//!   `vpmaddwd`+`vpaddd` fallback;
+//! - `avx2_nodefer` / `avx512_nodefer` — deferred scale-out forced off,
+//!   isolating the deferral win from the wide-tile win per generation;
 //! - `fgemm_f32` — the unquantized FP32 kernel, the floor the fused path
 //!   must beat at **every** M.
 //!
 //! All cases run the fused activation path against a warm weight plane at
 //! the same GPT-ish layer shape as `inference_steady_state` (K = 512 into
 //! an N = 2048 FFN expansion, MX6 × MX6), serial by default
-//! (`MX_BENCH_THREADS` overrides). A backend the CPU cannot run degrades
-//! to the best available (reported once at startup), keeping the sweep
-//! runnable everywhere.
+//! (`MX_BENCH_THREADS` overrides). A backend the CPU cannot run is
+//! skipped (reported once at startup), keeping the sweep runnable
+//! everywhere.
 //!
 //! Results are recorded in `results/kernel_sweep.md`.
 
@@ -25,8 +29,8 @@ use mx_bench::bench_threads;
 use mx_core::bdr::BdrFormat;
 use mx_core::fgemm;
 use mx_core::gemm::{
-    force_deferred_scale_out, force_kernel_backend, kernel_backend_name, quantized_gemm_fused,
-    KernelBackend, PackScratch, PackedOperand,
+    force_deferred_scale_out, force_kernel_backend, force_vnni, kernel_backend_name,
+    quantized_gemm_fused, KernelBackend, PackScratch, PackedOperand,
 };
 use std::hint::black_box;
 
@@ -59,28 +63,66 @@ fn kernel_sweep(c: &mut Criterion) {
             KernelBackend::Scalar,
             KernelBackend::Sse2,
             KernelBackend::Avx2,
+            KernelBackend::Avx512,
         ] {
+            if force_kernel_backend(Some(backend)).is_err() {
+                eprintln!(
+                    "kernel_sweep: skipping {} (unavailable on this CPU)",
+                    backend.name()
+                );
+                continue;
+            }
             group.bench_function(backend.name(), |bench| {
-                force_kernel_backend(Some(backend));
+                force_kernel_backend(Some(backend)).unwrap();
                 let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
                 let mut scratch = PackScratch::new();
                 bench.iter(|| {
                     black_box(quantized_gemm_fused(&a, m, fmt, &pw, threads, &mut scratch).unwrap())
                 });
-                force_kernel_backend(None);
+                force_kernel_backend(None).unwrap();
             });
         }
-        group.bench_function("avx2_nodefer", |bench| {
-            force_kernel_backend(Some(KernelBackend::Avx2));
-            force_deferred_scale_out(Some(false));
-            let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
-            let mut scratch = PackScratch::new();
-            bench.iter(|| {
-                black_box(quantized_gemm_fused(&a, m, fmt, &pw, threads, &mut scratch).unwrap())
+        // Deferral-off and VNNI-off variants isolate each speedup layer;
+        // a variant whose backend this CPU lacks is skipped above already,
+        // so only availability needs re-checking here.
+        if force_kernel_backend(Some(KernelBackend::Avx512)).is_ok() {
+            group.bench_function("avx512_bw", |bench| {
+                force_kernel_backend(Some(KernelBackend::Avx512)).unwrap();
+                force_vnni(Some(false));
+                let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
+                let mut scratch = PackScratch::new();
+                bench.iter(|| {
+                    black_box(quantized_gemm_fused(&a, m, fmt, &pw, threads, &mut scratch).unwrap())
+                });
+                force_vnni(None);
+                force_kernel_backend(None).unwrap();
             });
-            force_deferred_scale_out(None);
-            force_kernel_backend(None);
-        });
+            group.bench_function("avx512_nodefer", |bench| {
+                force_kernel_backend(Some(KernelBackend::Avx512)).unwrap();
+                force_deferred_scale_out(Some(false));
+                let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
+                let mut scratch = PackScratch::new();
+                bench.iter(|| {
+                    black_box(quantized_gemm_fused(&a, m, fmt, &pw, threads, &mut scratch).unwrap())
+                });
+                force_deferred_scale_out(None);
+                force_kernel_backend(None).unwrap();
+            });
+        }
+        if force_kernel_backend(Some(KernelBackend::Avx2)).is_ok() {
+            group.bench_function("avx2_nodefer", |bench| {
+                force_kernel_backend(Some(KernelBackend::Avx2)).unwrap();
+                force_deferred_scale_out(Some(false));
+                let pw = PackedOperand::pack_cols(&w, K, N, fmt, fmt).unwrap();
+                let mut scratch = PackScratch::new();
+                bench.iter(|| {
+                    black_box(quantized_gemm_fused(&a, m, fmt, &pw, threads, &mut scratch).unwrap())
+                });
+                force_deferred_scale_out(None);
+                force_kernel_backend(None).unwrap();
+            });
+        }
+        force_kernel_backend(None).unwrap();
         group.bench_function("fgemm_f32", |bench| {
             bench.iter(|| black_box(fgemm::matmul(&a, &w, m, K, N, threads)))
         });

@@ -14,7 +14,7 @@
 //! `gemm_backends` integration suite enforces this by forcing every
 //! backend over the full preset matrix.
 //!
-//! Three backends exist today, each in its own sibling module:
+//! Four backends exist today, each in its own sibling module:
 //!
 //! - [`super::scalar`] — portable Rust, no intrinsics; the reference
 //!   implementation and the only backend off x86-64;
@@ -23,9 +23,16 @@
 //! - [`super::avx2`] — panel-major B, register-blocked 8-column panels
 //!   (two rows at a time where deferral holds) with deferred scale-out
 //!   (generation 2), and an in-register per-block scale-out panel as the
-//!   exact fallback.
+//!   exact fallback;
+//! - [`super::avx512`] — generation 3: 4-column panels whose B codes are
+//!   packed two `k1`-blocks per 512-bit lane group (narrower panels, but
+//!   each column's K step is twice as deep and every panel streams
+//!   strictly sequentially), four rows paired per
+//!   pass where deferral holds, `vpdpwssd` (AVX-512-VNNI, detected
+//!   separately) fusing the `vpmaddwd`+`vpaddd` chain, and mask-register
+//!   loads covering the odd-block K tail with no scalar remainder loop.
 //!
-//! Adding an ISA (AVX-512, NEON) is: write the module, give it a
+//! Adding an ISA (NEON next) is: write the module, give it a
 //! [`KernelBackend`] variant, extend [`narrow_span_kernel`] — no changes
 //! to packing, dispatch entries, or callers.
 //!
@@ -61,24 +68,54 @@
 //!    [`super::reference_gemm`] in `gemm_backends` before enabling it
 //!    in [`selected_backend`].
 //!
+//! Lessons the AVX-512 generation added to the list:
+//!
+//! 6. **Panel width is a per-backend property of the packed plane**, not a
+//!    global constant: [`super::pack::panel_slot`] takes the width as a
+//!    parameter and the plane records which width it was packed with
+//!    (`PackedOperand::panel_n`), so [`narrow_span_kernel`] dispatches on
+//!    the *plane's* layout, never on the current knob — a plane packed 8
+//!    wide keeps running the AVX2 kernels after the knob moves. A wider
+//!    kernel therefore starts at the packer: define the layout, teach
+//!    `panel_slot` the formula, and only then write the loads.
+//! 7. **Prefer mask registers to remainder loops.** The AVX-512 kernel has
+//!    no scalar ragged-K tail: an odd block count becomes one
+//!    `_mm512_maskz_loadu_epi16` with the low-half mask (masked-out lanes
+//!    are architecturally not accessed, so the load is also the bounds
+//!    guard), and ragged N reuses the same per-column path as
+//!    mixed-exponent panels instead of a second code shape. Fewer paths,
+//!    fewer bit-identity proofs.
+//! 8. **Detect optional sub-features separately and fall back in-module.**
+//!    VNNI is not implied by AVX-512F/BW: [`avx512_vnni_available`] gates
+//!    `vpdpwssd` on its own `is_x86_feature_detected!` probe, and the
+//!    kernel keeps a same-speed-class `vpmaddwd`+`vpaddd` variant behind
+//!    the same call signature so the backend (and its bit-identity) never
+//!    depends on the optional instruction. `MX_KERNEL_VNNI=0` (or
+//!    [`force_vnni`]) selects the fallback for A/B measurement.
+//!
 //! # Selection
 //!
 //! [`selected_backend`] resolves, in priority order: the process-wide
 //! programmatic override ([`force_kernel_backend`], used by tests and the
 //! `kernel_sweep` bench), the `MX_KERNEL_BACKEND` environment variable
-//! (`auto` / `scalar` / `sse2` / `avx2`, read once), then the best backend
-//! the CPU supports. A request the CPU cannot honor degrades to the best
-//! available (forcing `avx2` on a non-AVX2 machine runs SSE2) — the knob
-//! can only *narrow* the ISA, never fake one. [`kernel_backend_name`]
-//! reports the effective choice so benches and `serve_loadgen` can record
-//! which backend actually ran.
+//! (`auto` / `scalar` / `sse2` / `avx2` / `avx512`, read once), then the
+//! best backend the CPU supports. An environment request the CPU cannot
+//! honor degrades to the best available (forcing `avx512` on a non-AVX-512
+//! machine runs AVX2) with a one-line stderr warning naming what actually
+//! runs — the knob can only *narrow* the ISA, never fake one — while the
+//! programmatic [`force_kernel_backend`] refuses outright with
+//! [`BackendUnavailable`]. [`kernel_backend_name`] reports the effective
+//! choice so benches and `serve_loadgen` can record which backend
+//! actually ran.
 //!
-//! The choice is honored at **pack time**: the AVX2 kernels consume a
-//! panel-major B plane, the others vector-major, so
+//! The choice is honored at **pack time**: each panel backend consumes a
+//! panel-major B plane of its own width (8 columns for AVX2, 16 for
+//! AVX-512), the others vector-major, so
 //! [`super::PackedOperand::pack_cols`] lays the plane out for the backend
-//! selected when it runs, and execution always follows the plane's layout
-//! (a panel-major plane runs the AVX2 kernels even if the knob has since
-//! changed — the layout exists only on machines that support them).
+//! selected when it runs, and execution always follows the plane's
+//! recorded layout (a panel plane runs its backend's kernels even if the
+//! knob has since changed — each layout exists only on machines that
+//! support its backend).
 
 use super::pack::PlaneView;
 use super::DeferCtx;
@@ -96,18 +133,34 @@ pub enum KernelBackend {
     Scalar,
     /// `pmaddwd` block dots (part of the x86-64 baseline ABI).
     Sse2,
-    /// Wide-tile deferred-scale-out kernel over panel-major B.
+    /// Wide-tile deferred-scale-out kernel over 8-column panel-major B.
     Avx2,
+    /// 512-bit kernel over 4-column chunk-paired panels, with masked
+    /// tails and optional VNNI (`vpdpwssd`) block dots.
+    Avx512,
 }
 
 impl KernelBackend {
-    /// The knob spelling of this backend (`scalar` / `sse2` / `avx2`).
+    /// The knob spelling of this backend
+    /// (`scalar` / `sse2` / `avx2` / `avx512`).
     pub fn name(self) -> &'static str {
         match self {
             KernelBackend::Scalar => "scalar",
             KernelBackend::Sse2 => "sse2",
             KernelBackend::Avx2 => "avx2",
+            KernelBackend::Avx512 => "avx512",
         }
+    }
+}
+
+/// Parses a knob spelling back to a backend; `None` for `auto`/unknown.
+fn parse_backend_name(name: &str) -> Option<KernelBackend> {
+    match name {
+        "scalar" => Some(KernelBackend::Scalar),
+        "sse2" => Some(KernelBackend::Sse2),
+        "avx2" => Some(KernelBackend::Avx2),
+        "avx512" => Some(KernelBackend::Avx512),
+        _ => None,
     }
 }
 
@@ -123,11 +176,45 @@ pub(super) fn avx2_available() -> bool {
     false
 }
 
+/// Whether the running CPU supports the AVX-512 kernel (the baseline it
+/// needs is F for the 512-bit registers/masks plus BW for the 32-lane
+/// `i16` loads and `vpmaddwd`).
+#[cfg(target_arch = "x86_64")]
+pub(super) fn avx512_available() -> bool {
+    static AVX512: OnceLock<bool> = OnceLock::new();
+    *AVX512.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(super) fn avx512_available() -> bool {
+    false
+}
+
+/// Whether the running CPU additionally supports AVX-512-VNNI
+/// (`vpdpwssd`). Detected separately from [`avx512_available`] — VNNI is
+/// not implied by F/BW, and the kernel carries a `vpmaddwd`+`vpaddd`
+/// fallback so the backend itself never depends on it.
+#[cfg(target_arch = "x86_64")]
+pub(super) fn avx512_vnni_available() -> bool {
+    static VNNI: OnceLock<bool> = OnceLock::new();
+    *VNNI.get_or_init(|| avx512_available() && std::arch::is_x86_feature_detected!("avx512vnni"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(super) fn avx512_vnni_available() -> bool {
+    false
+}
+
 /// The best backend the running CPU supports.
 fn best_available() -> KernelBackend {
     #[cfg(target_arch = "x86_64")]
     {
-        if avx2_available() {
+        if avx512_available() {
+            KernelBackend::Avx512
+        } else if avx2_available() {
             KernelBackend::Avx2
         } else {
             KernelBackend::Sse2
@@ -140,6 +227,7 @@ fn best_available() -> KernelBackend {
 /// Caps a requested backend at what the CPU can actually run.
 fn clamp_available(req: KernelBackend) -> KernelBackend {
     match req {
+        KernelBackend::Avx512 if !avx512_available() => clamp_available(KernelBackend::Avx2),
         KernelBackend::Avx2 if !avx2_available() => clamp_available(KernelBackend::Sse2),
         #[cfg(not(target_arch = "x86_64"))]
         KernelBackend::Sse2 => KernelBackend::Scalar,
@@ -150,15 +238,47 @@ fn clamp_available(req: KernelBackend) -> KernelBackend {
 /// Programmatic override slot: 0 = none, else `KernelBackend as u8 + 1`.
 static BACKEND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
+/// The one-line warning [`env_backend`] emits when `MX_KERNEL_BACKEND`
+/// cannot be honored as written, naming the backend that will actually
+/// run. `None` when the value is fine (recognized and available). Pure —
+/// the CPU-dependent inputs (`parsed`, `resolved`) are arguments so unit
+/// tests cover both failure shapes on any machine.
+fn env_backend_warning(
+    value: &str,
+    parsed: Option<KernelBackend>,
+    resolved: KernelBackend,
+) -> Option<String> {
+    match parsed {
+        None => Some(format!(
+            "mx-core: MX_KERNEL_BACKEND={value:?} is not a recognized backend \
+             (expected auto | scalar | sse2 | avx2 | avx512); using {}",
+            resolved.name()
+        )),
+        Some(req) if req != resolved => Some(format!(
+            "mx-core: MX_KERNEL_BACKEND={} is not available on this CPU; using {}",
+            req.name(),
+            resolved.name()
+        )),
+        Some(_) => None,
+    }
+}
+
 /// `MX_KERNEL_BACKEND` parsed once; `None` for unset/`auto`/unrecognized.
+/// A value that cannot be honored (unknown name, or an ISA this CPU
+/// lacks) warns once on stderr naming the backend that runs instead.
 fn env_backend() -> Option<KernelBackend> {
     static ENV: OnceLock<Option<KernelBackend>> = OnceLock::new();
-    *ENV.get_or_init(|| match crate::knobs::raw("MX_KERNEL_BACKEND")?.as_str() {
-        "scalar" => Some(KernelBackend::Scalar),
-        "sse2" => Some(KernelBackend::Sse2),
-        "avx2" => Some(KernelBackend::Avx2),
-        // `auto` and anything unrecognized fall through to detection.
-        _ => None,
+    *ENV.get_or_init(|| {
+        let value = crate::knobs::raw("MX_KERNEL_BACKEND")?;
+        if value == "auto" {
+            return None;
+        }
+        let parsed = parse_backend_name(&value);
+        let resolved = parsed.map_or_else(best_available, clamp_available);
+        if let Some(warning) = env_backend_warning(&value, parsed, resolved) {
+            eprintln!("{warning}");
+        }
+        parsed
     })
 }
 
@@ -170,36 +290,82 @@ pub fn selected_backend() -> KernelBackend {
         1 => KernelBackend::Scalar,
         2 => KernelBackend::Sse2,
         3 => KernelBackend::Avx2,
+        4 => KernelBackend::Avx512,
         _ => env_backend().unwrap_or_else(best_available),
     };
     clamp_available(req)
 }
 
-/// Name of the effective backend (`"scalar"` / `"sse2"` / `"avx2"`) —
-/// what benches and `serve_loadgen` report alongside their numbers.
+/// Name of the effective backend (`"scalar"` / `"sse2"` / `"avx2"` /
+/// `"avx512"`) — what benches and `serve_loadgen` report alongside their
+/// numbers.
 ///
 /// # Examples
 ///
 /// ```
-/// // Whatever the machine, the name is one of the three tiers.
-/// assert!(["scalar", "sse2", "avx2"].contains(&mx_core::gemm::kernel_backend_name()));
+/// // Whatever the machine, the name is one of the four tiers.
+/// assert!(
+///     ["scalar", "sse2", "avx2", "avx512"].contains(&mx_core::gemm::kernel_backend_name())
+/// );
 /// ```
 pub fn kernel_backend_name() -> &'static str {
     selected_backend().name()
 }
 
+/// Error from [`force_kernel_backend`]: the requested backend cannot run
+/// on this CPU. The override is left unchanged — the caller decides
+/// whether to degrade (to [`BackendUnavailable::available`]) or skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendUnavailable {
+    /// The backend that was requested.
+    pub requested: KernelBackend,
+    /// The best backend this CPU can run in its place.
+    pub available: KernelBackend,
+}
+
+impl std::fmt::Display for BackendUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kernel backend {} is unavailable on this CPU (best available: {})",
+            self.requested.name(),
+            self.available.name()
+        )
+    }
+}
+
+impl std::error::Error for BackendUnavailable {}
+
 /// Forces the dispatch layer onto one backend (process-wide), or back to
 /// automatic selection with `None`. Intended for tests and benches that
 /// sweep backends; affects the layout of subsequently packed B planes as
 /// well as kernel choice (pack after forcing — see the module docs).
-pub fn force_kernel_backend(backend: Option<KernelBackend>) {
+///
+/// # Errors
+///
+/// [`BackendUnavailable`] when the CPU cannot run the requested backend;
+/// the previous selection stays in force (a forced backend is exact by
+/// construction — silently degrading would let a sweep mislabel its
+/// rows). `None` always succeeds.
+pub fn force_kernel_backend(backend: Option<KernelBackend>) -> Result<(), BackendUnavailable> {
+    if let Some(req) = backend {
+        let available = clamp_available(req);
+        if available != req {
+            return Err(BackendUnavailable {
+                requested: req,
+                available,
+            });
+        }
+    }
     let v = match backend {
         None => 0,
         Some(KernelBackend::Scalar) => 1,
         Some(KernelBackend::Sse2) => 2,
         Some(KernelBackend::Avx2) => 3,
+        Some(KernelBackend::Avx512) => 4,
     };
     BACKEND_OVERRIDE.store(v, Ordering::Relaxed);
+    Ok(())
 }
 
 /// Deferral override slot: 0 = unset, 1 = force on, 2 = force off.
@@ -238,6 +404,45 @@ pub fn force_deferred_scale_out(enabled: Option<bool>) {
     DEFER_OVERRIDE.store(v, Ordering::Relaxed);
 }
 
+/// VNNI override slot: 0 = unset, 1 = force on, 2 = force off.
+static VNNI_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the AVX-512 kernel uses `vpdpwssd` for its block dots: the
+/// [`force_vnni`] override, else `MX_KERNEL_VNNI` (`0` / `off` / `false`
+/// selects the `vpmaddwd`+`vpaddd` fallback), else on — always clamped to
+/// what [`avx512_vnni_available`] detected. Both paths are bit-identical
+/// (`vpdpwssd` computes exactly the fused chain per lane); the knob only
+/// isolates the instruction-count win for the `kernel_sweep` bench.
+pub(super) fn vnni_enabled() -> bool {
+    avx512_vnni_available()
+        && match VNNI_OVERRIDE.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                static ENV: OnceLock<bool> = OnceLock::new();
+                *ENV.get_or_init(|| {
+                    !matches!(
+                        crate::knobs::raw("MX_KERNEL_VNNI").as_deref(),
+                        Some("0") | Some("off") | Some("false")
+                    )
+                })
+            }
+        }
+}
+
+/// Forces the AVX-512 kernel's VNNI block dots on/off (process-wide), or
+/// back to the environment default with `None`. "On" still requires the
+/// CPU to have AVX-512-VNNI — like `MX_KERNEL_BACKEND`, the knob can only
+/// narrow the ISA, never fake one. Results are bit-identical either way.
+pub fn force_vnni(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    VNNI_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
 /// Builds the per-GEMM deferral context for an `(fa, fb)` pair whose
 /// reduction spans `blocks` `k1`-blocks, with scale-out constant `c`.
 ///
@@ -269,6 +474,23 @@ pub fn force_deferred_scale_out(enabled: Option<bool>) {
 /// Any element (or format pair, or block count) failing a condition takes
 /// the per-block scale-out instead — deferral is an optimization, never a
 /// semantics change.
+///
+/// ## The same bound under 32-lane (AVX-512) accumulation and VNNI
+///
+/// The `2²⁴` bound above is about the *`f32` mantissa*, not about any
+/// SIMD register, so widening the accumulator vector does not move it —
+/// but each backend must also show its `i32` lanes cannot wrap before the
+/// reduce. The AVX-512 kernel splits the deferred total across 16 `i32`
+/// lanes (32 `i16` products feed 16 lanes per `vpdpwssd` / `vpmaddwd`
+/// step), so any single lane's partial is at most
+/// `blocks · Dmax / 16 ≤ 2²⁰` under the same static gate — four doubling
+/// steps below the AVX2 kernel's per-lane bound of `blocks · Dmax / 8`,
+/// and far inside `i32`. VNNI adds nothing to prove: `vpdpwssd` is
+/// lane-for-lane `vpmaddwd` (two `i16 × i16` products summed in `i32` —
+/// exact, since the narrow-pair class guarantees `w_a + w_b ≤ 30`)
+/// followed by `vpaddd` into the same accumulator, so the fused and
+/// fallback paths produce identical lanes, and both reduce to the same
+/// integer total the scalar chain would have produced.
 pub(super) fn defer_ctx(fa: &BdrFormat, fb: &BdrFormat, blocks: usize, c: i32) -> DeferCtx {
     let dmax =
         fa.k1() as u64 * (fa.max_code() << fa.max_shift()) * (fb.max_code() << fb.max_shift());
@@ -288,16 +510,19 @@ pub(super) fn defer_ctx(fa: &BdrFormat, fb: &BdrFormat, blocks: usize, c: i32) -
 pub(super) type SpanKernel<C> =
     fn(PlaneView<'_, C>, usize, usize, PlaneView<'_, C>, usize, i32, DeferCtx, &mut [f32]);
 
-/// The narrow-pair span kernel for a B plane in the given layout: a
-/// panel-major plane always runs the AVX2 kernels (the layout is only ever
-/// built when the CPU supports them); a vector-major plane runs the
-/// selected backend, with AVX2 degrading to SSE2 (its kernels require the
-/// panel-major layout).
-pub(super) fn narrow_span_kernel(b_panel_major: bool) -> SpanKernel<i16> {
+/// The narrow-pair span kernel for a B plane packed with the given panel
+/// width: a 4-wide plane always runs the AVX-512 kernel and an 8-wide
+/// plane the AVX2 kernels (each layout is only ever built when the CPU
+/// supports its backend); a vector-major plane (`b_panel_n == 0`) runs
+/// the selected backend, with the panel backends degrading to SSE2
+/// (their kernels require their own layout).
+pub(super) fn narrow_span_kernel(b_panel_n: usize) -> SpanKernel<i16> {
     #[cfg(target_arch = "x86_64")]
     {
-        if b_panel_major {
-            return super::avx2::gemm_span;
+        match b_panel_n {
+            super::PANEL_N_512 => return super::avx512::gemm_span,
+            super::PANEL_N => return super::avx2::gemm_span,
+            _ => {}
         }
         match selected_backend() {
             KernelBackend::Scalar => super::scalar::gemm_span::<i16, false>,
@@ -306,7 +531,7 @@ pub(super) fn narrow_span_kernel(b_panel_major: bool) -> SpanKernel<i16> {
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
-        let _ = b_panel_major;
+        let _ = b_panel_n;
         super::scalar::gemm_span::<i16, false>
     }
 }
@@ -315,4 +540,85 @@ pub(super) fn narrow_span_kernel(b_panel_major: bool) -> SpanKernel<i16> {
 /// generic kernel with the chunked `i64`-accumulator dot.
 pub(super) fn wide_span_kernel() -> SpanKernel<i32> {
     super::scalar::gemm_span::<i32, true>
+}
+
+// These tests deliberately avoid mutating the process-wide override slots
+// (`BACKEND_OVERRIDE` etc.) — the in-module test in `super::tests` and the
+// `gemm_backends` integration suite own those, serialized behind their own
+// lock. Everything here is pure or read-only.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip_through_the_parser() {
+        for backend in [
+            KernelBackend::Scalar,
+            KernelBackend::Sse2,
+            KernelBackend::Avx2,
+            KernelBackend::Avx512,
+        ] {
+            assert_eq!(parse_backend_name(backend.name()), Some(backend));
+        }
+        for bogus in ["auto", "", "AVX512", "avx-512", "neon", "avx9000"] {
+            assert_eq!(parse_backend_name(bogus), None, "{bogus:?}");
+        }
+    }
+
+    #[test]
+    fn unrecognized_env_value_warns_naming_the_resolved_backend() {
+        let warning = env_backend_warning("avx9000", None, KernelBackend::Avx512)
+            .expect("an unknown name must warn");
+        assert!(warning.contains("avx9000"), "{warning}");
+        assert!(warning.contains("using avx512"), "{warning}");
+        assert!(
+            warning.contains("avx2 | avx512"),
+            "lists the choices: {warning}"
+        );
+    }
+
+    #[test]
+    fn unavailable_env_value_warns_naming_the_resolved_backend() {
+        let warning =
+            env_backend_warning("avx512", Some(KernelBackend::Avx512), KernelBackend::Avx2)
+                .expect("an unavailable backend must warn");
+        assert!(warning.contains("avx512 is not available"), "{warning}");
+        assert!(warning.contains("using avx2"), "{warning}");
+    }
+
+    #[test]
+    fn honorable_env_value_stays_silent() {
+        assert_eq!(
+            env_backend_warning("sse2", Some(KernelBackend::Sse2), KernelBackend::Sse2),
+            None
+        );
+    }
+
+    #[test]
+    fn backend_unavailable_error_names_both_ends() {
+        let err = BackendUnavailable {
+            requested: KernelBackend::Avx512,
+            available: KernelBackend::Avx2,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("avx512"), "{msg}");
+        assert!(msg.contains("best available: avx2"), "{msg}");
+    }
+
+    #[test]
+    fn forcing_the_detected_best_backend_is_always_honored() {
+        // `clamp_available(best_available())` is the identity, so the
+        // error path can never fire for the CPU's own best tier. Checking
+        // via the pure clamp keeps this test override-free.
+        let best = best_available();
+        assert_eq!(clamp_available(best), best);
+    }
+
+    #[test]
+    fn vnni_detection_implies_the_avx512_baseline() {
+        // The VNNI probe is only consulted behind the F/BW gate.
+        if avx512_vnni_available() {
+            assert!(avx512_available());
+        }
+    }
 }

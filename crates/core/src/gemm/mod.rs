@@ -50,9 +50,9 @@
 //!
 //! # Kernel backends
 //!
-//! The execute stage runs on one of three interchangeable **backends** —
-//! portable scalar, SSE2, and AVX2, each its own submodule behind the
-//! span-kernel function-pointer seam in [`backend`] (where the full
+//! The execute stage runs on one of four interchangeable **backends** —
+//! portable scalar, SSE2, AVX2, and AVX-512, each its own submodule behind
+//! the span-kernel function-pointer seam in [`backend`] (where the full
 //! dispatch contract is documented). Selection is automatic (best the CPU
 //! supports), overridable with the `MX_KERNEL_BACKEND` env knob or
 //! [`force_kernel_backend`], and reported by [`kernel_backend_name`].
@@ -60,15 +60,21 @@
 //! to the others and to [`reference_gemm`], so the choice is a pure
 //! performance knob.
 //!
-//! The AVX2 backend's generation-2 kernel additionally applies **deferred
-//! scale-out**: where the block-plan exponent metadata proves the per-block
-//! `f32` accumulation chain exact (see [`backend::defer_ctx`] for the
-//! headroom invariant), the integer dots of all K blocks accumulate in
-//! registers and the scale-out runs once per output element instead of
-//! once per block pair. Elements that cannot be proven exact fall back to
-//! the per-block chain — deferral never changes results, and
-//! `MX_KERNEL_DEFER=0` (or [`force_deferred_scale_out`]) switches it off
-//! wholesale for A/B measurement.
+//! The panel backends (generation-2 AVX2, generation-3 AVX-512)
+//! additionally apply **deferred scale-out**: where the block-plan
+//! exponent metadata proves the per-block `f32` accumulation chain exact
+//! (see [`backend::defer_ctx`] for the headroom invariant), the integer
+//! dots of all K blocks accumulate in registers and the scale-out runs
+//! once per output element instead of once per block pair. The invariant
+//! is lane-width independent — the `blocks · Dmax ≤ 2²⁴` bound protects
+//! the `f32` mantissa, not any SIMD register — so widening from AVX2's
+//! 8-lane to AVX-512's 16-lane `i32` accumulation (and to VNNI's fused
+//! multiply-add) only *loosens* each lane's integer headroom
+//! (`defer_ctx` documents the per-backend derivation). Elements that
+//! cannot be proven exact fall back to the per-block chain — deferral
+//! never changes results, and `MX_KERNEL_DEFER=0` (or
+//! [`force_deferred_scale_out`]) switches it off wholesale for A/B
+//! measurement.
 //!
 //! # Fused activation lowering (pack-on-the-fly) and the dispatch contract
 //!
@@ -141,6 +147,8 @@ use crate::parallel;
 
 #[cfg(target_arch = "x86_64")]
 mod avx2;
+#[cfg(target_arch = "x86_64")]
+mod avx512;
 pub mod backend;
 mod pack;
 mod scalar;
@@ -148,8 +156,8 @@ mod scalar;
 mod sse2;
 
 pub use backend::{
-    deferred_scale_out_enabled, force_deferred_scale_out, force_kernel_backend,
-    kernel_backend_name, selected_backend, KernelBackend,
+    deferred_scale_out_enabled, force_deferred_scale_out, force_kernel_backend, force_vnni,
+    kernel_backend_name, selected_backend, BackendUnavailable, KernelBackend,
 };
 pub use pack::{PackScratch, PackedOperand};
 
@@ -165,6 +173,17 @@ const TILE_M: usize = 8;
 /// for the whole reduction are contiguous, and 8 columns is what fits in
 /// `i32` accumulator registers with room for the operands.
 const PANEL_N: usize = 8;
+
+/// Columns per panel in the chunk-paired panel-major B layout the AVX-512
+/// kernel consumes. Four columns — half the AVX2 width — because the
+/// kernel's depth doubled instead: each column's step is a 32-code chunk
+/// (two `k1`-blocks in one 512-bit load), and a 4-column panel is
+/// exactly what a 4-row group's 16 `zmm` accumulators cover while the
+/// panel's codes stream strictly sequentially (a wider panel would be
+/// walked in strided column-group passes, which measurably starves the
+/// prefetcher). Doubles as the layout tag in `PackedOperand::panel_n`
+/// (see [`pack::panel_slot`] for the slot order).
+const PANEL_N_512: usize = 4;
 
 /// How a supported format pair runs on the integer path: `Narrow` pairs use
 /// `i16` codes with an `i32` block accumulator (the packed 16-bit MAC
@@ -344,16 +363,22 @@ pub(crate) struct DeferCtx {
     pub(crate) e_hi: i32,
 }
 
-/// Whether the AVX2 panel-major layout applies to a B-side pack of this
-/// block size under the currently selected backend.
+/// Panel width a B-side pack of this block size should use under the
+/// currently selected backend: [`PANEL_N_512`] for the AVX-512 kernel,
+/// [`PANEL_N`] for AVX2, `0` (vector-major) otherwise — each panel layout
+/// exists only for the backend whose kernels consume it.
 #[cfg(target_arch = "x86_64")]
-fn avx2_layout(k1: usize) -> bool {
-    k1 == avx2::K1 && selected_backend() == KernelBackend::Avx2
+fn panel_layout(k1: usize) -> usize {
+    match selected_backend() {
+        KernelBackend::Avx512 if k1 == avx512::K1 => PANEL_N_512,
+        KernelBackend::Avx2 if k1 == avx2::K1 => PANEL_N,
+        _ => 0,
+    }
 }
 
 #[cfg(not(target_arch = "x86_64"))]
-fn avx2_layout(_k1: usize) -> bool {
-    false
+fn panel_layout(_k1: usize) -> usize {
+    0
 }
 
 /// Runs `kernel(start_row, rows, out_span)` over row spans, serially or on
@@ -437,15 +462,7 @@ pub fn quantized_gemm_packed(
     let c = pa.c_half + pb.c_half;
     let ctx = backend::defer_ctx(&pa.fmt, &pb.fmt, blocks_of(pa.len, &pa.fmt), c);
     execute(
-        views,
-        pb.panel_major,
-        class,
-        pa.vectors,
-        pb.vectors,
-        pa.len,
-        c,
-        ctx,
-        threads,
+        views, pb.panel_n, class, pa.vectors, pb.vectors, pa.len, c, ctx, threads,
     )
 }
 
@@ -462,7 +479,7 @@ enum PairViews<'a> {
 #[allow(clippy::too_many_arguments)] // a GEMM is dims + operands + dispatch knobs
 fn execute(
     views: PairViews<'_>,
-    b_panel_major: bool,
+    b_panel_n: usize,
     class: PairClass,
     m: usize,
     n: usize,
@@ -478,7 +495,7 @@ fn execute(
     let workers = gemm_workers(m, n, k, threads);
     match views {
         PairViews::Narrow(ap, bp) if class == PairClass::Narrow => {
-            let kernel = backend::narrow_span_kernel(b_panel_major);
+            let kernel = backend::narrow_span_kernel(b_panel_n);
             dispatch_rows(m, n, workers, &mut out, |start, rows, part| {
                 kernel(ap, start, rows, bp, n, c, ctx, part);
             });
@@ -718,7 +735,7 @@ pub fn quantized_gemm_fused(
             &mut scratch.uexp,
             &mut scratch.shifts,
             &mut out,
-            backend::narrow_span_kernel(packed_b.panel_major),
+            backend::narrow_span_kernel(packed_b.panel_n),
         ),
         (PairClass::Wide, Plane::Wide(bpl)) => fused_dispatch(
             a,
@@ -857,7 +874,7 @@ pub fn quantized_gemm_twopass_scratch(
     let ctx = backend::defer_ctx(&fa, &packed_b.fmt, blocks_of(k, &fa), c);
     execute(
         views,
-        packed_b.panel_major,
+        packed_b.panel_n,
         class,
         m,
         packed_b.vectors,
@@ -1161,7 +1178,7 @@ mod tests {
         let b = ramp(k * n, 42);
         let pb = PackedOperand::pack_cols(&b, k, n, fmt, fmt).unwrap();
         assert!(matches!(pb.plane, Plane::Wide(_)));
-        assert!(!pb.panel_major);
+        assert_eq!(pb.panel_n, 0);
         let got = quantized_gemm_prepacked(&a, m, fmt, &pb, 1).unwrap();
         let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
         assert!(got
@@ -1381,12 +1398,17 @@ mod tests {
             KernelBackend::Scalar,
             KernelBackend::Sse2,
             KernelBackend::Avx2,
+            KernelBackend::Avx512,
         ] {
             for defer in [true, false] {
-                force_kernel_backend(Some(backend));
+                if force_kernel_backend(Some(backend)).is_err() {
+                    // This CPU lacks the ISA; the integration suite skips
+                    // it the same way.
+                    continue;
+                }
                 force_deferred_scale_out(Some(defer));
                 let got = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
-                force_kernel_backend(None);
+                force_kernel_backend(None).unwrap();
                 force_deferred_scale_out(None);
                 assert!(
                     got.iter()

@@ -15,7 +15,7 @@
 //! its nonzero blocks agree on, or [`MIXED_EXP`] when they differ (all-zero
 //! vectors report 0 — their dots vanish, so any grid is correct).
 
-use super::{avx2_layout, c_half, pair_class, Code, PairClass, Side, PANEL_N};
+use super::{c_half, pair_class, panel_layout, Code, PairClass, Side, PANEL_N_512};
 use crate::bdr::BdrFormat;
 use crate::engine;
 
@@ -30,8 +30,8 @@ pub(super) const MIXED_EXP: i32 = i32::MIN;
 pub(super) struct CodePlane<C> {
     /// Signed, shift-aligned codes `± code · 2^(β − τ)`, laid out
     /// `[vector][block][k1]` — contiguous along the reduction dimension —
-    /// or panel-major `[panel][block][lane][k1]` for the AVX2 kernels
-    /// (see [`PackedOperand::pack_cols`]).
+    /// or panel-major for the AVX2/AVX-512 panel kernels (see
+    /// [`PackedOperand::pack_cols`] and [`panel_slot`]).
     pub(super) codes: Vec<C>,
     /// Shared exponent per `[vector][block]` slot (0 for all-zero blocks,
     /// whose codes are all zero anyway).
@@ -75,7 +75,7 @@ pub(super) struct PlaneView<'a, C> {
 /// `data[base_of(v) + i·stride]` — rows use `(|i| i·len, 1)`, columns of a
 /// `[len, vectors]` matrix use `(|j| j, vectors)`. `slot_of(v, kb)` picks
 /// the storage layout: the generic kernels use vector-major
-/// `v·blocks + kb`, the AVX2 kernels consume B packed panel-major (see
+/// `v·blocks + kb`, the panel kernels consume B packed panel-major (see
 /// [`PackedOperand::pack_cols`]). `uexp` receives one entry per vector
 /// (see [`MIXED_EXP`]). Returns the block count per vector.
 #[allow(clippy::too_many_arguments)] // operand geometry + layout + four buffers
@@ -133,15 +133,38 @@ pub(super) fn pack_into<C: Code>(
 }
 
 /// Block-slot index of `(column v, block kb)` in a panel-major plane of
-/// `vectors` columns × `blocks` blocks: column panels of width [`PANEL_N`]
-/// (the last one `vectors mod PANEL_N` wide), `[block][lane]` inside each.
-/// Both the codes (scaled by `k1`) and the per-block exponents use this
-/// slot order, so a panel's exponents for one block are `PANEL_N`
-/// contiguous entries too.
-pub(super) fn panel_slot(v: usize, kb: usize, vectors: usize, blocks: usize) -> usize {
-    let p = v / PANEL_N;
-    let width = PANEL_N.min(vectors - p * PANEL_N);
-    p * PANEL_N * blocks + kb * width + (v - p * PANEL_N)
+/// `vectors` columns × `blocks` blocks with panels `panel_n` columns wide
+/// (the last one `vectors mod panel_n` wide). Both the codes (scaled by
+/// `k1`) and the per-block exponents use this slot order.
+///
+/// The AVX2 layout (`panel_n == `[`super::PANEL_N`]) is `[block][lane]`
+/// inside each panel, so a panel's exponents for one block are `panel_n`
+/// contiguous entries.
+///
+/// The AVX-512 layout (`panel_n == `[`PANEL_N_512`]) is additionally
+/// **chunk-paired**: blocks `2t` and `2t+1` of one lane occupy adjacent
+/// slots (`[chunk row t][lane][block parity]`), so with `k1 = 16` one
+/// column's two consecutive blocks are 32 contiguous `i16` codes — exactly
+/// one 512-bit load in the kernel's K loop. When `blocks` is odd the lone
+/// final block falls back to `[block][lane]` order (a compact half-chunk
+/// row the kernel reads with a 16-lane masked load); slot count stays
+/// exactly `blocks · width` either way.
+pub(super) fn panel_slot(
+    v: usize,
+    kb: usize,
+    vectors: usize,
+    blocks: usize,
+    panel_n: usize,
+) -> usize {
+    let p = v / panel_n;
+    let width = panel_n.min(vectors - p * panel_n);
+    let lane = v - p * panel_n;
+    let base = p * panel_n * blocks;
+    if panel_n == PANEL_N_512 && !(kb == blocks - 1 && blocks % 2 == 1) {
+        base + (kb / 2) * (width * 2) + lane * 2 + (kb & 1)
+    } else {
+        base + kb * width + lane
+    }
 }
 
 /// [`pack_into`] into freshly allocated buffers, returning an owned plane.
@@ -219,10 +242,12 @@ pub struct PackedOperand {
     /// Number of packed vectors: `M` for a [`Side::Rows`] plane, `N` for a
     /// [`Side::Cols`] plane.
     pub(super) vectors: usize,
-    /// Whether the codes are laid out panel-major
-    /// (`[panel][block][lane][k1]`) for the AVX2 kernels, instead of
-    /// vector-major.
-    pub(super) panel_major: bool,
+    /// Panel width of the codes' layout: 0 for vector-major, else the
+    /// columns-per-panel the plane was packed with ([`super::PANEL_N`] for
+    /// the AVX2 kernels, [`PANEL_N_512`] chunk-paired for AVX-512 — see
+    /// [`panel_slot`]). Execution always follows this recorded width, not
+    /// the currently selected backend.
+    pub(super) panel_n: usize,
     /// This operand's half of the scale-out constant: `−(m − 1) − β`.
     pub(super) c_half: i32,
     pub(super) plane: Plane,
@@ -241,10 +266,9 @@ impl std::fmt::Debug for PackedOperand {
                 Plane::Narrow(_) => "i16",
                 Plane::Wide(_) => "i32",
             },
-            if self.panel_major {
-                ", panel-major"
-            } else {
-                ""
+            match self.panel_n {
+                0 => String::new(),
+                w => format!(", panel-major x{w}"),
             },
         )
     }
@@ -287,7 +311,7 @@ impl PackedOperand {
             fmt: fa,
             len: k,
             vectors: m,
-            panel_major: false,
+            panel_n: 0,
             c_half: c_half(&fa),
             plane,
         })
@@ -297,18 +321,20 @@ impl PackedOperand {
     /// against `fa`-format activations. Returns `None` when the `(fa, fb)`
     /// pair is unsupported (see [`super::code_domain_supported`]).
     ///
-    /// When the narrow AVX2 kernels will consume the plane (the selected
-    /// backend — see [`super::kernel_backend_name`] — is `avx2` and the
-    /// block size matches), columns are laid out **panel-major**: columns
-    /// are grouped into [`PANEL_N`]-wide panels, and within a panel the
-    /// codes are ordered `[block][lane][k1]` — so one panel's entire
-    /// reduction (`blocks · PANEL_N · k1` codes, ≈ 8 KB at the serving
-    /// shapes) is a single contiguous, L1-resident streak. The last panel
-    /// is simply narrower when `n mod PANEL_N ≠ 0`. (A plain
-    /// `[block][column][k1]` block-major order would put consecutive
-    /// blocks of one panel `n·k1` codes apart — a large power-of-two
-    /// stride at typical layer widths that aliases the same L1 sets and
-    /// thrashes the cache.)
+    /// When a narrow panel kernel will consume the plane (the selected
+    /// backend — see [`super::kernel_backend_name`] — is a panel backend
+    /// and the block size matches), columns are laid out **panel-major**:
+    /// columns are grouped into panels of the backend's width
+    /// ([`super::PANEL_N`] for AVX2, [`PANEL_N_512`] for AVX-512), and
+    /// within a panel the codes are ordered `[block][lane][k1]` (AVX2) or
+    /// chunk-paired `[chunk row][lane][block parity][k1]` (AVX-512 — see
+    /// [`panel_slot`]) — so one panel's entire reduction
+    /// (`blocks · panel_n · k1` codes, ≈ 4–8 KB at the serving shapes) is
+    /// a single contiguous, L1-resident streak. The last panel is simply
+    /// narrower when `n mod panel_n ≠ 0`. (A plain `[block][column][k1]`
+    /// block-major order would put consecutive blocks of one panel `n·k1`
+    /// codes apart — a large power-of-two stride at typical layer widths
+    /// that aliases the same L1 sets and thrashes the cache.)
     ///
     /// # Panics
     ///
@@ -317,7 +343,11 @@ impl PackedOperand {
         let class = pair_class(&fa, &fb)?;
         assert_eq!(b.len(), k * n, "B is not {k}x{n}");
         let blocks = k.div_ceil(fb.k1());
-        let panel_major = class == PairClass::Narrow && avx2_layout(fb.k1());
+        let panel_n = if class == PairClass::Narrow {
+            panel_layout(fb.k1())
+        } else {
+            0
+        };
         let plane = match class {
             PairClass::Narrow => Plane::Narrow(pack::<i16>(
                 b,
@@ -326,8 +356,8 @@ impl PackedOperand {
                 |j| j,
                 n,
                 |v, kb| {
-                    if panel_major {
-                        panel_slot(v, kb, n, blocks)
+                    if panel_n != 0 {
+                        panel_slot(v, kb, n, blocks, panel_n)
                     } else {
                         v * blocks + kb
                     }
@@ -343,7 +373,7 @@ impl PackedOperand {
             fmt: fb,
             len: k,
             vectors: n,
-            panel_major,
+            panel_n,
             c_half: c_half(&fb),
             plane,
         })

@@ -1,7 +1,8 @@
 //! Forced-backend bit-identity suite: every kernel backend (scalar, SSE2,
-//! AVX2 where the CPU has it) must reproduce the quantize → dequantize →
-//! `f32` matmul reference **bit for bit** over the full preset matrix,
-//! ragged K tails, every serving-relevant M, and every thread count — and
+//! AVX2, AVX-512 where the CPU has them) must reproduce the quantize →
+//! dequantize → `f32` matmul reference **bit for bit** over the full
+//! preset matrix, ragged K tails (including every AVX-512 mask-tail
+//! shape), every serving-relevant M, and every thread count — and
 //! deferred scale-out must be provably invisible: forcing it on or off
 //! never changes a single output bit, including on adversarial exponent
 //! spreads built to straddle every deferral gate (mixed per-vector
@@ -30,11 +31,18 @@ const PRESETS: [BdrFormat; 5] = [
     BdrFormat::MSFP16,
 ];
 
-const BACKENDS: [KernelBackend; 3] = [
+const BACKENDS: [KernelBackend; 4] = [
     KernelBackend::Scalar,
     KernelBackend::Sse2,
     KernelBackend::Avx2,
+    KernelBackend::Avx512,
 ];
+
+/// Forces `backend`, or reports `false` (skip it) when this CPU lacks the
+/// ISA — `force_kernel_backend` refuses rather than silently clamping.
+fn try_force(backend: KernelBackend) -> bool {
+    force_kernel_backend(Some(backend)).is_ok()
+}
 
 /// Serializes tests that touch the process-wide dispatch knobs.
 static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
@@ -50,7 +58,7 @@ fn lock_knobs() -> KnobGuard<'static> {
 
 impl Drop for KnobGuard<'_> {
     fn drop(&mut self) {
-        force_kernel_backend(None);
+        force_kernel_backend(None).expect("clearing the backend override cannot fail");
         force_deferred_scale_out(None);
     }
 }
@@ -138,7 +146,9 @@ fn forced_backend_matrix_is_bit_identical_to_reference() {
     let _guard = lock_knobs();
     let (k, n) = (40, 7); // ragged K tail: 40 = 2·16 + 8
     for backend in BACKENDS {
-        force_kernel_backend(Some(backend));
+        if !try_force(backend) {
+            continue;
+        }
         let effective = selected_backend();
         for fa in PRESETS {
             for fb in PRESETS {
@@ -166,7 +176,9 @@ fn forced_backends_are_thread_count_invariant() {
     let fmt = BdrFormat::MX6;
     let (k, n) = (96, 24);
     for backend in BACKENDS {
-        force_kernel_backend(Some(backend));
+        if !try_force(backend) {
+            continue;
+        }
         for m in [8usize, 32, 33] {
             let a = stress_vector(m * k, 7 * m);
             let b = stress_vector(k * n, 11 * m);
@@ -196,10 +208,14 @@ fn planes_packed_under_one_backend_execute_under_another() {
     let b = stress_vector(k * n, 202);
     let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
     for packer in BACKENDS {
-        force_kernel_backend(Some(packer));
+        if !try_force(packer) {
+            continue;
+        }
         let pb = PackedOperand::pack_cols(&b, k, n, fmt, fmt).unwrap();
         for runner in BACKENDS {
-            force_kernel_backend(Some(runner));
+            if !try_force(runner) {
+                continue;
+            }
             let got = quantized_gemm_prepacked(&a, m, fmt, &pb, 1).unwrap();
             assert_bits_eq(
                 &got,
@@ -225,7 +241,9 @@ fn deferral_is_bit_invisible_on_adversarial_exponent_spreads() {
     let _guard = lock_knobs();
     let (k, n) = (64, 6);
     for backend in BACKENDS {
-        force_kernel_backend(Some(backend));
+        if !try_force(backend) {
+            continue;
+        }
         for a_case in 0..5usize {
             for b_case in 0..5usize {
                 for m in [1usize, 8, 9] {
@@ -268,7 +286,9 @@ fn headroom_exceeded_pairs_fall_back_exactly() {
     let b = stress_vector(k * n, 302);
     let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
     for backend in BACKENDS {
-        force_kernel_backend(Some(backend));
+        if !try_force(backend) {
+            continue;
+        }
         for defer in [true, false] {
             force_deferred_scale_out(Some(defer));
             let got = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
@@ -293,7 +313,9 @@ fn fused_and_two_pass_agree_under_forced_backends() {
     let a = exponent_spread_vector(m * k, 10);
     let b = exponent_spread_vector(k * n, 11);
     for backend in BACKENDS {
-        force_kernel_backend(Some(backend));
+        if !try_force(backend) {
+            continue;
+        }
         let pb = PackedOperand::pack_cols(&b, k, n, fmt, fmt).unwrap();
         let mut scratch = PackScratch::new();
         let fused = quantized_gemm_fused(&a, m, fmt, &pb, 1, &mut scratch).unwrap();
@@ -311,6 +333,112 @@ fn fused_and_two_pass_agree_under_forced_backends() {
     }
 }
 
+/// The deferral gate sits exactly at `blocks · Dmax ≤ 2²⁴` — and the
+/// 32-lane AVX-512 kernel inherits that bound *unchanged* (it protects the
+/// `f32` mantissa of the deferred sum, not any SIMD register; each `i32`
+/// lane partial stays ≤ 2²⁰ under it, see `gemm::backend::defer_ctx`).
+/// Drive every backend with the block count sitting exactly on the bound
+/// and one past it; bits must match the reference with deferral forced
+/// both ways.
+#[test]
+fn headroom_edge_blocks_sit_exactly_on_the_deferral_bound() {
+    let _guard = lock_knobs();
+    let fmt = BdrFormat::MX6;
+    let dmax =
+        fmt.k1() as u64 * (fmt.max_code() << fmt.max_shift()) * (fmt.max_code() << fmt.max_shift());
+    // Largest block count the static gate still defers; +1 disarms it.
+    let edge_blocks = ((1u64 << 24) / dmax) as usize;
+    assert!(edge_blocks > 0 && edge_blocks as u64 * dmax <= 1 << 24);
+    assert!((edge_blocks as u64 + 1) * dmax > 1 << 24);
+    let (m, n) = (3usize, 17usize);
+    for blocks in [edge_blocks, edge_blocks + 1] {
+        let k = blocks * fmt.k1();
+        let a = stress_vector(m * k, 501);
+        let b = stress_vector(k * n, 502);
+        let want = reference_gemm(&a, &b, m, k, n, fmt, fmt);
+        for backend in BACKENDS {
+            if !try_force(backend) {
+                continue;
+            }
+            for defer in [true, false] {
+                force_deferred_scale_out(Some(defer));
+                let got = quantized_gemm(&a, &b, m, k, n, fmt, fmt, 1).unwrap();
+                assert_bits_eq(
+                    &got,
+                    &want,
+                    &format!("{} blocks={blocks} defer={defer}", backend.name()),
+                );
+            }
+            force_deferred_scale_out(None);
+        }
+    }
+}
+
+/// Every AVX-512 mask-tail shape: K % 32 ∈ {1, 15, 16, 17, 31} exercises
+/// odd block counts (the lone-block masked load) and ragged final blocks
+/// on both sides of a two-block chunk boundary, crossed with N covering
+/// every ragged width of the 4-column AVX-512 panel (1, 2, 3 — standalone
+/// and after full panels), the one-past-a-panel case, and widths around
+/// the 8-column AVX2 panel.
+#[test]
+fn mask_tail_shapes_cover_every_ragged_k_and_n() {
+    let _guard = lock_knobs();
+    let (fa, fb) = (BdrFormat::MX6, BdrFormat::MX9);
+    for (ki, k) in [65usize, 79, 80, 81, 95].into_iter().enumerate() {
+        for n in [1usize, 2, 6, 15, 16, 17, 31, 33] {
+            for m in [1usize, 5] {
+                let a = stress_vector(m * k, 601 + 7 * ki);
+                let b = stress_vector(k * n, 701 + 13 * n);
+                let want = reference_gemm(&a, &b, m, k, n, fa, fb);
+                for backend in BACKENDS {
+                    if !try_force(backend) {
+                        continue;
+                    }
+                    let got = quantized_gemm(&a, &b, m, k, n, fa, fb, 1).unwrap();
+                    assert_bits_eq(
+                        &got,
+                        &want,
+                        &format!("{} k={k} n={n} m={m}", backend.name()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Mixed per-vector exponents (alternate blocks 2⁴⁰ apart) disqualify
+/// whole-panel deferral inside full panels, forcing the vectorized
+/// per-block fallback (or per-column chain) on one or both operands; bits
+/// must still match the reference at both chunk parities and with a
+/// ragged panel in play.
+#[test]
+fn mixed_exponent_vectors_force_the_per_block_fallback() {
+    let _guard = lock_knobs();
+    let fmt = BdrFormat::MX6;
+    let (m, n) = (6usize, 33usize); // full panels at both widths + ragged 1
+    for k in [80usize, 96] {
+        // salt ≡ 1 (mod 5) selects the mixed-exponent spread.
+        let a_mixed = exponent_spread_vector(m * k, 1 + 5 * k);
+        let b_mixed = exponent_spread_vector(k * n, 6 + 5 * k);
+        let a_uniform = exponent_spread_vector(m * k, 5 * k);
+        let b_uniform = exponent_spread_vector(k * n, 10 * k);
+        for (a, b, case) in [
+            (&a_mixed, &b_uniform, "mixed A"),
+            (&a_uniform, &b_mixed, "mixed B"),
+            (&a_mixed, &b_mixed, "mixed both"),
+        ] {
+            let want = reference_gemm(a, b, m, k, n, fmt, fmt);
+            for backend in BACKENDS {
+                if !try_force(backend) {
+                    continue;
+                }
+                let got = quantized_gemm(a, b, m, k, n, fmt, fmt, 1).unwrap();
+                assert_bits_eq(&got, &want, &format!("{} {case} k={k}", backend.name()));
+            }
+        }
+    }
+}
+
 /// Wide custom formats (i32 codes) always run the portable kernel; forcing
 /// any backend neither crashes nor changes their bits.
 #[test]
@@ -322,7 +450,9 @@ fn wide_pairs_are_backend_invariant() {
     let b = stress_vector(k * n, 402);
     let want = reference_gemm(&a, &b, m, k, n, wide, wide);
     for backend in BACKENDS {
-        force_kernel_backend(Some(backend));
+        if !try_force(backend) {
+            continue;
+        }
         let got = quantized_gemm(&a, &b, m, k, n, wide, wide, 1).unwrap();
         assert_bits_eq(&got, &want, &format!("wide pair under {}", backend.name()));
     }

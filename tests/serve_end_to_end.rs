@@ -6,6 +6,7 @@
 //! (`ServeStats`) and the weight-plane sharing the batcher exists to
 //! exploit.
 
+use mx::core::gemm::{force_kernel_backend, kernel_backend_name, KernelBackend};
 use mx::models::bert::BertQa;
 use mx::models::data;
 use mx::models::gpt::{Gpt, GptConfig};
@@ -271,6 +272,53 @@ fn weight_planes_are_shared_across_requests_and_formats() {
         after.packs_avoided
     );
     handle.shutdown();
+}
+
+/// The kernel-backend seam is invisible end to end: a server forced onto
+/// the scalar backend answers bit-identically to an identically seeded
+/// server on the best-detected backend, and both match the serial
+/// reference. This is the serving-level restatement of the per-kernel
+/// bit-identity contract behind the `kernel_backend_name` banners in
+/// `serve_loadgen` and the benches: the name is a performance label,
+/// never an output label. (The override is process-wide, but every
+/// backend is bit-identical by contract, so concurrent suites in this
+/// binary cannot observe the toggle.)
+#[test]
+fn forced_backend_server_runs_are_bit_identical_end_to_end() {
+    let seq = GptConfig::tiny().seq_len;
+    let cycle = format_cycle();
+    let requests: Vec<(QuantConfig, RequestInput)> = (0..6)
+        .map(|i| {
+            (
+                cycle[i % cycle.len()],
+                RequestInput::Tokens(tokens(900 + i, seq)),
+            )
+        })
+        .collect();
+    let want = serial_reference(&mut gpt(1234), &requests);
+
+    let run_with = |backend: Option<KernelBackend>| -> Vec<Vec<f32>> {
+        force_kernel_backend(backend).expect("scalar is always available");
+        if let Some(b) = backend {
+            assert_eq!(kernel_backend_name(), b.name(), "force must stick");
+        }
+        let mut server = Server::new(ServerConfig {
+            max_batch: 3,
+            ..ServerConfig::default()
+        });
+        server.register("gpt", Box::new(gpt(1234)));
+        let handle = server.start();
+        let got = run_burst(&handle, "gpt", &requests);
+        handle.shutdown();
+        got
+    };
+    let scalar = run_with(Some(KernelBackend::Scalar));
+    // `None` restores automatic selection: the best-detected backend.
+    let best = run_with(None);
+    for (i, ((s, b), w)) in scalar.iter().zip(best.iter()).zip(want.iter()).enumerate() {
+        assert_bits_eq(s, b, &format!("scalar vs best backend, request {i}"));
+        assert_bits_eq(s, w, &format!("scalar vs serial reference, request {i}"));
+    }
 }
 
 #[test]
