@@ -25,7 +25,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mx_models::zoo::{BatchModel, DenseGemm, ZooInput};
 use mx_nn::qflow::QuantConfig;
 use mx_nn::TensorFormat;
-use mx_serve::{Pending, RequestInput, Server, ServerConfig};
+use mx_serve::{Pending, Request, RequestInput, Server, ServerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -87,16 +87,16 @@ fn serving_throughput(c: &mut Criterion) {
         w => w,
     };
     for max_batch in [1, BATCH] {
-        let mut server = Server::new(ServerConfig {
-            max_batch,
-            workers,
-            ..ServerConfig::default()
-        });
+        let mut server = Server::new(
+            ServerConfig::default()
+                .max_batch(max_batch)
+                .workers(workers),
+        );
         server.register("ffn", Box::new(model()));
-        let handle = server.start();
+        let handle = server.start().expect("valid config");
         // Warm the weight plane before timing.
         let _ = handle
-            .infer("ffn", mx6(), RequestInput::Pixels(rows[0].clone()))
+            .infer(Request::new("ffn", RequestInput::Pixels(rows[0].clone())).quant(mx6()))
             .unwrap();
         group.bench_function(format!("server_max_batch_{max_batch}"), |bench| {
             bench.iter(|| {
@@ -104,7 +104,9 @@ fn serving_throughput(c: &mut Criterion) {
                     .iter()
                     .map(|row| {
                         handle
-                            .submit("ffn", mx6(), RequestInput::Pixels(row.clone()))
+                            .submit(
+                                Request::new("ffn", RequestInput::Pixels(row.clone())).quant(mx6()),
+                            )
                             .unwrap()
                     })
                     .collect();

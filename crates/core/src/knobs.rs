@@ -43,6 +43,10 @@ pub const KNOBS: &[(&str, &str)] = &[
         "MX_BENCH_MEASURE_MS",
         "per-benchmark wall-clock budget (ms) for the vendored criterion harness",
     ),
+    (
+        "MX_SERVE_SHARDS",
+        "default registry shard count for the serve_loadgen simulator (each shard owns a queue, dispatcher, and worker pool)",
+    ),
 ];
 
 /// Reads a declared knob from the environment, `None` when unset or not

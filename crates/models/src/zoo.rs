@@ -1,7 +1,8 @@
 //! Uniform batched-inference entry point over the model zoo.
 //!
-//! Every servable model implements [`BatchModel`]: a fixed per-request
-//! input/output length, a direct-cast [`BatchModel::set_quant`] switch, and
+//! Every servable model implements [`BatchModel`]: a per-request
+//! input/output length contract (fixed, or variable up to a native maximum
+//! for sequence models), a direct-cast [`BatchModel::set_quant`] switch, and
 //! one [`BatchModel::forward_batch`] call that runs `batch` concatenated
 //! requests in a single forward pass. The contract that makes batching
 //! useful for serving is **row independence**: every tensor op in the zoo's
@@ -79,41 +80,42 @@ pub trait BatchModel: Send {
     /// Payload kind a request must carry.
     fn input_kind(&self) -> InputKind;
 
-    /// Flattened elements per request (tokens or features). Requests are
-    /// fixed-size; the batcher relies on this to slice concatenated
-    /// payloads.
+    /// Native (maximum) flattened elements per request. Fixed-length
+    /// models accept exactly this many; [`BatchModel::variable_len`]
+    /// models accept any uniform length `1..=input_len()` per batch.
     fn input_len(&self) -> usize;
 
-    /// Flattened `f32` outputs per request.
-    fn output_len(&self) -> usize;
+    /// Flattened `f32` outputs for one request of `len` input elements —
+    /// the per-bucket output contract. Fixed-length models are only ever
+    /// asked at `len == input_len()` (the degenerate single-bucket case);
+    /// variable-length models must answer for every accepted length
+    /// (e.g. `len · vocab` per-token logits).
+    fn output_len(&self, len: usize) -> usize;
+
+    /// Variable-length contract: when `true`, [`BatchModel::forward_batch`]
+    /// accepts any uniform per-request length `1..=input_len()` (the
+    /// server buckets mixed-length traffic and pads each request up to its
+    /// bucket's length). When `false` (the default), only the native
+    /// `input_len()` is served.
+    fn variable_len(&self) -> bool {
+        false
+    }
 
     /// Switches every tensor op to `cfg` (the paper's direct cast) — this
     /// is how per-request format selection reaches a shared model. Weights
     /// are untouched, so cached weight planes stay valid per format.
     fn set_quant(&mut self, cfg: QuantConfig);
 
-    /// Runs `batch` concatenated requests (`input.len() == batch ·
-    /// input_len()`), returning `batch · output_len()` floats,
-    /// request-major. Output row `i` is bit-identical to running request
-    /// `i` alone with `batch = 1`.
+    /// Runs `batch` concatenated requests of one uniform per-request
+    /// length `len = input.len() / batch` (`len == input_len()` unless
+    /// [`BatchModel::variable_len`]), returning `batch · output_len(len)`
+    /// floats, request-major. Output row `i` is bit-identical to running
+    /// request `i` alone with `batch = 1` at the same length.
     ///
     /// # Panics
     ///
     /// Panics if the payload kind or length disagrees with the model.
     fn forward_batch(&mut self, input: ZooInput<'_>, batch: usize) -> Vec<f32>;
-}
-
-/// Validates a payload against the model's contract, returning the tokens.
-fn expect_tokens<'a>(input: ZooInput<'a>, batch: usize, per: usize) -> &'a [usize] {
-    let ZooInput::Tokens(tokens) = input else {
-        panic!("model expects token input, got {:?}", input.kind());
-    };
-    assert_eq!(
-        tokens.len(),
-        batch * per,
-        "batch of {batch} needs {per} tokens each"
-    );
-    tokens
 }
 
 /// Validates a payload against the model's contract, returning the pixels.
@@ -134,14 +136,21 @@ impl BatchModel for Gpt {
         InputKind::Tokens
     }
 
-    /// One full context window of tokens per request.
+    /// One full context window of tokens per request (maximum; shorter
+    /// sequences are served through the variable-length contract).
     fn input_len(&self) -> usize {
         self.config().seq_len
     }
 
     /// Per-token logits over the vocabulary.
-    fn output_len(&self) -> usize {
-        self.config().seq_len * self.config().vocab
+    fn output_len(&self, len: usize) -> usize {
+        len * self.config().vocab
+    }
+
+    /// Positions are indexed `0..len`, so any prefix length of the context
+    /// window is a valid request.
+    fn variable_len(&self) -> bool {
+        true
     }
 
     fn set_quant(&mut self, cfg: QuantConfig) {
@@ -149,7 +158,18 @@ impl BatchModel for Gpt {
     }
 
     fn forward_batch(&mut self, input: ZooInput<'_>, batch: usize) -> Vec<f32> {
-        let tokens = expect_tokens(input, batch, self.input_len());
+        let ZooInput::Tokens(tokens) = input else {
+            panic!("model expects token input, got {:?}", input.kind());
+        };
+        assert!(
+            batch > 0 && tokens.len() % batch == 0,
+            "batch of {batch} over {} tokens has no uniform length",
+            tokens.len()
+        );
+        assert!(
+            tokens.len() / batch <= self.input_len(),
+            "sequence too long"
+        );
         self.forward(tokens, batch, false).into_data()
     }
 }
@@ -164,8 +184,13 @@ impl BatchModel for BertQa {
     }
 
     /// Per-token start/end span logits.
-    fn output_len(&self) -> usize {
-        self.seq_len() * 2
+    fn output_len(&self, len: usize) -> usize {
+        len * 2
+    }
+
+    /// Any prefix length of the encoder window is a valid request.
+    fn variable_len(&self) -> bool {
+        true
     }
 
     fn set_quant(&mut self, cfg: QuantConfig) {
@@ -173,7 +198,18 @@ impl BatchModel for BertQa {
     }
 
     fn forward_batch(&mut self, input: ZooInput<'_>, batch: usize) -> Vec<f32> {
-        let tokens = expect_tokens(input, batch, self.input_len());
+        let ZooInput::Tokens(tokens) = input else {
+            panic!("model expects token input, got {:?}", input.kind());
+        };
+        assert!(
+            batch > 0 && tokens.len() % batch == 0,
+            "batch of {batch} over {} tokens has no uniform length",
+            tokens.len()
+        );
+        assert!(
+            tokens.len() / batch <= self.input_len(),
+            "sequence too long"
+        );
         self.span_logits(tokens, batch, false).into_data()
     }
 }
@@ -191,7 +227,7 @@ macro_rules! impl_batch_model_for_classifier {
                 IMAGE_SIDE * IMAGE_SIDE
             }
 
-            fn output_len(&self) -> usize {
+            fn output_len(&self, _len: usize) -> usize {
                 SHAPE_CLASSES
             }
 
@@ -249,7 +285,7 @@ impl BatchModel for DenseGemm {
         self.layer.d_in()
     }
 
-    fn output_len(&self) -> usize {
+    fn output_len(&self, _len: usize) -> usize {
         self.layer.d_out()
     }
 
@@ -271,15 +307,16 @@ mod tests {
     use mx_nn::format::TensorFormat;
     use rand::SeedableRng;
 
-    /// Runs `batch` requests through one coalesced forward and one-at-a-time,
-    /// asserting the outputs are bit-identical — the serving contract.
+    /// Runs `batch` requests of `per_in` elements each through one coalesced
+    /// forward and one-at-a-time, asserting the outputs are bit-identical —
+    /// the serving contract.
     fn assert_batch_equals_serial<M: BatchModel>(
         model: &mut M,
         inputs: ZooInput<'_>,
         batch: usize,
+        per_in: usize,
     ) {
-        let per_in = model.input_len();
-        let per_out = model.output_len();
+        let per_out = model.output_len(per_in);
         let batched = model.forward_batch(inputs, batch);
         assert_eq!(batched.len(), batch * per_out);
         for r in 0..batch {
@@ -312,8 +349,31 @@ mod tests {
         let mut m = Gpt::new(&mut rng, crate::gpt::GptConfig::tiny(), mx6());
         let per = BatchModel::input_len(&m);
         let tokens: Vec<usize> = (0..3 * per).map(|i| i % data::LM_VOCAB).collect();
-        assert_batch_equals_serial(&mut m, ZooInput::Tokens(&tokens), 3);
+        assert_batch_equals_serial(&mut m, ZooInput::Tokens(&tokens), 3, per);
         assert_eq!(m.input_kind(), InputKind::Tokens);
+    }
+
+    #[test]
+    fn gpt_variable_length_batches_are_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut m = Gpt::new(&mut rng, crate::gpt::GptConfig::tiny(), mx6());
+        assert!(BatchModel::variable_len(&m));
+        // A bucket shorter than the native context window: same contract.
+        let per = BatchModel::input_len(&m) / 2;
+        assert_eq!(BatchModel::output_len(&m, per), per * m.config().vocab);
+        let tokens: Vec<usize> = (0..3 * per).map(|i| (i * 5) % data::LM_VOCAB).collect();
+        assert_batch_equals_serial(&mut m, ZooInput::Tokens(&tokens), 3, per);
+    }
+
+    #[test]
+    fn bert_variable_length_batches_are_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut m = BertQa::new(&mut rng, 16, 1, 12, mx6());
+        assert!(BatchModel::variable_len(&m));
+        let per = 7;
+        assert_eq!(BatchModel::output_len(&m, per), per * 2);
+        let tokens: Vec<usize> = (0..2 * per).map(|i| (i * 3) % data::QA_VOCAB).collect();
+        assert_batch_equals_serial(&mut m, ZooInput::Tokens(&tokens), 2, per);
     }
 
     #[test]
@@ -323,7 +383,7 @@ mod tests {
         let per = BatchModel::input_len(&m);
         assert_eq!(per, 12);
         let tokens: Vec<usize> = (0..2 * per).map(|i| (i * 7) % data::QA_VOCAB).collect();
-        assert_batch_equals_serial(&mut m, ZooInput::Tokens(&tokens), 2);
+        assert_batch_equals_serial(&mut m, ZooInput::Tokens(&tokens), 2, per);
     }
 
     #[test]
@@ -332,11 +392,12 @@ mod tests {
         let px: Vec<f32> = images.iter().flat_map(|im| im.pixels.clone()).collect();
         let mut rng = StdRng::seed_from_u64(13);
         let mut vit = TinyViT::new(&mut rng, 16, 1, mx6());
-        assert_batch_equals_serial(&mut vit, ZooInput::Pixels(&px), 3);
+        let per = BatchModel::input_len(&vit);
+        assert_batch_equals_serial(&mut vit, ZooInput::Pixels(&px), 3, per);
         let mut resnet = TinyResNet::new(&mut rng, 4, 1, mx6());
-        assert_batch_equals_serial(&mut resnet, ZooInput::Pixels(&px), 3);
+        assert_batch_equals_serial(&mut resnet, ZooInput::Pixels(&px), 3, per);
         let mut mobile = TinyMobileNet::new(&mut rng, 4, 1, mx6());
-        assert_batch_equals_serial(&mut mobile, ZooInput::Pixels(&px), 3);
+        assert_batch_equals_serial(&mut mobile, ZooInput::Pixels(&px), 3, per);
     }
 
     #[test]
@@ -344,8 +405,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(14);
         let mut m = DenseGemm::new(&mut rng, 64, 32, mx6());
         let px: Vec<f32> = (0..4 * 64).map(|i| (i as f32 * 0.17).sin()).collect();
-        assert_batch_equals_serial(&mut m, ZooInput::Pixels(&px), 4);
-        assert_eq!((m.input_len(), m.output_len()), (64, 32));
+        assert_batch_equals_serial(&mut m, ZooInput::Pixels(&px), 4, 64);
+        assert_eq!((m.input_len(), m.output_len(64)), (64, 32));
+        assert!(!BatchModel::variable_len(&m));
     }
 
     #[test]

@@ -1,51 +1,68 @@
-//! # mx-serve — batched direct-cast inference over shared weight planes
+//! # mx-serve — sharded, admission-controlled batched inference over shared
+//! weight planes
 //!
 //! The paper's systems argument is that shared-microexponent formats make
 //! direct-cast inference cheap enough to *serve*: weights lower once to
 //! shift-aligned integer code planes and every subsequent request rides the
-//! integer datapath. This crate turns that into a server:
+//! integer datapath. This crate turns that into a server built for
+//! multi-model, mixed-length, overloaded traffic:
 //!
-//! - a **registry** of zoo models ([`mx_models::zoo::BatchModel`]), each
-//!   behind a mutex so worker threads can execute different models
-//!   concurrently;
-//! - an injector **request queue** (crossbeam MPMC channel) accepting
-//!   `(model, QuantConfig, input)` jobs from any number of client threads;
-//! - a **batcher** (dispatcher thread) that drains the queue and coalesces
-//!   same-model / same-config requests into one batch `forward_batch` call
-//!   of at most `max_batch` requests — the weight-side `PackedOperand` is
-//!   fetched from `mx-nn`'s generation-keyed, per-format plane cache, so it
-//!   is lowered **once** and shared by every request in every batch;
-//! - **workers** that execute batches through the prepacked integer GEMM
-//!   and split the output back into per-request responses.
+//! - a **sharded registry** of zoo models
+//!   ([`mx_models::zoo::BatchModel`]): each model lives on exactly one
+//!   shard (round-robin by registration order), and each shard owns its
+//!   queue, dispatcher, and worker pool — so a model's prepacked weight
+//!   planes stay hot on the workers that serve it, and one model's
+//!   overload cannot starve another shard;
+//! - a typed **[`Request`] builder** carrying the payload plus per-request
+//!   knobs (quant format, deadline, priority), validated and routed to its
+//!   model's shard at [`ServerHandle::submit`];
+//! - **admission control** ([`AdmissionConfig`]) in front of each shard
+//!   queue: a bounded queue that blocks submitters (backpressure) or sheds
+//!   with a typed [`ServeError::Overloaded`], plus a latency-SLO check
+//!   driven by observed per-bucket service time — shed and expired
+//!   requests are always *answered*, never silently dropped;
+//! - **length bucketing** for variable-length models: a request of `L`
+//!   elements is padded up to the smallest configured bucket edge ≥ `L`,
+//!   so same-bucket requests coalesce into one fixed-shape batch GEMM; the
+//!   response is the padded run's output sliced back to the request's own
+//!   length. Fixed-length models are the degenerate single-bucket case;
+//! - a per-shard **batcher** that drains the shard queue and coalesces
+//!   same-model / same-config / same-bucket requests into one
+//!   `forward_batch` call of at most `max_batch` requests — the
+//!   weight-side `PackedOperand` is fetched from `mx-nn`'s
+//!   generation-keyed, per-format plane cache, so it is lowered **once**
+//!   and shared by every request in every batch.
 //!
 //! Batching is **semantically invisible**: every tensor op on the zoo's
 //! inference path is row- (or sequence-) independent, so a request's
-//! response is bit-identical to running it alone — across formats, batch
-//! sizes, ragged final batches, and zero-padded batches (the workspace's
-//! `serve_end_to_end` suite asserts this bit for bit). What batching buys
-//! is throughput: B-side code traffic, kernel dispatch, and the A-side
-//! pack's per-call overhead amortize over the coalesced rows (measured in
-//! the `serving_throughput` bench).
+//! response is bit-identical to running the same (bucket-padded) request
+//! alone — across formats, batch sizes, shard counts, ragged final
+//! batches, and zero-padded batches (the workspace's `serve_end_to_end`
+//! suite asserts this bit for bit). What batching buys is throughput:
+//! B-side code traffic, kernel dispatch, and the A-side pack's per-call
+//! overhead amortize over the coalesced rows (measured in the
+//! `serving_throughput` bench and the multi-tenant `serve_loadgen`
+//! simulator).
 //!
 //! ## Example
 //!
 //! ```
-//! use mx_serve::{RequestInput, Server, ServerConfig};
+//! use mx_serve::{Request, RequestInput, Server, ServerConfig};
 //! use mx_models::zoo::DenseGemm;
 //! use mx_nn::{QuantConfig, TensorFormat};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
-//! let mut server = Server::new(ServerConfig::default());
+//! let mut server = Server::new(ServerConfig::default().shards(1).max_batch(8));
 //! server.register(
 //!     "ffn",
 //!     Box::new(DenseGemm::new(&mut rng, 64, 128, QuantConfig::fp32())),
 //! );
-//! let handle = server.start();
+//! let handle = server.start().unwrap();
 //! let cfg = QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6);
 //! let y = handle
-//!     .infer("ffn", cfg, RequestInput::Pixels(vec![0.5; 64]))
+//!     .infer(Request::new("ffn", RequestInput::Pixels(vec![0.5; 64])).quant(cfg))
 //!     .unwrap();
 //! assert_eq!(y.len(), 128);
 //! assert_eq!(handle.stats().completed, 1);
@@ -54,45 +71,22 @@
 
 #![warn(missing_docs)]
 
+mod config;
+mod request;
 mod stats;
 
+pub use config::{AdmissionConfig, ConfigError, ServerConfig};
+pub use request::{Priority, Request, RequestInput};
 pub use stats::ServeStats;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use mx_models::zoo::{BatchModel, InputKind, ZooInput};
 use mx_nn::qflow::QuantConfig;
 use stats::StatsInner;
 use std::fmt;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
-
-/// An owned request payload (the borrowed twin is
-/// [`mx_models::zoo::ZooInput`]).
-#[derive(Debug, Clone, PartialEq)]
-pub enum RequestInput {
-    /// Token ids, for [`InputKind::Tokens`] models.
-    Tokens(Vec<usize>),
-    /// Raw `f32` features, for [`InputKind::Pixels`] models.
-    Pixels(Vec<f32>),
-}
-
-impl RequestInput {
-    fn kind(&self) -> InputKind {
-        match self {
-            RequestInput::Tokens(_) => InputKind::Tokens,
-            RequestInput::Pixels(_) => InputKind::Pixels,
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            RequestInput::Tokens(t) => t.len(),
-            RequestInput::Pixels(p) => p.len(),
-        }
-    }
-}
 
 /// Why a request was rejected or lost.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,14 +102,31 @@ pub enum ServeError {
         /// The kind the request carried.
         got: InputKind,
     },
-    /// The payload length does not match the model's per-request length.
+    /// The payload length is outside the model's contract: fixed-length
+    /// models take exactly `expected` elements, variable-length models
+    /// `1..=expected`.
     WrongInputLen {
         /// Model name the request addressed.
         model: String,
-        /// Elements per request the model expects.
+        /// Elements per request the model serves (the maximum, for
+        /// variable-length models).
         expected: usize,
         /// Elements the request carried.
         got: usize,
+    },
+    /// Admission control refused the request: the shard's queue was full
+    /// under a shedding policy, or the latency-SLO estimate predicted the
+    /// request could not be answered in time. Shedding is always typed —
+    /// the caller gets this error, never silence.
+    Overloaded {
+        /// Model name whose shard refused the request.
+        model: String,
+    },
+    /// The request's deadline passed before its batch executed (checked at
+    /// submit, at dispatch, and just before execution).
+    DeadlineExceeded {
+        /// Model name the request addressed.
+        model: String,
     },
     /// The model panicked while executing a batch (this request's or an
     /// earlier one that poisoned the model). The worker survives; other
@@ -125,11 +136,12 @@ pub enum ServeError {
         model: String,
     },
     /// The model returned a buffer whose length is not
-    /// `batch · output_len()`, so per-request rows cannot be sliced out.
+    /// `batch · output_len(len)`, so per-request rows cannot be sliced
+    /// out.
     BadModelOutput {
         /// Model name that violated its output contract.
         model: String,
-        /// Elements the contract promised (`batch · output_len()`).
+        /// Elements the contract promised (`batch · output_len(len)`).
         expected: usize,
         /// Elements the model actually returned.
         got: usize,
@@ -153,8 +165,14 @@ impl fmt::Display for ServeError {
                 got,
             } => write!(
                 f,
-                "model {model:?} expects {expected} elements per request, got {got}"
+                "model {model:?} serves up to {expected} elements per request, got {got}"
             ),
+            ServeError::Overloaded { model } => {
+                write!(f, "model {model:?}'s shard shed the request (overloaded)")
+            }
+            ServeError::DeadlineExceeded { model } => {
+                write!(f, "request to model {model:?} expired before execution")
+            }
             ServeError::ModelPanicked { model } => {
                 write!(f, "model {model:?} panicked while executing a batch")
             }
@@ -176,80 +194,59 @@ impl std::error::Error for ServeError {}
 /// Per-request outcome: the flattened response row, or a rejection.
 pub type ServeResult = Result<Vec<f32>, ServeError>;
 
-/// Server tuning knobs.
-#[derive(Debug, Clone)]
-pub struct ServerConfig {
-    /// Worker threads executing batches. Distinct models execute
-    /// concurrently; one model's batches serialize on its mutex.
-    pub workers: usize,
-    /// Most requests coalesced into one `forward_batch` call.
-    pub max_batch: usize,
-    /// Pad every ragged batch up to `max_batch` with zero requests whose
-    /// outputs are discarded. Costs compute, but keeps the GEMM shape (and
-    /// therefore the per-thread activation-pack scratch size) constant —
-    /// the classic fixed-shape serving trade. Semantically invisible either
-    /// way.
-    pub pad_batches: bool,
-    /// Bound on the injector queue (`None` = unbounded): submitting past it
-    /// blocks the client, applying backpressure.
-    pub queue_capacity: Option<usize>,
-}
-
-impl Default for ServerConfig {
-    /// One worker, batches of up to 8, no padding, unbounded queue.
-    fn default() -> Self {
-        ServerConfig {
-            workers: 1,
-            max_batch: 8,
-            pad_batches: false,
-            queue_capacity: None,
-        }
-    }
-}
-
-/// One request in flight through the queue.
+/// One admitted request in flight through a shard queue. The payload is
+/// already padded to `len` (its bucket edge); `keep` is how much of the
+/// per-request output row belongs to the caller.
 struct Job {
     model: usize,
     cfg: QuantConfig,
     input: RequestInput,
+    len: usize,
+    out_len: usize,
+    keep: usize,
+    deadline: Option<Instant>,
     enqueued: Instant,
     resp: Sender<ServeResult>,
 }
 
-/// A coalesced group of same-model / same-config jobs.
+/// A coalesced group of same-model / same-config / same-bucket jobs.
 struct Batch {
     model: usize,
     cfg: QuantConfig,
+    len: usize,
+    out_len: usize,
     jobs: Vec<Job>,
 }
 
-/// A registered model plus the request contract captured at registration.
+/// A registered model plus the request contract captured at
+/// [`Server::start`].
 struct ModelEntry {
     name: String,
     kind: InputKind,
     input_len: usize,
-    output_len: usize,
+    variable: bool,
+    shard: usize,
+    /// Bucket edges this model serves, ascending; the last is always the
+    /// native `input_len`. A request of length `L` pads to the smallest
+    /// edge ≥ `L`. Fixed-length models have the single native edge.
+    admitted: Vec<usize>,
+    /// `out_for[l]` = the model's `output_len(l)` for every acceptable
+    /// request length, captured once so the submit path never locks the
+    /// model.
+    out_for: Vec<usize>,
     model: Mutex<Box<dyn BatchModel>>,
 }
 
 /// A server under construction: register models, then [`Server::start`].
 pub struct Server {
     config: ServerConfig,
-    registry: Vec<ModelEntry>,
+    registry: Vec<(String, Box<dyn BatchModel>)>,
 }
 
 impl Server {
-    /// Creates an empty server with the given tuning.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers` or `max_batch` is zero.
+    /// Creates an empty server with the given tuning. The configuration is
+    /// validated at [`Server::start`], not here.
     pub fn new(config: ServerConfig) -> Self {
-        // audit:allow(serve-panic): construction-time contract, not the
-        // request path — a misconfigured server should fail at build time.
-        assert!(config.workers > 0, "at least one worker");
-        // audit:allow(serve-panic): construction-time contract.
-        assert!(config.max_batch > 0, "batches must hold at least 1 request");
         Server {
             config,
             registry: Vec::new(),
@@ -257,8 +254,9 @@ impl Server {
     }
 
     /// Registers `model` under `name`. The request contract (input kind,
-    /// per-request input/output lengths) is captured now and validated at
-    /// submit time.
+    /// per-request lengths, bucket edges) is captured at [`Server::start`]
+    /// and validated at submit time. Models are assigned to shards
+    /// round-robin in registration order.
     ///
     /// # Panics
     ///
@@ -267,63 +265,125 @@ impl Server {
         // audit:allow(serve-panic): construction-time contract, not the
         // request path — duplicate names are a deployment bug.
         assert!(
-            self.registry.iter().all(|e| e.name != name),
+            self.registry.iter().all(|(n, _)| n != name),
             "model {name:?} already registered"
         );
-        self.registry.push(ModelEntry {
-            name: name.to_string(),
-            kind: model.input_kind(),
-            input_len: model.input_len(),
-            output_len: model.output_len(),
-            model: Mutex::new(model),
-        });
+        self.registry.push((name.to_string(), model));
         self
     }
 
-    /// Starts the dispatcher and worker threads, returning the client
-    /// handle. Dropping (or [`ServerHandle::shutdown`]ting) the handle
-    /// drains in-flight requests and joins every thread.
-    pub fn start(self) -> ServerHandle {
-        let registry = Arc::new(self.registry);
-        let stats = Arc::new(StatsInner::new(self.config.max_batch));
-        let (job_tx, job_rx) = match self.config.queue_capacity {
-            Some(cap) => bounded(cap),
-            None => unbounded(),
-        };
-        let (batch_tx, batch_rx) = unbounded::<Batch>();
-        let mut threads = Vec::with_capacity(self.config.workers + 1);
-        let max_batch = self.config.max_batch;
-        threads.push(std::thread::spawn(move || {
-            dispatch_loop(job_rx, batch_tx, max_batch);
-        }));
-        for _ in 0..self.config.workers {
-            let batch_rx = batch_rx.clone();
-            let registry = registry.clone();
-            let stats = stats.clone();
-            let config = self.config.clone();
-            threads.push(std::thread::spawn(move || {
-                while let Ok(batch) = batch_rx.recv() {
-                    execute_batch(batch, &registry, &stats, &config);
+    /// Validates the configuration, captures every model's serving
+    /// contract, and starts per-shard dispatcher and worker threads,
+    /// returning the client handle. Dropping (or
+    /// [`ServerHandle::shutdown`]ting) the handle drains in-flight
+    /// requests and joins every thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] when the configuration is
+    /// invalid; no thread is spawned in that case.
+    pub fn start(self) -> Result<ServerHandle, ConfigError> {
+        self.config.validate()?;
+        let shards = self.config.shards;
+        let entries: Vec<ModelEntry> = self
+            .registry
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, model))| {
+                let input_len = model.input_len();
+                let variable = model.variable_len();
+                let admitted = if variable {
+                    let mut edges: Vec<usize> = self
+                        .config
+                        .buckets
+                        .iter()
+                        .copied()
+                        .filter(|&b| b < input_len)
+                        .collect();
+                    edges.push(input_len);
+                    edges
+                } else {
+                    vec![input_len]
+                };
+                let out_for = (0..=input_len).map(|l| model.output_len(l)).collect();
+                ModelEntry {
+                    name,
+                    kind: model.input_kind(),
+                    input_len,
+                    variable,
+                    shard: i % shards,
+                    admitted,
+                    out_for,
+                    model: Mutex::new(model),
                 }
+            })
+            .collect();
+        let registry = Arc::new(entries);
+        let stats = Arc::new(StatsInner::new(self.config.max_batch, shards));
+        let mut job_txs = Vec::with_capacity(shards);
+        let mut threads = Vec::with_capacity(shards * (self.config.workers + 1));
+        for shard in 0..shards {
+            let (job_tx, job_rx) = match self.config.admission.queue_capacity {
+                Some(cap) => bounded(cap),
+                None => unbounded(),
+            };
+            // The batch channel is bounded at the worker count so a busy
+            // shard stalls its dispatcher instead of draining the job
+            // queue into an invisible unbounded buffer — that is what lets
+            // a bounded job queue actually exert backpressure on (or shed)
+            // submitters.
+            let (batch_tx, batch_rx) = bounded::<Batch>(self.config.workers);
+            job_txs.push(job_tx);
+            let max_batch = self.config.max_batch;
+            let dispatch_registry = registry.clone();
+            let dispatch_stats = stats.clone();
+            threads.push(std::thread::spawn(move || {
+                dispatch_loop(
+                    shard,
+                    job_rx,
+                    batch_tx,
+                    max_batch,
+                    &dispatch_registry,
+                    &dispatch_stats,
+                );
             }));
+            for _ in 0..self.config.workers {
+                let batch_rx = batch_rx.clone();
+                let registry = registry.clone();
+                let stats = stats.clone();
+                let config = self.config.clone();
+                threads.push(std::thread::spawn(move || {
+                    while let Ok(batch) = batch_rx.recv() {
+                        execute_batch(shard, batch, &registry, &stats, &config);
+                    }
+                }));
+            }
         }
-        drop(batch_rx);
-        ServerHandle {
-            job_tx: Some(job_tx),
+        Ok(ServerHandle {
+            job_txs: Some(job_txs),
+            config: self.config,
             registry,
             stats,
             threads,
-        }
+        })
     }
 }
 
-/// The batcher: drains whatever is queued, groups it by
-/// `(model, QuantConfig)` in arrival order, and emits batches of at most
-/// `max_batch` requests. Every drained job is flushed each round — partial
-/// groups become ragged batches rather than waiting for stragglers, so a
-/// burst of synchronous clients can never deadlock behind a half-full
-/// batch.
-fn dispatch_loop(job_rx: Receiver<Job>, batch_tx: Sender<Batch>, max_batch: usize) {
+/// One shard's batcher: drains whatever is queued, answers expired
+/// requests, groups the rest by `(model, QuantConfig, bucket len)` in
+/// arrival order, and emits batches of at most `max_batch` requests onto
+/// the shard's bounded batch channel. Every drained job is flushed each
+/// round — partial groups become ragged batches rather than waiting for
+/// stragglers, so a burst of synchronous clients can never deadlock behind
+/// a half-full batch.
+fn dispatch_loop(
+    shard: usize,
+    job_rx: Receiver<Job>,
+    batch_tx: Sender<Batch>,
+    max_batch: usize,
+    registry: &[ModelEntry],
+    stats: &StatsInner,
+) {
     while let Ok(first) = job_rx.recv() {
         let mut drained = vec![first];
         let mut lingered = false;
@@ -346,22 +406,35 @@ fn dispatch_loop(job_rx: Receiver<Job>, batch_tx: Sender<Batch>, max_batch: usiz
             lingered = true;
             std::thread::yield_now();
         }
+        let now = Instant::now();
         let mut groups: Vec<Batch> = Vec::new();
         for job in drained {
+            if job.deadline.is_some_and(|d| now >= d) {
+                expire_job(shard, job, registry, stats);
+                continue;
+            }
             match groups
                 .iter_mut()
-                .find(|b| b.model == job.model && b.cfg == job.cfg)
+                .find(|b| b.model == job.model && b.cfg == job.cfg && b.len == job.len)
             {
                 Some(b) => b.jobs.push(job),
                 None => groups.push(Batch {
                     model: job.model,
                     cfg: job.cfg,
+                    len: job.len,
+                    out_len: job.out_len,
                     jobs: vec![job],
                 }),
             }
         }
         for group in groups {
-            let Batch { model, cfg, jobs } = group;
+            let Batch {
+                model,
+                cfg,
+                len,
+                out_len,
+                jobs,
+            } = group;
             let mut chunk = Vec::with_capacity(max_batch.min(jobs.len()));
             for job in jobs {
                 chunk.push(job);
@@ -370,6 +443,8 @@ fn dispatch_loop(job_rx: Receiver<Job>, batch_tx: Sender<Batch>, max_batch: usiz
                         .send(Batch {
                             model,
                             cfg,
+                            len,
+                            out_len,
                             jobs: std::mem::take(&mut chunk),
                         })
                         .is_err()
@@ -382,6 +457,8 @@ fn dispatch_loop(job_rx: Receiver<Job>, batch_tx: Sender<Batch>, max_batch: usiz
                     .send(Batch {
                         model,
                         cfg,
+                        len,
+                        out_len,
                         jobs: chunk,
                     })
                     .is_err()
@@ -394,26 +471,64 @@ fn dispatch_loop(job_rx: Receiver<Job>, batch_tx: Sender<Batch>, max_batch: usiz
     // workers once they finish what is in flight.
 }
 
+/// Answers one expired job with [`ServeError::DeadlineExceeded`] and
+/// retires it from the shard's depth — expiry is a typed answer, never a
+/// silent drop.
+fn expire_job(shard: usize, job: Job, registry: &[ModelEntry], stats: &StatsInner) {
+    stats.retired(shard, 1);
+    stats.record_expired(1);
+    let model = registry
+        .get(job.model)
+        .map_or_else(String::new, |e| e.name.clone());
+    let _ = job.resp.send(Err(ServeError::DeadlineExceeded { model }));
+}
+
 /// Runs one coalesced batch on its model and answers every member request.
 ///
-/// Model failures — a poisoned mutex from an earlier panic, a panic during
-/// this batch, an output buffer that violates the length contract — are
-/// answered as [`ServeError`]s on every member request. The worker thread
-/// itself never unwinds, so one misbehaving model cannot take down the
-/// server: other models (and this one's error reporting) keep serving.
-fn execute_batch(batch: Batch, registry: &[ModelEntry], stats: &StatsInner, config: &ServerConfig) {
+/// Requests whose deadline passed while the batch waited for a worker are
+/// answered with [`ServeError::DeadlineExceeded`] and dropped from the
+/// batch first. Model failures — a poisoned mutex from an earlier panic, a
+/// panic during this batch, an output buffer that violates the length
+/// contract — are answered as [`ServeError`]s on every member request. The
+/// worker thread itself never unwinds, so one misbehaving model cannot
+/// take down the server: other models (and this one's error reporting)
+/// keep serving.
+fn execute_batch(
+    shard: usize,
+    mut batch: Batch,
+    registry: &[ModelEntry],
+    stats: &StatsInner,
+    config: &ServerConfig,
+) {
+    let now = Instant::now();
+    let (live, expired): (Vec<Job>, Vec<Job>) = std::mem::take(&mut batch.jobs)
+        .into_iter()
+        .partition(|job| job.deadline.is_none_or(|d| now < d));
+    batch.jobs = live;
+    for job in expired {
+        expire_job(shard, job, registry, stats);
+    }
     let n = batch.jobs.len();
+    if n == 0 {
+        return;
+    }
+    let started = Instant::now();
     let result = run_batch(&batch, registry, config);
+    let service = started.elapsed();
     // Publish telemetry *before* answering: a synchronous client that just
     // got its response must see itself counted in the next snapshot.
     // Failed batches still count — the requests were accepted and answered.
     let latencies: Vec<_> = batch.jobs.iter().map(|j| j.enqueued.elapsed()).collect();
-    stats.in_flight.fetch_sub(n, Ordering::Relaxed);
-    stats.record_batch(n, &latencies);
+    stats.retired(shard, n);
+    stats.record_batch(shard, batch.model, batch.len, n, &latencies, service);
     match result {
         Ok(rows) => {
-            for (job, row) in batch.jobs.into_iter().zip(rows) {
-                // A client that dropped its Pending receiver discards the row.
+            for (job, mut row) in batch.jobs.into_iter().zip(rows) {
+                // Slice the padded run's output back to the request's own
+                // length before answering.
+                row.truncate(job.keep);
+                // A client that dropped its Pending receiver discards the
+                // row.
                 let _ = job.resp.send(Ok(row));
             }
         }
@@ -426,7 +541,8 @@ fn execute_batch(batch: Batch, registry: &[ModelEntry], stats: &StatsInner, conf
 }
 
 /// Executes the model call for one batch, returning per-request output rows
-/// or the error every member request should be answered with.
+/// (at the bucket's full `out_len`) or the error every member request
+/// should be answered with.
 fn run_batch(
     batch: &Batch,
     registry: &[ModelEntry],
@@ -441,10 +557,10 @@ fn run_batch(
     } else {
         n
     };
-    let per_in = entry.input_len;
-    // Concatenate the (submit-validated) payloads. A kind mismatch here
-    // would be an internal bug; report it as the kind error rather than
-    // killing the worker.
+    let per_in = batch.len;
+    // Concatenate the (submit-validated, bucket-padded) payloads. A kind
+    // mismatch here would be an internal bug; report it as the kind error
+    // rather than killing the worker.
     let out = match entry.kind {
         InputKind::Tokens => {
             let mut buf = Vec::with_capacity(eff * per_in);
@@ -477,7 +593,7 @@ fn run_batch(
             forward_guarded(entry, batch.cfg, ZooInput::Pixels(&buf), eff)?
         }
     };
-    let per_out = entry.output_len;
+    let per_out = batch.out_len;
     if out.len() != eff * per_out {
         return Err(ServeError::BadModelOutput {
             model: entry.name.clone(),
@@ -524,7 +640,8 @@ fn forward_guarded(
 /// Client handle to a running server: submit requests (from any thread —
 /// submission takes `&self`), read stats, shut down.
 pub struct ServerHandle {
-    job_tx: Option<Sender<Job>>,
+    job_txs: Option<Vec<Sender<Job>>>,
+    config: ServerConfig,
     registry: Arc<Vec<ModelEntry>>,
     stats: Arc<StatsInner>,
     threads: Vec<JoinHandle<()>>,
@@ -547,59 +664,124 @@ impl Pending {
 }
 
 impl ServerHandle {
-    /// Validates and enqueues a request, returning a [`Pending`] response
-    /// without blocking on execution. Submitting several requests before
-    /// waiting is how a single client thread gets them coalesced into one
-    /// batch.
-    pub fn submit(
-        &self,
-        model: &str,
-        cfg: QuantConfig,
-        input: RequestInput,
-    ) -> Result<Pending, ServeError> {
+    /// Validates `req`, runs it through admission control, and enqueues it
+    /// on its model's shard, returning a [`Pending`] response without
+    /// blocking on execution. Submitting several requests before waiting
+    /// is how a single client thread gets them coalesced into one batch.
+    ///
+    /// Under a bounded shard queue this call *blocks* when the queue is
+    /// full (backpressure) unless the admission policy sheds, in which
+    /// case it returns [`ServeError::Overloaded`] immediately.
+    pub fn submit(&self, req: Request) -> Result<Pending, ServeError> {
+        let Request {
+            model,
+            mut input,
+            cfg,
+            deadline,
+            priority,
+        } = req;
         let (id, entry) = self
             .registry
             .iter()
             .enumerate()
             .find(|(_, e)| e.name == model)
-            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+            .ok_or_else(|| ServeError::UnknownModel(model.clone()))?;
         if input.kind() != entry.kind {
             return Err(ServeError::WrongInputKind {
-                model: model.to_string(),
+                model,
                 expected: entry.kind,
                 got: input.kind(),
             });
         }
-        if input.len() != entry.input_len {
+        let got = input.len();
+        let acceptable = if entry.variable {
+            (1..=entry.input_len).contains(&got)
+        } else {
+            got == entry.input_len
+        };
+        if !acceptable {
             return Err(ServeError::WrongInputLen {
-                model: model.to_string(),
+                model,
                 expected: entry.input_len,
-                got: input.len(),
+                got,
             });
         }
-        // `job_tx` is cleared only by shutdown, which takes the handle by
+        // Bucket: the smallest admitted edge that fits the request. The
+        // native length is always the final edge, so the search cannot
+        // miss; the fallback is defensive.
+        let len = entry
+            .admitted
+            .iter()
+            .copied()
+            .find(|&edge| edge >= got)
+            .unwrap_or(entry.input_len);
+        let out_len = entry.out_for.get(len).copied().unwrap_or(0);
+        let keep = entry.out_for.get(got).copied().unwrap_or(out_len);
+        let now = Instant::now();
+        let deadline = deadline.map(|budget| now + budget);
+        if deadline.is_some_and(|d| now >= d) {
+            self.stats.record_expired(1);
+            return Err(ServeError::DeadlineExceeded { model });
+        }
+        // Latency-SLO admission: shed when the shard's observed service
+        // times predict this request cannot be answered within its
+        // priority's share of the SLO. High priority bypasses the
+        // estimate; a cold shard (no observations) predicts zero and
+        // admits.
+        if let Some(slo) = self.config.admission.slo {
+            if let Some(budget) = priority.slo_budget(slo) {
+                let budget_us = budget.as_micros().min(u128::from(u64::MAX)) as u64;
+                if self.stats.estimate_wait_us(entry.shard, id, len) > budget_us {
+                    self.stats.record_shed();
+                    return Err(ServeError::Overloaded { model });
+                }
+            }
+        }
+        input.pad_to(len);
+        // `job_txs` is cleared only by shutdown, which takes the handle by
         // value — but answer `Disconnected` rather than panicking if that
         // invariant ever breaks.
-        let tx = self.job_tx.as_ref().ok_or(ServeError::Disconnected)?;
+        let tx = self
+            .job_txs
+            .as_ref()
+            .and_then(|txs| txs.get(entry.shard))
+            .ok_or(ServeError::Disconnected)?;
         let (resp, rx) = unbounded();
-        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-        let sent = tx.send(Job {
+        let job = Job {
             model: id,
             cfg,
             input,
-            enqueued: Instant::now(),
+            len,
+            out_len,
+            keep,
+            deadline,
+            enqueued: now,
             resp,
-        });
-        if sent.is_err() {
-            self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        };
+        self.stats.admitted(entry.shard, 1);
+        if self.config.admission.shed_on_full {
+            match tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.stats.retired(entry.shard, 1);
+                    self.stats.record_shed();
+                    return Err(ServeError::Overloaded { model });
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.stats.retired(entry.shard, 1);
+                    return Err(ServeError::Disconnected);
+                }
+            }
+        } else if tx.send(job).is_err() {
+            self.stats.retired(entry.shard, 1);
             return Err(ServeError::Disconnected);
         }
         Ok(Pending { rx })
     }
 
     /// Synchronous inference: submit and block until the response arrives.
-    pub fn infer(&self, model: &str, cfg: QuantConfig, input: RequestInput) -> ServeResult {
-        self.submit(model, cfg, input)?.wait()
+    pub fn infer(&self, req: Request) -> ServeResult {
+        self.submit(req)?.wait()
     }
 
     /// A point-in-time stats snapshot.
@@ -612,15 +794,23 @@ impl ServerHandle {
         self.registry.iter().map(|e| e.name.clone()).collect()
     }
 
+    /// The shard a model's requests are routed to, `None` when unknown.
+    pub fn shard_of(&self, model: &str) -> Option<usize> {
+        self.registry
+            .iter()
+            .find(|e| e.name == model)
+            .map(|e| e.shard)
+    }
+
     /// Graceful shutdown: stops accepting requests, drains everything in
-    /// flight, and joins the dispatcher and workers. (Dropping the handle
-    /// does the same.)
+    /// flight, and joins every shard's dispatcher and workers. (Dropping
+    /// the handle does the same.)
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        self.job_tx.take(); // dispatcher sees the disconnect after draining
+        self.job_txs.take(); // dispatchers see the disconnect after draining
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -647,37 +837,39 @@ mod tests {
 
     fn dense_server(workers: usize, max_batch: usize) -> ServerHandle {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut server = Server::new(ServerConfig {
-            workers,
-            max_batch,
-            ..ServerConfig::default()
-        });
+        let mut server = Server::new(
+            ServerConfig::default()
+                .workers(workers)
+                .max_batch(max_batch),
+        );
         server.register(
             "dense",
             Box::new(DenseGemm::new(&mut rng, 32, 16, QuantConfig::fp32())),
         );
-        server.start()
+        server.start().unwrap()
     }
 
     fn row(salt: usize) -> Vec<f32> {
         (0..32).map(|i| ((i + salt) as f32 * 0.19).sin()).collect()
     }
 
+    fn dense_req(salt: usize) -> Request {
+        Request::new("dense", RequestInput::Pixels(row(salt))).quant(mx6())
+    }
+
     #[test]
     fn sync_inference_round_trip() {
         let handle = dense_server(1, 4);
-        let y = handle
-            .infer("dense", mx6(), RequestInput::Pixels(row(0)))
-            .unwrap();
+        let y = handle.infer(dense_req(0)).unwrap();
         assert_eq!(y.len(), 16);
-        let again = handle
-            .infer("dense", mx6(), RequestInput::Pixels(row(0)))
-            .unwrap();
+        let again = handle.infer(dense_req(0)).unwrap();
         assert_eq!(y, again, "same request, same bits");
         let stats = handle.stats();
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.queue_depth, 0);
         assert_eq!(handle.model_names(), vec!["dense".to_string()]);
+        assert_eq!(handle.shard_of("dense"), Some(0));
+        assert_eq!(handle.shard_of("nope"), None);
         handle.shutdown();
     }
 
@@ -686,19 +878,19 @@ mod tests {
         let handle = dense_server(1, 4);
         assert_eq!(
             handle
-                .infer("nope", mx6(), RequestInput::Pixels(row(0)))
+                .infer(Request::new("nope", RequestInput::Pixels(row(0))))
                 .unwrap_err(),
             ServeError::UnknownModel("nope".into())
         );
         assert!(matches!(
             handle
-                .infer("dense", mx6(), RequestInput::Tokens(vec![0; 32]))
+                .infer(Request::new("dense", RequestInput::Tokens(vec![0; 32])).quant(mx6()))
                 .unwrap_err(),
             ServeError::WrongInputKind { .. }
         ));
         assert!(matches!(
             handle
-                .infer("dense", mx6(), RequestInput::Pixels(vec![0.0; 7]))
+                .infer(Request::new("dense", RequestInput::Pixels(vec![0.0; 7])).quant(mx6()))
                 .unwrap_err(),
             ServeError::WrongInputLen {
                 expected: 32,
@@ -712,23 +904,29 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_is_a_typed_error_at_start() {
+        let server = Server::new(ServerConfig::default().workers(0));
+        match server.start() {
+            Err(e) => assert_eq!(e, ConfigError::ZeroWorkers),
+            Ok(_) => panic!("zero workers must not start"),
+        }
+        let server = Server::new(ServerConfig::default().buckets([8, 4]));
+        match server.start() {
+            Err(e) => assert_eq!(e, ConfigError::UnsortedBuckets { index: 1 }),
+            Ok(_) => panic!("unsorted buckets must not start"),
+        }
+    }
+
+    #[test]
     fn burst_submission_coalesces_and_matches_serial() {
         let handle = dense_server(1, 8);
         // Serial references first (batches of 1).
         let want: Vec<Vec<f32>> = (0..12)
-            .map(|i| {
-                handle
-                    .infer("dense", mx6(), RequestInput::Pixels(row(i)))
-                    .unwrap()
-            })
+            .map(|i| handle.infer(dense_req(i)).unwrap())
             .collect();
         // Burst: submit all, then wait — the dispatcher coalesces.
         let pending: Vec<Pending> = (0..12)
-            .map(|i| {
-                handle
-                    .submit("dense", mx6(), RequestInput::Pixels(row(i)))
-                    .unwrap()
-            })
+            .map(|i| handle.submit(dense_req(i)).unwrap())
             .collect();
         for (i, p) in pending.into_iter().enumerate() {
             assert_eq!(p.wait().unwrap(), want[i], "request {i}");
@@ -741,15 +939,14 @@ mod tests {
             "histogram covers every batch"
         );
         assert!(stats.p50_latency_us <= stats.p99_latency_us);
+        assert!(stats.p99_latency_us <= stats.p999_latency_us);
         handle.shutdown();
     }
 
     #[test]
     fn shutdown_joins_and_drop_is_idempotent() {
         let handle = dense_server(2, 4);
-        let p = handle
-            .submit("dense", mx6(), RequestInput::Pixels(row(9)))
-            .unwrap();
+        let p = handle.submit(dense_req(9)).unwrap();
         handle.shutdown(); // drains the in-flight request first
         assert_eq!(p.wait().unwrap().len(), 16);
     }
@@ -768,7 +965,7 @@ mod tests {
             4
         }
 
-        fn output_len(&self) -> usize {
+        fn output_len(&self, _len: usize) -> usize {
             2
         }
 
@@ -783,7 +980,7 @@ mod tests {
         }
     }
 
-    /// Model whose output violates the `batch · output_len()` contract.
+    /// Model whose output violates the `batch · output_len(len)` contract.
     struct ShortChanger;
 
     impl BatchModel for ShortChanger {
@@ -795,7 +992,7 @@ mod tests {
             4
         }
 
-        fn output_len(&self) -> usize {
+        fn output_len(&self, _len: usize) -> usize {
             8
         }
 
@@ -815,22 +1012,18 @@ mod tests {
             "dense",
             Box::new(DenseGemm::new(&mut rng, 32, 16, QuantConfig::fp32())),
         );
-        let handle = server.start();
+        let handle = server.start().unwrap();
+
+        let grenade = |px: Vec<f32>| Request::new("grenade", RequestInput::Pixels(px)).quant(mx6());
 
         // Healthy request first: the model works.
-        let ok = handle
-            .infer("grenade", mx6(), RequestInput::Pixels(vec![0.0; 4]))
-            .unwrap();
+        let ok = handle.infer(grenade(vec![0.0; 4])).unwrap();
         assert_eq!(ok, vec![0.0, 0.0]);
 
         // Trigger the panic: the client gets an error, not a hang, and the
         // worker thread survives.
         let err = handle
-            .infer(
-                "grenade",
-                mx6(),
-                RequestInput::Pixels(vec![13.0, 0.0, 0.0, 0.0]),
-            )
+            .infer(grenade(vec![13.0, 0.0, 0.0, 0.0]))
             .unwrap_err();
         assert_eq!(
             err,
@@ -841,15 +1034,11 @@ mod tests {
 
         // The panic poisoned the model: later requests fail fast with the
         // same error instead of touching half-updated state.
-        let err = handle
-            .infer("grenade", mx6(), RequestInput::Pixels(vec![0.0; 4]))
-            .unwrap_err();
+        let err = handle.infer(grenade(vec![0.0; 4])).unwrap_err();
         assert!(matches!(err, ServeError::ModelPanicked { .. }));
 
         // Fault isolation: the other model still serves on the same worker.
-        let y = handle
-            .infer("dense", mx6(), RequestInput::Pixels(row(1)))
-            .unwrap();
+        let y = handle.infer(dense_req(1)).unwrap();
         assert_eq!(y.len(), 16);
 
         // Every request above was answered and counted.
@@ -862,10 +1051,9 @@ mod tests {
     fn bad_output_length_is_an_error_not_a_worker_crash() {
         let mut server = Server::new(ServerConfig::default());
         server.register("short", Box::new(ShortChanger));
-        let handle = server.start();
-        let err = handle
-            .infer("short", mx6(), RequestInput::Pixels(vec![0.0; 4]))
-            .unwrap_err();
+        let handle = server.start().unwrap();
+        let req = || Request::new("short", RequestInput::Pixels(vec![0.0; 4])).quant(mx6());
+        let err = handle.infer(req()).unwrap_err();
         assert_eq!(
             err,
             ServeError::BadModelOutput {
@@ -875,9 +1063,7 @@ mod tests {
             }
         );
         // The worker survives to answer another (still broken) request.
-        let err = handle
-            .infer("short", mx6(), RequestInput::Pixels(vec![0.0; 4]))
-            .unwrap_err();
+        let err = handle.infer(req()).unwrap_err();
         assert!(matches!(err, ServeError::BadModelOutput { .. }));
         handle.shutdown();
     }

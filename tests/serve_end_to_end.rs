@@ -1,10 +1,12 @@
 //! End-to-end suite for `mx-serve`: batching must be **semantically
 //! invisible**. Every response a server produces — whatever the batch
-//! coalescing, request interleaving, format mix, ragged final batch, or
-//! zero-padding — must be bit-identical to running that request alone on an
-//! identically constructed model. Also covers the serving telemetry
-//! (`ServeStats`) and the weight-plane sharing the batcher exists to
-//! exploit.
+//! coalescing, request interleaving, format mix, shard count, length
+//! bucket, ragged final batch, or zero-padding — must be bit-identical to
+//! running that request alone on an identically constructed model
+//! (bucket-padded requests compare against the same padded request run
+//! alone, sliced back to the request's own length). Also covers the
+//! serving telemetry (`ServeStats`) and the weight-plane sharing the
+//! batcher exists to exploit.
 
 use mx::core::gemm::{force_kernel_backend, kernel_backend_name, KernelBackend};
 use mx::models::bert::BertQa;
@@ -14,7 +16,7 @@ use mx::models::vision::TinyViT;
 use mx::models::zoo::{BatchModel, DenseGemm, ZooInput};
 use mx::nn::qflow::QuantConfig;
 use mx::nn::TensorFormat;
-use mx::serve::{Pending, RequestInput, Server, ServerConfig, ServerHandle};
+use mx::serve::{Pending, Request, RequestInput, Server, ServerConfig, ServerHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -68,6 +70,40 @@ fn serial_reference(
         .collect()
 }
 
+/// Bucketed serial reference for variable-length token requests: pad each
+/// request to its bucket edge (the smallest configured edge that fits,
+/// capped at the model's native length), run the padded request **alone**,
+/// and slice the output back to the request's own length — exactly the
+/// transformation the server applies, so batching stays the only variable.
+fn bucketed_reference(
+    model: &mut dyn BatchModel,
+    buckets: &[usize],
+    requests: &[(QuantConfig, RequestInput)],
+) -> Vec<Vec<f32>> {
+    let native = model.input_len();
+    requests
+        .iter()
+        .map(|(cfg, input)| {
+            let RequestInput::Tokens(t) = input else {
+                panic!("bucketed_reference covers token models")
+            };
+            let edge = buckets
+                .iter()
+                .copied()
+                .filter(|&b| b < native)
+                .chain([native])
+                .find(|&b| b >= t.len())
+                .expect("native length is always an edge");
+            let mut padded = t.clone();
+            padded.resize(edge, 0);
+            model.set_quant(*cfg);
+            let mut out = model.forward_batch(ZooInput::Tokens(&padded), 1);
+            out.truncate(model.output_len(t.len()));
+            out
+        })
+        .collect()
+}
+
 /// Submits every request as one burst and waits for all responses in order.
 fn run_burst(
     handle: &ServerHandle,
@@ -76,7 +112,11 @@ fn run_burst(
 ) -> Vec<Vec<f32>> {
     let pending: Vec<Pending> = requests
         .iter()
-        .map(|(cfg, input)| handle.submit(name, *cfg, input.clone()).unwrap())
+        .map(|(cfg, input)| {
+            handle
+                .submit(Request::new(name, input.clone()).quant(*cfg))
+                .unwrap()
+        })
         .collect();
     pending.into_iter().map(|p| p.wait().unwrap()).collect()
 }
@@ -92,12 +132,9 @@ fn gpt_batched_serving_is_bit_identical_across_formats_and_batch_sizes() {
     let want = serial_reference(&mut gpt(42), &requests);
 
     for max_batch in [1, 3, 8] {
-        let mut server = Server::new(ServerConfig {
-            max_batch,
-            ..ServerConfig::default()
-        });
+        let mut server = Server::new(ServerConfig::default().max_batch(max_batch));
         server.register("gpt", Box::new(gpt(42)));
-        let handle = server.start();
+        let handle = server.start().expect("valid config");
         let got = run_burst(&handle, "gpt", &requests);
         for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
             assert_bits_eq(g, w, &format!("max_batch {max_batch}, request {i}"));
@@ -120,6 +157,168 @@ fn gpt_batched_serving_is_bit_identical_across_formats_and_batch_sizes() {
 }
 
 #[test]
+fn sharded_serving_is_bit_identical_across_shard_counts() {
+    let seq = GptConfig::tiny().seq_len;
+    let cycle = format_cycle();
+    let gpt_reqs: Vec<(QuantConfig, RequestInput)> = (0..6)
+        .map(|i| {
+            (
+                cycle[i % cycle.len()],
+                RequestInput::Tokens(tokens(700 + i, seq)),
+            )
+        })
+        .collect();
+    let dense_reqs: Vec<(QuantConfig, RequestInput)> = (0..6)
+        .map(|i| {
+            (
+                cycle[(i + 2) % cycle.len()],
+                RequestInput::Pixels((0..48).map(|j| ((i + j) as f32 * 0.13).sin()).collect()),
+            )
+        })
+        .collect();
+    let qa_seq = 12;
+    let bert_reqs: Vec<(QuantConfig, RequestInput)> = (0..6)
+        .map(|i| {
+            (
+                cycle[(i + 1) % cycle.len()],
+                RequestInput::Tokens((0..qa_seq).map(|t| (t * 5 + i) % data::QA_VOCAB).collect()),
+            )
+        })
+        .collect();
+    let build = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            gpt(55),
+            DenseGemm::new(&mut rng, 48, 24, QuantConfig::fp32()),
+            BertQa::new(&mut rng, 16, 1, qa_seq, QuantConfig::fp32()),
+        )
+    };
+    let (mut ref_gpt, mut ref_dense, mut ref_bert) = build(77);
+    let want_gpt = serial_reference(&mut ref_gpt, &gpt_reqs);
+    let want_dense = serial_reference(&mut ref_dense, &dense_reqs);
+    let want_bert = serial_reference(&mut ref_bert, &bert_reqs);
+
+    // More shards than models exercises the empty-shard path too.
+    for shards in [1, 2, 4] {
+        let (g, d, b) = build(77);
+        let mut server = Server::new(
+            ServerConfig::default()
+                .shards(shards)
+                .workers(2)
+                .max_batch(4),
+        );
+        server.register("gpt", Box::new(g));
+        server.register("dense", Box::new(d));
+        server.register("bert", Box::new(b));
+        let handle = server.start().expect("valid config");
+        // Registration order, round-robin: model i lives on shard i % shards.
+        for (i, name) in ["gpt", "dense", "bert"].iter().enumerate() {
+            assert_eq!(handle.shard_of(name), Some(i % shards), "{name}");
+        }
+        // Interleave submissions across models so every shard queue is
+        // active at once.
+        let mut pending: Vec<(&str, usize, Pending)> = Vec::new();
+        for i in 0..6 {
+            for (name, reqs) in [
+                ("gpt", &gpt_reqs),
+                ("dense", &dense_reqs),
+                ("bert", &bert_reqs),
+            ] {
+                let (cfg, input) = &reqs[i];
+                pending.push((
+                    name,
+                    i,
+                    handle
+                        .submit(Request::new(name, input.clone()).quant(*cfg))
+                        .unwrap(),
+                ));
+            }
+        }
+        for (name, i, p) in pending {
+            let got = p.wait().unwrap();
+            let want = match name {
+                "gpt" => &want_gpt[i],
+                "dense" => &want_dense[i],
+                _ => &want_bert[i],
+            };
+            assert_bits_eq(&got, want, &format!("shards={shards}, {name} request {i}"));
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.completed, 18);
+        assert_eq!(stats.shard_depths.len(), shards);
+        assert!(stats.shard_depths.iter().all(|&d| d == 0), "all drained");
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn bucketed_mixed_length_serving_matches_padded_serial_reference() {
+    let buckets = [4, 8, 16];
+    let cycle = format_cycle();
+    // Lengths straddling every edge, in shuffling order so the dispatcher
+    // must keep the buckets apart while coalescing within them.
+    let lens = [3, 16, 4, 9, 1, 8, 5, 12, 2, 16, 7, 11];
+    let gpt_reqs: Vec<(QuantConfig, RequestInput)> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            (
+                cycle[i % cycle.len()],
+                RequestInput::Tokens(tokens(300 + i, len)),
+            )
+        })
+        .collect();
+    let qa_seq = 12;
+    let bert_lens = [2, 12, 5, 8, 3, 10];
+    let bert_reqs: Vec<(QuantConfig, RequestInput)> = bert_lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            (
+                cycle[(i + 1) % cycle.len()],
+                RequestInput::Tokens((0..len).map(|t| (t * 7 + i) % data::QA_VOCAB).collect()),
+            )
+        })
+        .collect();
+    let build_bert = |seed: u64| {
+        BertQa::new(
+            &mut StdRng::seed_from_u64(seed),
+            16,
+            1,
+            qa_seq,
+            QuantConfig::fp32(),
+        )
+    };
+    let want_gpt = bucketed_reference(&mut gpt(61), &buckets, &gpt_reqs);
+    let want_bert = bucketed_reference(&mut build_bert(62), &buckets, &bert_reqs);
+    // Each response is the request's own output length, not the bucket's.
+    for (i, (&len, w)) in lens.iter().zip(want_gpt.iter()).enumerate() {
+        assert_eq!(w.len(), len * GptConfig::tiny().vocab, "reference {i}");
+    }
+
+    for shards in [1, 2] {
+        let mut server = Server::new(
+            ServerConfig::default()
+                .shards(shards)
+                .max_batch(4)
+                .buckets(buckets),
+        );
+        server.register("gpt", Box::new(gpt(61)));
+        server.register("bert", Box::new(build_bert(62)));
+        let handle = server.start().expect("valid config");
+        let got_gpt = run_burst(&handle, "gpt", &gpt_reqs);
+        let got_bert = run_burst(&handle, "bert", &bert_reqs);
+        for (i, (g, w)) in got_gpt.iter().zip(want_gpt.iter()).enumerate() {
+            assert_bits_eq(g, w, &format!("shards={shards}, gpt len {}", lens[i]));
+        }
+        for (i, (g, w)) in got_bert.iter().zip(want_bert.iter()).enumerate() {
+            assert_bits_eq(g, w, &format!("shards={shards}, bert len {}", bert_lens[i]));
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
 fn ragged_and_padded_batches_are_semantically_invisible() {
     let seq = GptConfig::tiny().seq_len;
     // 6 same-format requests against max_batch = 4 force a ragged tail of
@@ -129,13 +328,13 @@ fn ragged_and_padded_batches_are_semantically_invisible() {
         .collect();
     let want = serial_reference(&mut gpt(7), &requests);
     for pad_batches in [false, true] {
-        let mut server = Server::new(ServerConfig {
-            max_batch: 4,
-            pad_batches,
-            ..ServerConfig::default()
-        });
+        let mut server = Server::new(
+            ServerConfig::default()
+                .max_batch(4)
+                .pad_batches(pad_batches),
+        );
         server.register("gpt", Box::new(gpt(7)));
-        let handle = server.start();
+        let handle = server.start().expect("valid config");
         let got = run_burst(&handle, "gpt", &requests);
         for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
             assert_bits_eq(g, w, &format!("pad={pad_batches}, request {i}"));
@@ -156,11 +355,7 @@ fn mixed_zoo_serving_matches_per_request_serial_execution() {
     let build_dense = |rng: &mut StdRng| DenseGemm::new(rng, 48, 24, QuantConfig::fp32());
     // One RNG stream builds the served copies, an identically seeded one
     // builds the reference copies.
-    let mut server = Server::new(ServerConfig {
-        workers: 2,
-        max_batch: 4,
-        ..ServerConfig::default()
-    });
+    let mut server = Server::new(ServerConfig::default().workers(2).max_batch(4));
     server.register("bert", Box::new(build_bert(&mut rng)));
     server.register("vit", Box::new(build_vit(&mut rng)));
     server.register("dense", Box::new(build_dense(&mut rng)));
@@ -198,7 +393,7 @@ fn mixed_zoo_serving_matches_per_request_serial_execution() {
         })
         .collect();
 
-    let handle = server.start();
+    let handle = server.start().expect("valid config");
     // Interleave submissions across models so the dispatcher has to keep
     // the groups apart.
     let mut pending: Vec<(usize, &str, Pending)> = Vec::new();
@@ -209,7 +404,13 @@ fn mixed_zoo_serving_matches_per_request_serial_execution() {
             ("dense", &dense_reqs),
         ] {
             let (cfg, input) = &reqs[i];
-            pending.push((i, name, handle.submit(name, *cfg, input.clone()).unwrap()));
+            pending.push((
+                i,
+                name,
+                handle
+                    .submit(Request::new(name, input.clone()).quant(*cfg))
+                    .unwrap(),
+            ));
         }
     }
     let want_bert = serial_reference(&mut ref_bert, &bert_reqs);
@@ -231,34 +432,24 @@ fn mixed_zoo_serving_matches_per_request_serial_execution() {
 #[test]
 fn weight_planes_are_shared_across_requests_and_formats() {
     let mut rng = StdRng::seed_from_u64(33);
-    let mut server = Server::new(ServerConfig {
-        max_batch: 4,
-        ..ServerConfig::default()
-    });
+    let mut server = Server::new(ServerConfig::default().max_batch(4));
     server.register(
         "dense",
         Box::new(DenseGemm::new(&mut rng, 64, 32, QuantConfig::fp32())),
     );
-    let handle = server.start();
+    let handle = server.start().expect("valid config");
     let w6 = QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6);
     let w9 = QuantConfig::weights_activations(TensorFormat::MX9, TensorFormat::MX9);
     let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.07).cos()).collect();
+    let req = |cfg: QuantConfig| Request::new("dense", RequestInput::Pixels(x.clone())).quant(cfg);
     // Warm both weight formats' planes (at most one pack each).
-    let warm6 = handle
-        .infer("dense", w6, RequestInput::Pixels(x.clone()))
-        .unwrap();
-    let warm9 = handle
-        .infer("dense", w9, RequestInput::Pixels(x.clone()))
-        .unwrap();
+    let warm6 = handle.infer(req(w6)).unwrap();
+    let warm9 = handle.infer(req(w9)).unwrap();
     let before = handle.stats();
     // Steady state: alternating formats hammer the same two planes.
     for round in 0..10 {
-        let y6 = handle
-            .infer("dense", w6, RequestInput::Pixels(x.clone()))
-            .unwrap();
-        let y9 = handle
-            .infer("dense", w9, RequestInput::Pixels(x.clone()))
-            .unwrap();
+        let y6 = handle.infer(req(w6)).unwrap();
+        let y9 = handle.infer(req(w9)).unwrap();
         assert_bits_eq(&y6, &warm6, &format!("MX6 round {round}"));
         assert_bits_eq(&y9, &warm9, &format!("MX9 round {round}"));
     }
@@ -302,12 +493,9 @@ fn forced_backend_server_runs_are_bit_identical_end_to_end() {
         if let Some(b) = backend {
             assert_eq!(kernel_backend_name(), b.name(), "force must stick");
         }
-        let mut server = Server::new(ServerConfig {
-            max_batch: 3,
-            ..ServerConfig::default()
-        });
+        let mut server = Server::new(ServerConfig::default().max_batch(3));
         server.register("gpt", Box::new(gpt(1234)));
-        let handle = server.start();
+        let handle = server.start().expect("valid config");
         let got = run_burst(&handle, "gpt", &requests);
         handle.shutdown();
         got
@@ -328,13 +516,9 @@ fn concurrent_clients_get_bit_identical_answers() {
         .map(|i| (mx6(), RequestInput::Tokens(tokens(500 + i, seq))))
         .collect();
     let want = serial_reference(&mut gpt(99), &requests);
-    let mut server = Server::new(ServerConfig {
-        workers: 2,
-        max_batch: 4,
-        ..ServerConfig::default()
-    });
+    let mut server = Server::new(ServerConfig::default().workers(2).max_batch(4));
     server.register("gpt", Box::new(gpt(99)));
-    let handle = server.start();
+    let handle = server.start().expect("valid config");
     // 8 synchronous client threads, each re-asking its own question.
     std::thread::scope(|s| {
         for (i, (cfg, input)) in requests.iter().enumerate() {
@@ -342,7 +526,9 @@ fn concurrent_clients_get_bit_identical_answers() {
             let want = &want[i];
             s.spawn(move || {
                 for round in 0..3 {
-                    let got = handle.infer("gpt", *cfg, input.clone()).unwrap();
+                    let got = handle
+                        .infer(Request::new("gpt", input.clone()).quant(*cfg))
+                        .unwrap();
                     assert_bits_eq(&got, want, &format!("client {i} round {round}"));
                 }
             });

@@ -90,6 +90,16 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Why a [`Sender::try_send`] refused the value (handed back in both
+    /// cases, matching upstream).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity right now.
+        Full(T),
+        /// Every receiver has disconnected.
+        Disconnected(T),
+    }
+
     struct State<T> {
         queue: VecDeque<T>,
         /// `None` = unbounded.
@@ -168,6 +178,25 @@ pub mod channel {
                         state = self.shared.on_space.wait(state).expect("channel poisoned");
                     }
                     _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.on_item.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues `value` only if it fits right now: a full bounded
+        /// channel returns [`TrySendError::Full`] instead of blocking —
+        /// the primitive behind load-shedding admission control.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = state.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
                 }
             }
             state.queue.push_back(value);
@@ -314,8 +343,26 @@ mod tests {
 
 #[cfg(test)]
 mod channel_tests {
-    use super::channel::{bounded, unbounded, RecvError, TryRecvError};
+    use super::channel::{bounded, unbounded, RecvError, TryRecvError, TrySendError};
     use super::thread;
+
+    #[test]
+    fn try_send_sheds_when_full_and_reports_disconnect() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1u32), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        // Unbounded channels never report Full.
+        let (utx, urx) = unbounded();
+        for i in 0..64 {
+            assert_eq!(utx.try_send(i), Ok(()));
+        }
+        drop(urx);
+        assert_eq!(utx.try_send(64), Err(TrySendError::Disconnected(64)));
+    }
 
     #[test]
     fn fifo_order_and_disconnect_drain() {
