@@ -1,0 +1,99 @@
+//! `plan_overhead` — the acceptance benchmark for compiled execution
+//! plans: the same forward, dynamic layer-walk vs `CompiledPlan::execute`
+//! over a warm arena, plus the one-time plan-compile cost the cache
+//! amortizes.
+//!
+//! - `plan_dense_m{1,32}/dynamic` — `DenseGemm::forward_batch`, i.e. the
+//!   per-call qflow path: format gating, generation-keyed plane-cache
+//!   lookups, activation staging allocation;
+//! - `plan_dense_m{1,32}/planned` — the same product through a compiled
+//!   plan: the weight plane is pinned on the plan, the gate ran at plan
+//!   time, and scratch comes from the caller's arena — steady state does
+//!   zero planning/gating/allocation beyond the arena;
+//! - `plan_gpt/{dynamic,planned}` — the end-to-end gap on a full
+//!   transformer forward (embed → blocks → head), where per-layer
+//!   bookkeeping amortizes over much larger GEMMs;
+//! - `plan_gpt/compile` — building the plan itself (lowering, plane
+//!   pinning, liveness layout): the one-time cost a cache hit skips.
+//!
+//! Both paths read the same process-wide thread default internally, so the
+//! comparison is apples to apples at any core count; the results tables
+//! are recorded on 1 core where the fixed per-call overhead is the largest
+//! share of the small-M runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mx_models::gpt::{Gpt, GptConfig};
+use mx_models::zoo::{BatchModel, DenseGemm, ZooInput};
+use mx_nn::plan::{PlanArena, PlanInput};
+use mx_nn::qflow::QuantConfig;
+use mx_nn::TensorFormat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The serving-shaped dense layer: model width into a 4× FFN expansion
+/// (matches the `inference_small_m_*` groups).
+const K: usize = 512;
+const N: usize = 2048;
+
+fn mx6() -> QuantConfig {
+    QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6)
+}
+
+fn pixels(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i + salt) as f32 * 0.137).sin())
+        .collect()
+}
+
+fn plan_dense(c: &mut Criterion) {
+    let cfg = mx6();
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut layer = DenseGemm::new(&mut rng, K, N, cfg);
+    for m in [1usize, 32] {
+        let x = pixels(m * K, m);
+        let plan = layer.compile_plan(cfg, m, K).expect("plannable");
+        let mut arena = PlanArena::new();
+        let _ = plan.execute(PlanInput::Pixels(&x), &mut arena); // warm the arena
+        let mut group = c.benchmark_group(format!("plan_dense_m{m}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements((m * N * K) as u64));
+        group.bench_function("dynamic", |bench| {
+            bench.iter(|| black_box(layer.forward_batch(ZooInput::Pixels(&x), m)))
+        });
+        group.bench_function("planned", |bench| {
+            bench.iter(|| black_box(plan.execute(PlanInput::Pixels(&x), &mut arena).unwrap()))
+        });
+        group.finish();
+    }
+}
+
+fn plan_gpt(c: &mut Criterion) {
+    let cfg = mx6();
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut gpt = Gpt::new(&mut rng, GptConfig::tiny(), cfg);
+    let t = BatchModel::input_len(&gpt);
+    let batch = 4;
+    let toks: Vec<usize> = (0..batch * t)
+        .map(|i| (i * 13 + 5) % mx_models::data::LM_VOCAB)
+        .collect();
+    let plan = gpt.compile_plan(cfg, batch, t).expect("plannable");
+    let mut arena = PlanArena::new();
+    let _ = plan.execute(PlanInput::Tokens(&toks), &mut arena);
+    let mut group = c.benchmark_group("plan_gpt");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((batch * t) as u64));
+    group.bench_function("dynamic", |bench| {
+        bench.iter(|| black_box(gpt.forward_batch(ZooInput::Tokens(&toks), batch)))
+    });
+    group.bench_function("planned", |bench| {
+        bench.iter(|| black_box(plan.execute(PlanInput::Tokens(&toks), &mut arena).unwrap()))
+    });
+    group.bench_function("compile", |bench| {
+        bench.iter(|| black_box(gpt.compile_plan(cfg, batch, t).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, plan_dense, plan_gpt);
+criterion_main!(benches);

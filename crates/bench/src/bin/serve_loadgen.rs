@@ -381,6 +381,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "weight planes: {} packs performed, {} avoided via the shared cache",
         stats.packs_performed, stats.packs_avoided
     );
+    println!(
+        "execution plans: {} compiled, {} cache hits, {} prepacks hoisted, {} arena bytes",
+        stats.plans_compiled, stats.plan_cache_hits, stats.prepack_hoists, stats.plan_arena_bytes
+    );
     handle.shutdown();
     Ok(())
 }

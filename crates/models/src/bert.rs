@@ -9,6 +9,7 @@ use mx_nn::layers::{Embedding, Layer, LayerNorm, Linear};
 use mx_nn::loss::softmax_cross_entropy;
 use mx_nn::optim::Adam;
 use mx_nn::param::{HasParams, Param};
+use mx_nn::plan::{CompiledPlan, Loc, PlanError, Planner, Stage};
 use mx_nn::qflow::QuantConfig;
 use mx_nn::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -59,6 +60,34 @@ impl BertQa {
     /// Context length the model was built for.
     pub fn seq_len(&self) -> usize {
         self.seq_len
+    }
+
+    /// Lowers the inference forward into a [`CompiledPlan`] for a
+    /// `batch × t` bucket under `cfg` — the same skeleton as the GPT
+    /// lowering (embed → shared block template → final norm + head), with
+    /// non-causal attention and the two-logit span head.
+    pub fn compile_plan(
+        &self,
+        cfg: QuantConfig,
+        batch: usize,
+        t: usize,
+    ) -> Result<CompiledPlan, PlanError> {
+        if batch == 0 || t == 0 || t > self.seq_len {
+            return Err(PlanError::Unsupported("bucket outside the encoder window"));
+        }
+        let d = self.d_model;
+        let rows = batch * t;
+        let mut p = Planner::new();
+        p.embed_stage(&self.tok_emb, &self.pos_emb, rows, t)?;
+        for blk in &self.blocks {
+            p.transformer_block_stage(blk, cfg, batch, t)?;
+        }
+        let mut s = Stage::new(rows * d, rows * 2);
+        let normed = s.alloc(rows * d);
+        s.norm(&self.ln, Loc::In, normed, rows);
+        s.gemm(&self.span_head, normed, Loc::Out, rows, cfg, None)?;
+        p.push_stage(s);
+        p.finish()
     }
 
     /// Returns per-token `(start_logits, end_logits)` rows `[batch*seq, 2]`

@@ -9,6 +9,7 @@ use mx_nn::layers::{Embedding, Layer, LayerNorm, Linear};
 use mx_nn::loss::softmax_cross_entropy;
 use mx_nn::optim::Adam;
 use mx_nn::param::{HasParams, Param};
+use mx_nn::plan::{CompiledPlan, Loc, PlanError, Planner, Stage};
 use mx_nn::qflow::{quantized_matmul, QuantConfig};
 use mx_nn::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -273,6 +274,41 @@ impl Gpt {
             m.0.set_quant(qcfg);
         }
         self.head.set_quant(qcfg);
+    }
+
+    /// Lowers the inference forward into a [`CompiledPlan`] for a
+    /// `batch × t` bucket under `cfg` (the config the server direct-casts
+    /// to before every batch). The N transformer blocks dedupe into one
+    /// template; the embedding tables and every weight plane are hoisted
+    /// at plan time. Mixture-of-experts variants are unplannable (top-1
+    /// routing is data-dependent) and fail with a typed error.
+    pub fn compile_plan(
+        &self,
+        cfg: QuantConfig,
+        batch: usize,
+        t: usize,
+    ) -> Result<CompiledPlan, PlanError> {
+        if self.moes.iter().any(|m| m.is_some()) {
+            return Err(PlanError::Unsupported(
+                "mixture-of-experts routing is data-dependent",
+            ));
+        }
+        if batch == 0 || t == 0 || t > self.config.seq_len {
+            return Err(PlanError::Unsupported("bucket outside the context window"));
+        }
+        let d = self.config.d_model;
+        let rows = batch * t;
+        let mut p = Planner::new();
+        p.embed_stage(&self.tok_emb, &self.pos_emb, rows, t)?;
+        for blk in &self.blocks {
+            p.transformer_block_stage(blk, cfg, batch, t)?;
+        }
+        let mut s = Stage::new(rows * d, rows * self.config.vocab);
+        let normed = s.alloc(rows * d);
+        s.norm(&self.ln_f, Loc::In, normed, rows);
+        s.gemm(&self.head, normed, Loc::Out, rows, cfg, None)?;
+        p.push_stage(s);
+        p.finish()
     }
 
     /// Forward pass over `tokens` (`batch × seq`, flattened), returning

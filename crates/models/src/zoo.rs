@@ -25,9 +25,23 @@ use crate::data::{IMAGE_SIDE, SHAPE_CLASSES};
 use crate::gpt::Gpt;
 use crate::vision::{ImageClassifier, TinyMobileNet, TinyResNet, TinyViT};
 use mx_nn::layers::{Layer, Linear};
+use mx_nn::param::HasParams;
+use mx_nn::plan::{CompiledPlan, Loc, PlanError, Planner, Stage};
 use mx_nn::qflow::QuantConfig;
 use mx_nn::tensor::Tensor;
 use rand::rngs::StdRng;
+
+/// Wrapping sum of every parameter tensor's generation counter — the
+/// weight-staleness token behind [`BatchModel::plan_token`]. Generations
+/// come from a process-global monotone counter, so any optimizer step or
+/// in-place weight edit strictly changes the sum: a cached
+/// [`CompiledPlan`] is valid exactly while the token it was compiled
+/// under still matches.
+fn weights_token<M: HasParams + ?Sized>(model: &mut M) -> u64 {
+    let mut acc = 0u64;
+    model.visit_params(&mut |p| acc = acc.wrapping_add(p.value.generation()));
+    acc
+}
 
 /// What a model's flattened request payload contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +130,31 @@ pub trait BatchModel: Send {
     ///
     /// Panics if the payload kind or length disagrees with the model.
     fn forward_batch(&mut self, input: ZooInput<'_>, batch: usize) -> Vec<f32>;
+
+    /// Lowers this model's inference forward into a [`CompiledPlan`] for a
+    /// `(cfg, batch, len)` bucket, with all weight prepacking, format
+    /// gating, and scratch layout done at compile time. `len` is the
+    /// per-request input length (always `input_len()` for fixed-length
+    /// models). The plan's output is bit-identical to
+    /// [`BatchModel::forward_batch`] after `set_quant(cfg)` — until a
+    /// weight mutation changes [`BatchModel::plan_token`]. The default is
+    /// a typed refusal so unplannable models fall back to the dynamic
+    /// path.
+    fn compile_plan(
+        &self,
+        _cfg: QuantConfig,
+        _batch: usize,
+        _len: usize,
+    ) -> Result<CompiledPlan, PlanError> {
+        Err(PlanError::Unsupported("no plan lowering for this model"))
+    }
+
+    /// Weight-staleness token: changes whenever any parameter tensor is
+    /// mutated (optimizer step, in-place edit). Plan caches key their
+    /// entries on this to invalidate stale plans.
+    fn plan_token(&mut self) -> u64 {
+        0
+    }
 }
 
 /// Validates a payload against the model's contract, returning the pixels.
@@ -172,6 +211,19 @@ impl BatchModel for Gpt {
         );
         self.forward(tokens, batch, false).into_data()
     }
+
+    fn compile_plan(
+        &self,
+        cfg: QuantConfig,
+        batch: usize,
+        len: usize,
+    ) -> Result<CompiledPlan, PlanError> {
+        Gpt::compile_plan(self, cfg, batch, len)
+    }
+
+    fn plan_token(&mut self) -> u64 {
+        weights_token(self)
+    }
 }
 
 impl BatchModel for BertQa {
@@ -212,6 +264,19 @@ impl BatchModel for BertQa {
         );
         self.span_logits(tokens, batch, false).into_data()
     }
+
+    fn compile_plan(
+        &self,
+        cfg: QuantConfig,
+        batch: usize,
+        len: usize,
+    ) -> Result<CompiledPlan, PlanError> {
+        BertQa::compile_plan(self, cfg, batch, len)
+    }
+
+    fn plan_token(&mut self) -> u64 {
+        weights_token(self)
+    }
 }
 
 /// The three image classifiers share one implementation: a request is one
@@ -239,6 +304,22 @@ macro_rules! impl_batch_model_for_classifier {
                 let px = expect_pixels(input, batch, self.input_len());
                 let x = Tensor::from_vec(px.to_vec(), &[batch, 1, IMAGE_SIDE, IMAGE_SIDE]);
                 self.logits(&x, false).into_data()
+            }
+
+            fn compile_plan(
+                &self,
+                cfg: QuantConfig,
+                batch: usize,
+                len: usize,
+            ) -> Result<CompiledPlan, PlanError> {
+                if len != IMAGE_SIDE * IMAGE_SIDE {
+                    return Err(PlanError::Unsupported("classifier input length is fixed"));
+                }
+                <$model>::compile_plan(self, cfg, batch)
+            }
+
+            fn plan_token(&mut self) -> u64 {
+                weights_token(self)
             }
         }
     )+};
@@ -297,6 +378,27 @@ impl BatchModel for DenseGemm {
         let px = expect_pixels(input, batch, self.input_len());
         let x = Tensor::from_vec(px.to_vec(), &[batch, self.input_len()]);
         self.layer.forward(&x, false).into_data()
+    }
+
+    fn compile_plan(
+        &self,
+        cfg: QuantConfig,
+        batch: usize,
+        len: usize,
+    ) -> Result<CompiledPlan, PlanError> {
+        if batch == 0 || len != self.layer.d_in() {
+            return Err(PlanError::Unsupported("dense layer input length is fixed"));
+        }
+        let mut p = Planner::new();
+        p.pixels_input(batch * len);
+        let mut s = Stage::new(batch * len, batch * self.layer.d_out());
+        s.gemm(&self.layer, Loc::In, Loc::Out, batch, cfg, None)?;
+        p.push_stage(s);
+        p.finish()
+    }
+
+    fn plan_token(&mut self) -> u64 {
+        weights_token(&mut self.layer)
     }
 }
 

@@ -23,11 +23,80 @@ fn slice_cols(t: &Tensor, start: usize, end: usize) -> Tensor {
 
 /// Per-(batch, head) cache for the backward pass.
 #[derive(Debug, Clone)]
-struct HeadCache {
+pub(crate) struct HeadCache {
     q: Tensor,
     k: Tensor,
     v: Tensor,
     probs: Tensor,
+}
+
+/// The head-mixing core of attention — per (batch, head): `softmax(Q·Kᵀ/√dh)`
+/// (optionally causally masked), cast to the element-wise format, times `V`,
+/// scattered back into a `[b·t, d]` concat.
+///
+/// Shared verbatim by [`MultiHeadAttention::forward`] and the `plan`
+/// executor's `AttnMix` node, which is what keeps planned execution
+/// bit-identical to the dynamic path. `caches` collects the per-head
+/// tensors the backward pass needs (training only; the plan path passes
+/// `None`). The geometry/format sextet genuinely varies per call site.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn attention_mix(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    b: usize,
+    t: usize,
+    n_heads: usize,
+    causal: bool,
+    fwd: crate::format::TensorFormat,
+    elem: crate::format::TensorFormat,
+    mut caches: Option<&mut Vec<HeadCache>>,
+) -> Tensor {
+    let d = q.cols();
+    let dh = d / n_heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut concat = Tensor::zeros(&[b * t, d]);
+    for bi in 0..b {
+        let q_b = q.slice_rows(bi * t, (bi + 1) * t);
+        let k_b = k.slice_rows(bi * t, (bi + 1) * t);
+        let v_b = v.slice_rows(bi * t, (bi + 1) * t);
+        for h in 0..n_heads {
+            let q_h = slice_cols(&q_b, h * dh, (h + 1) * dh);
+            let k_h = slice_cols(&k_b, h * dh, (h + 1) * dh);
+            let v_h = slice_cols(&v_b, h * dh, (h + 1) * dh);
+            // Scores: Q·Kᵀ is a tensor op -> quantized operands.
+            let mut scores = quantized_matmul(&q_h, &k_h.transpose2d(), fwd).scale(scale);
+            if causal {
+                // One data_mut borrow for the whole mask (each call
+                // bumps the tensor generation).
+                let s = scores.data_mut();
+                for i in 0..t {
+                    for j in (i + 1)..t {
+                        s[i * t + j] = -1e9;
+                    }
+                }
+            }
+            let probs = cast_elementwise(&scores.softmax_rows(), elem);
+            // Context: P·V is a tensor op -> quantized operands.
+            let out_h = quantized_matmul(&probs, &v_h, fwd);
+            let cdata = concat.data_mut();
+            for r in 0..t {
+                let dst_row = bi * t + r;
+                for c in 0..dh {
+                    cdata[dst_row * d + h * dh + c] = out_h.data()[r * dh + c];
+                }
+            }
+            if let Some(caches) = caches.as_deref_mut() {
+                caches.push(HeadCache {
+                    q: q_h,
+                    k: k_h,
+                    v: v_h,
+                    probs,
+                });
+            }
+        }
+    }
+    concat
 }
 
 /// Multi-head self-attention with optional causal masking.
@@ -82,59 +151,40 @@ impl MultiHeadAttention {
     /// Forward over `x` of shape `[batch, seq, d_model]`.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        let dh = d / self.n_heads;
-        let scale = 1.0 / (dh as f32).sqrt();
         let x2d = x.reshape(&[b * t, d]);
         let q = self.wq.forward(&x2d, train);
         let k = self.wk.forward(&x2d, train);
         let v = self.wv.forward(&x2d, train);
-        let mut concat = Tensor::zeros(&[b * t, d]);
         let mut caches = Vec::new();
-        for bi in 0..b {
-            let q_b = q.slice_rows(bi * t, (bi + 1) * t);
-            let k_b = k.slice_rows(bi * t, (bi + 1) * t);
-            let v_b = v.slice_rows(bi * t, (bi + 1) * t);
-            for h in 0..self.n_heads {
-                let q_h = slice_cols(&q_b, h * dh, (h + 1) * dh);
-                let k_h = slice_cols(&k_b, h * dh, (h + 1) * dh);
-                let v_h = slice_cols(&v_b, h * dh, (h + 1) * dh);
-                // Scores: Q·Kᵀ is a tensor op -> quantized operands.
-                let mut scores =
-                    quantized_matmul(&q_h, &k_h.transpose2d(), self.cfg.fwd).scale(scale);
-                if self.causal {
-                    // One data_mut borrow for the whole mask (each call
-                    // bumps the tensor generation).
-                    let s = scores.data_mut();
-                    for i in 0..t {
-                        for j in (i + 1)..t {
-                            s[i * t + j] = -1e9;
-                        }
-                    }
-                }
-                let probs = cast_elementwise(&scores.softmax_rows(), self.cfg.elementwise);
-                // Context: P·V is a tensor op -> quantized operands.
-                let out_h = quantized_matmul(&probs, &v_h, self.cfg.fwd);
-                let cdata = concat.data_mut();
-                for r in 0..t {
-                    let dst_row = bi * t + r;
-                    for c in 0..dh {
-                        cdata[dst_row * d + h * dh + c] = out_h.data()[r * dh + c];
-                    }
-                }
-                if train {
-                    caches.push(HeadCache {
-                        q: q_h,
-                        k: k_h,
-                        v: v_h,
-                        probs,
-                    });
-                }
-            }
-        }
+        let concat = attention_mix(
+            &q,
+            &k,
+            &v,
+            b,
+            t,
+            self.n_heads,
+            self.causal,
+            self.cfg.fwd,
+            self.cfg.elementwise,
+            train.then_some(&mut caches),
+        );
         if train {
             self.cache = Some((caches, b, t));
         }
         self.wo.forward(&concat, train).reshape(&[b, t, d])
+    }
+
+    /// `(wq, wk, wv, wo, n_heads, causal)` — what the `plan` module needs to
+    /// lower this attention into projection GEMMs plus an `AttnMix` node.
+    pub(crate) fn plan_parts(&self) -> (&Linear, &Linear, &Linear, &Linear, usize, bool) {
+        (
+            &self.wq,
+            &self.wk,
+            &self.wv,
+            &self.wo,
+            self.n_heads,
+            self.causal,
+        )
     }
 
     /// Backward from `grad` of shape `[batch, seq, d_model]`.
@@ -237,6 +287,23 @@ impl TransformerBlock {
         self.attn.set_quant(cfg);
         self.fc1.set_quant(cfg);
         self.fc2.set_quant(cfg);
+    }
+
+    /// `(ln1, attn, ln2, fc1, act, fc2)` — what the `plan` module needs to
+    /// lower one pre-norm block into a shared node template.
+    pub(crate) fn plan_parts(
+        &self,
+    ) -> (
+        &LayerNorm,
+        &MultiHeadAttention,
+        &LayerNorm,
+        &Linear,
+        &ActivationLayer,
+        &Linear,
+    ) {
+        (
+            &self.ln1, &self.attn, &self.ln2, &self.fc1, &self.act, &self.fc2,
+        )
     }
 
     /// Forward over `[batch, seq, d_model]`.

@@ -10,6 +10,38 @@ use crate::tensor::Tensor;
 use crate::{init, layers::Layer};
 use rand::rngs::StdRng;
 
+/// Stride-1, same-padding im2col lowering of one `[in_ch, h, w]` image into
+/// `[h·w, in_ch·k·k]` patch rows. The one implementation behind both
+/// [`Conv2d`]'s forward pass and the `plan` executor's `Conv` node — sharing
+/// it keeps planned and dynamic convolutions bit-identical.
+pub(crate) fn im2col(x: &[f32], in_ch: usize, k: usize, pad: usize, h: usize, w: usize) -> Tensor {
+    let pad = pad as isize;
+    let (oh, ow) = (h, w); // stride 1, same padding
+    let patch = in_ch * k * k;
+    let mut out = vec![0.0f32; oh * ow * patch];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = (oy * ow + ox) * patch;
+            let mut idx = row;
+            for c in 0..in_ch {
+                for ky in 0..k {
+                    let iy = oy as isize + ky as isize - pad;
+                    for kx in 0..k {
+                        let ix = ox as isize + kx as isize - pad;
+                        out[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            x[c * h * w + iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[oh * ow, patch])
+}
+
 /// 2-D convolution with square kernels, stride 1, and symmetric zero
 /// padding.
 #[derive(Debug, Clone)]
@@ -44,32 +76,13 @@ impl Conv2d {
     }
 
     fn im2col(&self, x: &[f32], h: usize, w: usize) -> Tensor {
-        let k = self.k;
-        let pad = self.pad as isize;
-        let (oh, ow) = (h, w); // stride 1, same padding
-        let patch = self.in_ch * k * k;
-        let mut out = vec![0.0f32; oh * ow * patch];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = (oy * ow + ox) * patch;
-                let mut idx = row;
-                for c in 0..self.in_ch {
-                    for ky in 0..k {
-                        let iy = oy as isize + ky as isize - pad;
-                        for kx in 0..k {
-                            let ix = ox as isize + kx as isize - pad;
-                            out[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                x[c * h * w + iy as usize * w + ix as usize]
-                            } else {
-                                0.0
-                            };
-                            idx += 1;
-                        }
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(out, &[oh * ow, patch])
+        im2col(x, self.in_ch, self.k, self.pad, h, w)
+    }
+
+    /// `(in_ch, out_ch, kernel, pad)` — what the `plan` module needs to
+    /// lower this convolution into a `Conv` node.
+    pub(crate) fn plan_parts(&self) -> (usize, usize, usize, usize) {
+        (self.in_ch, self.out_ch, self.k, self.pad)
     }
 
     fn col2im(&self, cols: &Tensor, h: usize, w: usize) -> Vec<f32> {

@@ -106,27 +106,52 @@ pub enum Axis {
 /// assert_ne!(row_q.data(), col_q.data());
 /// ```
 pub fn quantize_along(t: &Tensor, format: TensorFormat, axis: Axis) -> Tensor {
-    match format {
-        TensorFormat::Fp32 => t.clone(),
-        TensorFormat::Bf16 => t.map(|x| ScalarFormat::BF16.cast(x)),
-        TensorFormat::ScalarScaled(f) => {
-            let amax = t.amax();
-            if amax == 0.0 {
-                return t.clone();
-            }
-            let s = amax as f64 / f.max_finite() as f64;
-            t.map(|x| (f.cast((x as f64 / s) as f32) as f64 * s) as f32)
-        }
-        TensorFormat::Bdr(fmt) => {
-            let engine = QuantEngine::auto(fmt);
+    match (format, axis) {
+        (TensorFormat::Fp32, _) => t.clone(),
+        (TensorFormat::Bdr(fmt), Axis::Col) => {
             let cols = t.cols();
             let mut out = t.clone();
-            match axis {
-                Axis::Row => engine.quantize_dequantize_rows(out.data_mut(), cols),
-                Axis::Col => engine.quantize_dequantize_cols(out.data_mut(), cols),
-            }
+            QuantEngine::auto(fmt).quantize_dequantize_cols(out.data_mut(), cols);
             out
         }
+        // Scalar formats are direction-free and BDR row-axis quantization is
+        // the row kernel: all of them share the slice-level cast the plan
+        // executor also runs, so planned and dynamic outputs cannot drift.
+        _ => {
+            let cols = t.cols();
+            let mut out = t.clone();
+            cast_rows(out.data_mut(), cols, format);
+            out
+        }
+    }
+}
+
+/// Slice-level row-axis / element-wise cast: quantize-dequantizes `data`
+/// (viewed as rows of `cols` elements) through `format` in place.
+///
+/// This is the one implementation behind [`quantize_along`]'s row axis,
+/// [`cast_elementwise`], and the `plan` executor's fused cast steps —
+/// sharing it is what makes compiled plans bit-identical to the dynamic
+/// layer walk by construction.
+pub(crate) fn cast_rows(data: &mut [f32], cols: usize, format: TensorFormat) {
+    match format {
+        TensorFormat::Fp32 => {}
+        TensorFormat::Bf16 => {
+            for v in data.iter_mut() {
+                *v = ScalarFormat::BF16.cast(*v);
+            }
+        }
+        TensorFormat::ScalarScaled(f) => {
+            let amax = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            if amax == 0.0 {
+                return;
+            }
+            let s = amax as f64 / f.max_finite() as f64;
+            for v in data.iter_mut() {
+                *v = (f.cast((*v as f64 / s) as f32) as f64 * s) as f32;
+            }
+        }
+        TensorFormat::Bdr(fmt) => QuantEngine::auto(fmt).quantize_dequantize_rows(data, cols),
     }
 }
 

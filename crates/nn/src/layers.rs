@@ -128,7 +128,9 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, x: f32) -> f32 {
+    /// Scalar application, shared verbatim by the dynamic layer walk and the
+    /// `plan` executor's fused activation steps (bit-identity by sharing).
+    pub(crate) fn apply(self, x: f32) -> f32 {
         match self {
             Activation::Relu => x.max(0.0),
             Activation::Gelu => {
@@ -186,6 +188,12 @@ impl ActivationLayer {
             cached_x: None,
         }
     }
+
+    /// `(activation, element-wise format)` — what the `plan` module needs to
+    /// fuse this layer into the preceding GEMM node.
+    pub(crate) fn plan_parts(&self) -> (Activation, TensorFormat) {
+        (self.act, self.elem)
+    }
 }
 
 impl HasParams for ActivationLayer {
@@ -231,6 +239,38 @@ impl LayerNorm {
             cache: None,
         }
     }
+
+    /// `(epsilon, element-wise format)` — what the `plan` module needs to
+    /// lower this layer into a `Norm` node.
+    pub(crate) fn plan_parts(&self) -> (f32, TensorFormat) {
+        (self.eps, self.elem)
+    }
+}
+
+/// In-place row normalization (mean 0, variance 1 per `cols`-wide row),
+/// returning the per-row `1/std`. The one implementation behind both
+/// [`LayerNorm::forward`] and the `plan` executor's `Norm` node — sharing
+/// the exact accumulation order is what keeps the two paths bit-identical.
+pub(crate) fn normalize_rows(data: &mut [f32], cols: usize, eps: f32) -> Vec<f32> {
+    let mut inv_stds = Vec::with_capacity(data.len() / cols.max(1));
+    for row in data.chunks_mut(cols) {
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        inv_stds.push(inv_std);
+        for v in row.iter_mut() {
+            *v = (*v - mean) * inv_std;
+        }
+    }
+    inv_stds
+}
+
+/// In-place per-feature gain/bias (`v ← v·γ[i % cols] + β[i % cols]`), the
+/// second half of layer norm, shared with the `plan` executor.
+pub(crate) fn scale_shift_rows(data: &mut [f32], cols: usize, gamma: &[f32], beta: &[f32]) {
+    for (i, v) in data.iter_mut().enumerate() {
+        *v = *v * gamma[i % cols] + beta[i % cols];
+    }
 }
 
 impl HasParams for LayerNorm {
@@ -244,22 +284,14 @@ impl Layer for LayerNorm {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let n = x.cols();
         let mut normalized = x.clone();
-        let mut inv_stds = Vec::with_capacity(x.rows());
-        for row in normalized.data_mut().chunks_mut(n) {
-            let mean = row.iter().sum::<f32>() / n as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-            let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds.push(inv_std);
-            for v in row.iter_mut() {
-                *v = (*v - mean) * inv_std;
-            }
-        }
+        let inv_stds = normalize_rows(normalized.data_mut(), n, self.eps);
         let mut y = normalized.clone();
-        let g = self.gamma.value.data();
-        let b = self.beta.value.data();
-        for (i, v) in y.data_mut().iter_mut().enumerate() {
-            *v = *v * g[i % n] + b[i % n];
-        }
+        scale_shift_rows(
+            y.data_mut(),
+            n,
+            self.gamma.value.data(),
+            self.beta.value.data(),
+        );
         if train {
             self.cache = Some((normalized, inv_stds));
         }
@@ -324,6 +356,11 @@ impl Embedding {
     /// Quantizes rows on every lookup (storage-side quantization).
     pub fn set_format(&mut self, format: TensorFormat) {
         self.format = format;
+    }
+
+    /// The lookup-side storage format, for the `plan` module's table hoist.
+    pub(crate) fn plan_format(&self) -> TensorFormat {
+        self.format
     }
 
     /// Looks up `indices`, returning `[indices.len(), dim]`.

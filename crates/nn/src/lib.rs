@@ -54,6 +54,7 @@ pub mod layers;
 pub mod loss;
 pub mod optim;
 pub mod param;
+pub mod plan;
 pub mod qflow;
 pub mod rnn;
 pub mod tensor;

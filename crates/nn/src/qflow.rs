@@ -293,8 +293,9 @@ pub fn quantized_matmul_ab(a: &Tensor, b: &Tensor, fa: TensorFormat, fb: TensorF
 /// caches.)
 ///
 /// Hits and packs are tallied in the process-wide counters behind
-/// [`plane_cache_counters`].
-fn weight_plane(
+/// [`plane_cache_counters`]. `pub(crate)` so the `plan` module can pin the
+/// same planes (same cache, same bits) at plan-compile time.
+pub(crate) fn weight_plane(
     b: &Tensor,
     fa: BdrFormat,
     fb: BdrFormat,

@@ -81,10 +81,12 @@ pub use stats::ServeStats;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use mx_models::zoo::{BatchModel, InputKind, ZooInput};
+use mx_nn::plan::{CompiledPlan, PlanArena, PlanInput};
 use mx_nn::qflow::QuantConfig;
 use stats::StatsInner;
+use std::cell::RefCell;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -218,6 +220,50 @@ struct Batch {
     jobs: Vec<Job>,
 }
 
+/// Whether workers execute batches through compiled plans (the `MX_PLAN`
+/// knob; default on — `0` / `off` / `false` falls back to the dynamic
+/// layer-walk everywhere, which is bit-identical but repays per-batch
+/// planning, gating, and allocation).
+fn plan_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            mx_core::knobs::raw("MX_PLAN").as_deref(),
+            Some("0" | "off" | "false")
+        )
+    })
+}
+
+/// Soft cap on cached plans per model: `formats × buckets` in practice is
+/// far below this; the cap only bounds a pathological client that cycles
+/// through many distinct configs.
+const PLAN_CACHE_CAP: usize = 32;
+
+thread_local! {
+    /// Per-worker plan scratch arena, reused across batches so steady-state
+    /// plan execution performs no allocation beyond the arena's first
+    /// growth to a model's high-water mark.
+    static PLAN_ARENA: RefCell<PlanArena> = RefCell::new(PlanArena::new());
+}
+
+/// State of one plan-cache slot. `Failed` is negative caching: a key the
+/// model cannot lower (unsupported format pair, data-dependent routing) is
+/// probed once and then served dynamically without re-planning per batch.
+enum PlanState {
+    /// A compiled plan plus the weight-generation token it was built at.
+    Ready { plan: Arc<CompiledPlan>, token: u64 },
+    /// Plan compilation failed for this key; use the dynamic path.
+    Failed,
+}
+
+/// One cached plan keyed by `(QuantConfig, bucket len, padded batch)`.
+struct PlanSlot {
+    cfg: QuantConfig,
+    len: usize,
+    eff: usize,
+    state: PlanState,
+}
+
 /// A registered model plus the request contract captured at
 /// [`Server::start`].
 struct ModelEntry {
@@ -235,6 +281,10 @@ struct ModelEntry {
     /// model.
     out_for: Vec<usize>,
     model: Mutex<Box<dyn BatchModel>>,
+    /// Compiled-plan cache: one slot per `(cfg, bucket, padded batch)` key
+    /// this model has served. Stale slots (weight-generation token moved)
+    /// are evicted and recompiled on the next batch.
+    plans: Mutex<Vec<PlanSlot>>,
 }
 
 /// A server under construction: register models, then [`Server::start`].
@@ -315,6 +365,7 @@ impl Server {
                     admitted,
                     out_for,
                     model: Mutex::new(model),
+                    plans: Mutex::new(Vec::new()),
                 }
             })
             .collect();
@@ -513,7 +564,7 @@ fn execute_batch(
         return;
     }
     let started = Instant::now();
-    let result = run_batch(&batch, registry, config);
+    let result = run_batch(&batch, registry, stats, config);
     let service = started.elapsed();
     // Publish telemetry *before* answering: a synchronous client that just
     // got its response must see itself counted in the next snapshot.
@@ -546,6 +597,7 @@ fn execute_batch(
 fn run_batch(
     batch: &Batch,
     registry: &[ModelEntry],
+    stats: &StatsInner,
     config: &ServerConfig,
 ) -> Result<Vec<Vec<f32>>, ServeError> {
     let entry = registry.get(batch.model).ok_or(ServeError::Disconnected)?; // index minted at submit; defensive
@@ -575,7 +627,14 @@ fn run_batch(
                 buf.extend_from_slice(t);
             }
             buf.resize(eff * per_in, 0);
-            forward_guarded(entry, batch.cfg, ZooInput::Tokens(&buf), eff)?
+            forward_guarded(
+                entry,
+                batch.cfg,
+                ZooInput::Tokens(&buf),
+                batch.len,
+                eff,
+                stats,
+            )?
         }
         InputKind::Pixels => {
             let mut buf = Vec::with_capacity(eff * per_in);
@@ -590,7 +649,14 @@ fn run_batch(
                 buf.extend_from_slice(p);
             }
             buf.resize(eff * per_in, 0.0);
-            forward_guarded(entry, batch.cfg, ZooInput::Pixels(&buf), eff)?
+            forward_guarded(
+                entry,
+                batch.cfg,
+                ZooInput::Pixels(&buf),
+                batch.len,
+                eff,
+                stats,
+            )?
         }
     };
     let per_out = batch.out_len;
@@ -608,16 +674,19 @@ fn run_batch(
     Ok(out.chunks(per_out).take(n).map(<[f32]>::to_vec).collect())
 }
 
-/// Locks the model and runs `set_quant` + `forward_batch` with a panic
-/// guard. A panic inside the model poisons its mutex (the guard is moved
-/// into the unwinding closure and dropped mid-panic), so later batches for
-/// the same model fail fast with [`ServeError::ModelPanicked`] while the
-/// worker — and every other model — keeps running.
+/// Locks the model and runs `set_quant` + the planned (or dynamic)
+/// forward with a panic guard. A panic inside the model poisons its mutex
+/// (the guard is moved into the unwinding closure and dropped mid-panic),
+/// so later batches for the same model fail fast with
+/// [`ServeError::ModelPanicked`] while the worker — and every other model
+/// — keeps running.
 fn forward_guarded(
     entry: &ModelEntry,
     cfg: QuantConfig,
     input: ZooInput<'_>,
+    len: usize,
     eff: usize,
+    stats: &StatsInner,
 ) -> Result<Vec<f32>, ServeError> {
     let Ok(guard) = entry.model.lock() else {
         return Err(ServeError::ModelPanicked {
@@ -630,11 +699,100 @@ fn forward_guarded(
         // Weights are untouched, so each format's cached weight plane stays
         // warm across config switches.
         model.set_quant(cfg);
+        if let Some(out) = planned_forward(entry, &mut **model, cfg, &input, len, eff, stats) {
+            return out;
+        }
         model.forward_batch(input, eff)
     }))
     .map_err(|_| ServeError::ModelPanicked {
         model: entry.name.clone(),
     })
+}
+
+/// Executes the batch through the model's compiled-plan cache. `None`
+/// means "take the dynamic layer-walk" — the knob is off, the key is
+/// unplannable, or the plan failed at execute time; correctness never
+/// depends on the planner, only steady-state overhead does.
+///
+/// Called with the model mutex held, so the weight-generation token, the
+/// cache lookup, and any recompile are atomic with respect to other
+/// batches of the same model.
+#[allow(clippy::too_many_arguments)] // mirrors forward_guarded's signature
+fn planned_forward(
+    entry: &ModelEntry,
+    model: &mut dyn BatchModel,
+    cfg: QuantConfig,
+    input: &ZooInput<'_>,
+    len: usize,
+    eff: usize,
+    stats: &StatsInner,
+) -> Option<Vec<f32>> {
+    if !plan_enabled() {
+        return None;
+    }
+    let token = model.plan_token();
+    let mut plans = entry.plans.lock().unwrap_or_else(|p| p.into_inner());
+    // Evict a slot whose weights moved since compilation (an optimizer
+    // step, a hot-swap): the recompile below picks up the new weights.
+    if let Some(i) = plans
+        .iter()
+        .position(|s| s.cfg == cfg && s.len == len && s.eff == eff)
+    {
+        let stale = matches!(
+            plans.get(i).map(|s| &s.state),
+            Some(PlanState::Ready { token: t, .. }) if *t != token
+        );
+        if stale {
+            plans.swap_remove(i);
+        }
+    }
+    let plan = match plans
+        .iter()
+        .find(|s| s.cfg == cfg && s.len == len && s.eff == eff)
+    {
+        Some(slot) => match &slot.state {
+            PlanState::Ready { plan, .. } => {
+                stats.record_plan_hit();
+                Arc::clone(plan)
+            }
+            PlanState::Failed => return None,
+        },
+        None => {
+            if plans.len() >= PLAN_CACHE_CAP {
+                plans.remove(0); // oldest-first soft eviction
+            }
+            match model.compile_plan(cfg, eff, len) {
+                Ok(plan) => {
+                    let plan = Arc::new(plan);
+                    plans.push(PlanSlot {
+                        cfg,
+                        len,
+                        eff,
+                        state: PlanState::Ready {
+                            plan: Arc::clone(&plan),
+                            token,
+                        },
+                    });
+                    plan
+                }
+                Err(_) => {
+                    plans.push(PlanSlot {
+                        cfg,
+                        len,
+                        eff,
+                        state: PlanState::Failed,
+                    });
+                    return None;
+                }
+            }
+        }
+    };
+    drop(plans);
+    let pin = match input {
+        ZooInput::Tokens(t) => PlanInput::Tokens(t),
+        ZooInput::Pixels(p) => PlanInput::Pixels(p),
+    };
+    PLAN_ARENA.with(|arena| plan.execute(pin, &mut arena.borrow_mut()).ok())
 }
 
 /// Client handle to a running server: submit requests (from any thread —

@@ -46,6 +46,12 @@ pub(crate) struct StatsInner {
     latencies: Mutex<LatencyRing>,
     /// `(hits, packs)` baseline at server start.
     packs_baseline: (u64, u64),
+    /// Batches served straight from a model's compiled-plan cache.
+    plan_hits: AtomicU64,
+    /// `(plans compiled, prepack hoists, arena bytes)` baseline at server
+    /// start — the process-wide `mx_nn::plan` counters, snapshotted so the
+    /// reported numbers are deltas attributable to this server.
+    plans_baseline: (u64, u64, u64),
 }
 
 struct LatencyRing {
@@ -70,7 +76,15 @@ impl StatsInner {
                 next: 0,
             }),
             packs_baseline: mx_nn::qflow::plane_cache_counters(),
+            plan_hits: AtomicU64::new(0),
+            plans_baseline: mx_nn::plan::plan_counters(),
         }
+    }
+
+    /// Counts one batch served from the compiled-plan cache (no planning,
+    /// gating, or allocation beyond the worker's arena).
+    pub(crate) fn record_plan_hit(&self) {
+        self.plan_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Marks `n` requests admitted onto `shard` (submit side).
@@ -188,6 +202,7 @@ impl StatsInner {
             .clone();
         sorted.sort_unstable();
         let (hits, packs) = mx_nn::qflow::plane_cache_counters();
+        let (plans, hoists, arena) = mx_nn::plan::plan_counters();
         ServeStats {
             queue_depth: self.in_flight.load(Ordering::Relaxed),
             shard_depths: self
@@ -205,6 +220,10 @@ impl StatsInner {
             p999_latency_us: percentile_permille(&sorted, 999),
             packs_avoided: hits.saturating_sub(self.packs_baseline.0),
             packs_performed: packs.saturating_sub(self.packs_baseline.1),
+            plans_compiled: plans.saturating_sub(self.plans_baseline.0),
+            plan_cache_hits: self.plan_hits.load(Ordering::Relaxed),
+            prepack_hoists: hoists.saturating_sub(self.plans_baseline.1),
+            plan_arena_bytes: arena.saturating_sub(self.plans_baseline.2),
         }
     }
 }
@@ -258,6 +277,19 @@ pub struct ServeStats {
     /// Weight code-plane packs actually performed since the server started
     /// (ideally: one per model × weight-format pair).
     pub packs_performed: u64,
+    /// Execution plans compiled since the server started (ideally: one per
+    /// model × config × bucket key ever served).
+    pub plans_compiled: u64,
+    /// Batches served straight from a model's compiled-plan cache — the
+    /// steady-state path that does zero planning, gating, or allocation
+    /// beyond the per-worker arena.
+    pub plan_cache_hits: u64,
+    /// Weight-side `pack_cols` lowerings hoisted to plan time since the
+    /// server started (each one removed from every subsequent batch).
+    pub prepack_hoists: u64,
+    /// Scratch-arena bytes laid out by plan compilation since the server
+    /// started (liveness-ordered high-water total, not live memory).
+    pub plan_arena_bytes: u64,
 }
 
 impl ServeStats {
@@ -309,6 +341,7 @@ mod tests {
         s.admitted(0, 1);
         s.record_shed();
         s.record_expired(2);
+        s.record_plan_hit();
         let snap = s.snapshot();
         assert_eq!(snap.queue_depth, 1);
         assert_eq!(snap.shard_depths, vec![1, 0]);
@@ -321,6 +354,10 @@ mod tests {
         assert_eq!(snap.p99_latency_us, 30);
         assert_eq!(snap.p999_latency_us, 30);
         assert!((snap.mean_batch_size() - 1.5).abs() < 1e-12);
+        // The hit counter is per-server; the compile/hoist/arena counters
+        // are process-wide deltas, so other tests in the same process may
+        // move them — only the local counter has an exact expectation.
+        assert_eq!(snap.plan_cache_hits, 1);
     }
 
     #[test]

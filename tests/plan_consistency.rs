@@ -1,0 +1,270 @@
+//! Bit-identity suite for compiled execution plans: for every zoo model ×
+//! preset format pair × batch bucket, executing the [`CompiledPlan`]
+//! produced by `BatchModel::compile_plan` must match the dynamic
+//! layer-walk (`forward_batch`) to the bit. Also covers the hoisted
+//! format-support gate (typed plan-time errors instead of silent per-call
+//! fallbacks), plan-cache invalidation via the weight-generation token,
+//! and concurrent execution of one shared plan from many threads with
+//! per-worker arenas.
+
+use mx::models::bert::BertQa;
+use mx::models::data;
+use mx::models::gpt::{Gpt, GptConfig};
+use mx::models::vision::{TinyMobileNet, TinyResNet, TinyViT};
+use mx::models::zoo::{BatchModel, DenseGemm, InputKind, ZooInput};
+use mx::nn::plan::{CompiledPlan, PlanArena, PlanError, PlanInput};
+use mx::nn::qflow::QuantConfig;
+use mx::nn::tensor::Tensor;
+use mx::nn::TensorFormat;
+use std::sync::Arc;
+
+/// The preset format pairs the serving layer direct-casts between.
+fn presets() -> Vec<QuantConfig> {
+    vec![
+        QuantConfig::fp32(),
+        QuantConfig::uniform(TensorFormat::MX9),
+        QuantConfig::uniform(TensorFormat::MX6),
+        QuantConfig::uniform(TensorFormat::MX4),
+        QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6),
+        QuantConfig::weights_activations(TensorFormat::MX4, TensorFormat::MX9),
+    ]
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert!(g.to_bits() == w.to_bits(), "{ctx}: element {i}: {g} vs {w}");
+    }
+}
+
+/// Builds the input payloads for one `(model, batch, len)` bucket.
+fn tokens_for(batch: usize, len: usize, vocab: usize, salt: usize) -> Vec<usize> {
+    (0..batch * len).map(|i| (i * 7 + salt) % vocab).collect()
+}
+
+fn pixels_for(batch: usize, len: usize, salt: usize) -> Vec<f32> {
+    (0..batch * len)
+        .map(|i| ((i + salt) as f32 * 0.173).sin())
+        .collect()
+}
+
+/// Runs every preset × bucket over one model, comparing planned vs dynamic
+/// bit for bit. `buckets` are `(batch, len)` pairs; `vocab` is `Some` for
+/// token models.
+fn check_model<M: BatchModel>(
+    model: &mut M,
+    name: &str,
+    buckets: &[(usize, usize)],
+    vocab: Option<usize>,
+) {
+    for cfg in presets() {
+        model.set_quant(cfg);
+        for &(batch, len) in buckets {
+            let ctx = format!("{name} cfg={cfg} batch={batch} len={len}");
+            let plan = model
+                .compile_plan(cfg, batch, len)
+                .unwrap_or_else(|e| panic!("{ctx}: compile failed: {e}"));
+            let mut arena = PlanArena::new();
+            let (dynamic, planned) = match vocab {
+                Some(v) => {
+                    let toks = tokens_for(batch, len, v, batch + len);
+                    (
+                        model.forward_batch(ZooInput::Tokens(&toks), batch),
+                        plan.execute(PlanInput::Tokens(&toks), &mut arena),
+                    )
+                }
+                None => {
+                    let px = pixels_for(batch, len, batch);
+                    (
+                        model.forward_batch(ZooInput::Pixels(&px), batch),
+                        plan.execute(PlanInput::Pixels(&px), &mut arena),
+                    )
+                }
+            };
+            let planned = planned.unwrap_or_else(|e| panic!("{ctx}: execute failed: {e}"));
+            assert_eq!(planned.len(), batch * model.output_len(len), "{ctx}");
+            assert_bits_eq(&planned, &dynamic, &ctx);
+            // A second execute over the warm arena must not drift.
+            let again = match vocab {
+                Some(v) => {
+                    let toks = tokens_for(batch, len, v, batch + len);
+                    plan.execute(PlanInput::Tokens(&toks), &mut arena)
+                }
+                None => {
+                    let px = pixels_for(batch, len, batch);
+                    plan.execute(PlanInput::Pixels(&px), &mut arena)
+                }
+            }
+            .expect("warm re-execute");
+            assert_bits_eq(&again, &dynamic, &format!("{ctx} (warm arena)"));
+        }
+    }
+}
+
+#[test]
+fn dense_gemm_planned_matches_dynamic() {
+    let mut rng = rand::SeedableRng::seed_from_u64(31);
+    let mut m = DenseGemm::new(&mut rng, 64, 32, QuantConfig::fp32());
+    check_model(&mut m, "DenseGemm", &[(1, 64), (4, 64), (32, 64)], None);
+}
+
+#[test]
+fn gpt_planned_matches_dynamic_across_buckets() {
+    let mut rng = rand::SeedableRng::seed_from_u64(32);
+    let mut m = Gpt::new(&mut rng, GptConfig::tiny(), QuantConfig::fp32());
+    let t = BatchModel::input_len(&m);
+    // Native window plus a shorter variable-length bucket.
+    check_model(
+        &mut m,
+        "Gpt",
+        &[(1, t), (3, t), (2, t / 2)],
+        Some(data::LM_VOCAB),
+    );
+}
+
+#[test]
+fn bert_planned_matches_dynamic_across_buckets() {
+    let mut rng = rand::SeedableRng::seed_from_u64(33);
+    let mut m = BertQa::new(&mut rng, 16, 1, 12, QuantConfig::fp32());
+    check_model(
+        &mut m,
+        "BertQa",
+        &[(1, 12), (2, 12), (3, 7)],
+        Some(data::QA_VOCAB),
+    );
+}
+
+#[test]
+fn vision_models_planned_match_dynamic() {
+    let px_len = data::IMAGE_SIDE * data::IMAGE_SIDE;
+    let mut rng = rand::SeedableRng::seed_from_u64(34);
+    let mut vit = TinyViT::new(&mut rng, 16, 2, QuantConfig::fp32());
+    check_model(&mut vit, "TinyViT", &[(1, px_len), (3, px_len)], None);
+    let mut resnet = TinyResNet::new(&mut rng, 4, 2, QuantConfig::fp32());
+    check_model(&mut resnet, "TinyResNet", &[(1, px_len), (2, px_len)], None);
+    let mut mobile = TinyMobileNet::new(&mut rng, 4, 3, QuantConfig::fp32());
+    check_model(
+        &mut mobile,
+        "TinyMobileNet",
+        &[(1, px_len), (2, px_len)],
+        None,
+    );
+}
+
+/// Repeated structure must share templates: the GPT blocks collapse to one
+/// template, and every MobileNet pointwise layer shares one stage shape.
+#[test]
+fn repeated_layers_share_templates() {
+    let mut rng = rand::SeedableRng::seed_from_u64(35);
+    let cfg = QuantConfig::uniform(TensorFormat::MX6);
+    let four_layers = GptConfig {
+        n_layers: 4,
+        ..GptConfig::tiny()
+    };
+    let m = Gpt::new(&mut rng, four_layers, cfg);
+    let plan = m.compile_plan(cfg, 2, 16).expect("gpt plan");
+    // Stages: embed + 4 blocks + head; templates: embed + 1 shared block
+    // template + head.
+    assert_eq!(plan.instance_count(), 6);
+    assert_eq!(plan.template_count(), 3, "blocks must dedupe");
+
+    let mobile = TinyMobileNet::new(&mut rng, 4, 3, cfg);
+    let plan = mobile.compile_plan(cfg, 1).expect("mobilenet plan");
+    assert_eq!(plan.instance_count(), 5); // stem + 3 pointwise + head
+                                          // Conv geometry lives in the per-instance binding, so the stem's
+                                          // single-conv stage shares the template with all pointwise stages.
+    assert_eq!(plan.template_count(), 2, "conv stages must dedupe");
+}
+
+/// The format-support gate is hoisted to plan time: a pair with neither an
+/// identity nor a code-domain path fails compilation with a typed error,
+/// and MoE routing is refused up front.
+#[test]
+fn unplannable_configurations_fail_with_typed_errors() {
+    let mut rng = rand::SeedableRng::seed_from_u64(36);
+    let bf16 = QuantConfig::uniform(TensorFormat::Bf16);
+    let m = DenseGemm::new(&mut rng, 32, 8, bf16);
+    match m.compile_plan(bf16, 1, 32) {
+        Err(PlanError::UnsupportedFormats { .. }) => {}
+        other => panic!("expected UnsupportedFormats, got {other:?}"),
+    }
+
+    let moe = Gpt::new(
+        &mut rng,
+        GptConfig::moe(0, 4),
+        QuantConfig::uniform(TensorFormat::MX6),
+    );
+    match moe.compile_plan(QuantConfig::uniform(TensorFormat::MX6), 1, 8) {
+        Err(PlanError::Unsupported(_)) => {}
+        other => panic!("expected Unsupported for MoE, got {other:?}"),
+    }
+
+    // Out-of-window buckets are compile errors, not execute panics.
+    let gpt = Gpt::new(&mut rng, GptConfig::tiny(), QuantConfig::fp32());
+    assert!(BatchModel::compile_plan(&gpt, QuantConfig::fp32(), 1, 999).is_err());
+}
+
+/// Weight mutation must change the staleness token, and a plan recompiled
+/// after the mutation must track the new weights bit for bit.
+#[test]
+fn weight_mutation_invalidates_and_recompile_tracks() {
+    let mut rng = rand::SeedableRng::seed_from_u64(37);
+    let cfg = QuantConfig::uniform(TensorFormat::MX6);
+    let mut m = DenseGemm::new(&mut rng, 32, 16, cfg);
+    let px = pixels_for(2, 32, 9);
+
+    let token_before = m.plan_token();
+    let plan_before = m.compile_plan(cfg, 2, 32).expect("plan");
+    let out_before = plan_before
+        .execute(PlanInput::Pixels(&px), &mut PlanArena::new())
+        .expect("execute");
+
+    // In-place weight mutation (what an optimizer step does).
+    let w: Vec<f32> = (0..32 * 16).map(|i| (i as f32 * 0.05).cos()).collect();
+    m.set_weights(Tensor::from_vec(w, &[32, 16]));
+    assert_ne!(m.plan_token(), token_before, "token must move on mutation");
+
+    let plan_after = m.compile_plan(cfg, 2, 32).expect("recompile");
+    let out_after = plan_after
+        .execute(PlanInput::Pixels(&px), &mut PlanArena::new())
+        .expect("execute");
+    let dynamic_after = m.forward_batch(ZooInput::Pixels(&px), 2);
+    assert_bits_eq(&out_after, &dynamic_after, "recompiled plan");
+    assert_ne!(
+        out_before.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        out_after.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "new weights must change the output"
+    );
+}
+
+/// One shared plan hammered from N threads, each with its own arena: every
+/// execution must be bit-identical to the dynamic oracle (plans are
+/// immutable; all mutable state lives in the per-worker arena).
+#[test]
+fn shared_plan_is_thread_safe_with_per_worker_arenas() {
+    let mut rng = rand::SeedableRng::seed_from_u64(38);
+    let cfg = QuantConfig::weights_activations(TensorFormat::MX6, TensorFormat::MX6);
+    let mut m = Gpt::new(&mut rng, GptConfig::tiny(), cfg);
+    assert_eq!(m.input_kind(), InputKind::Tokens);
+    let t = BatchModel::input_len(&m);
+    let toks = tokens_for(2, t, data::LM_VOCAB, 3);
+    let want = m.forward_batch(ZooInput::Tokens(&toks), 2);
+    let plan: Arc<CompiledPlan> = Arc::new(m.compile_plan(cfg, 2, t).expect("plan"));
+
+    std::thread::scope(|scope| {
+        for w in 0..4 {
+            let plan = Arc::clone(&plan);
+            let toks = &toks;
+            let want = &want;
+            scope.spawn(move || {
+                let mut arena = PlanArena::new();
+                for round in 0..8 {
+                    let got = plan
+                        .execute(PlanInput::Tokens(toks), &mut arena)
+                        .expect("execute");
+                    assert_bits_eq(&got, want, &format!("worker {w} round {round}"));
+                }
+            });
+        }
+    });
+}

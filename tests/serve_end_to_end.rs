@@ -454,13 +454,17 @@ fn weight_planes_are_shared_across_requests_and_formats() {
         assert_bits_eq(&y9, &warm9, &format!("MX9 round {round}"));
     }
     let after = handle.stats();
-    // (Counters are process-wide, so concurrent suites can only inflate
-    // them — the ≥ direction is race-free.)
+    // Each warm request must reuse lowered weights: under compiled plans
+    // (the default) it hits the plan cache, whose plan pinned the weight
+    // plane at compile time; with `MX_PLAN` off it skips the pack via the
+    // qflow plane cache. Either way no warm batch re-lowers weights.
+    // (The pack counters are process-wide, so concurrent suites can only
+    // inflate them — the ≥ direction is race-free.)
+    let reused = after.packs_avoided.saturating_sub(before.packs_avoided)
+        + after.plan_cache_hits.saturating_sub(before.plan_cache_hits);
     assert!(
-        after.packs_avoided >= before.packs_avoided + 20,
-        "20 warm requests must each skip the weight pack ({} -> {})",
-        before.packs_avoided,
-        after.packs_avoided
+        reused >= 20,
+        "20 warm requests must each reuse lowered weights (saw {reused})"
     );
     handle.shutdown();
 }
